@@ -1,0 +1,139 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+Not a paper figure — these quantify the reproduction's own decisions:
+
+1. **shift-and-enlarge on/off** (Procedure 6 line 4, Dai et al. [4]):
+   adapting later sub-queries' periodic windows to the travel time
+   accumulated so far should not hurt accuracy and matters most for long
+   trips where the trip outlasts the initial window.
+2. **self-exclusion on/off**: including the query trajectory in its own
+   answer leaks ground truth into the estimate (DESIGN.md §3); the
+   ablation measures how large that optimistic bias is.
+3. **zone-dependent beta** (paper Section 7, future work): smaller sample
+   requirements on rural sub-paths should cut relaxations (time) at a
+   small accuracy cost.
+"""
+
+import numpy as np
+import pytest
+
+from repro import QueryEngine, StrictPathQuery
+from repro.core import zone_beta_policy
+from repro.experiments import format_table, run_accuracy_config
+
+from .conftest import bench_queries
+
+
+def run_with_engine(workload, engine, beta=20, n=None, exclude_self=True):
+    """sMAPE + ms/query of a temporal-filter run under a custom engine."""
+    import time
+
+    from repro.metrics import smape
+
+    n = n or min(40, bench_queries())
+    estimates, truths = [], []
+    elapsed = 0.0
+    for spec in workload.queries[:n]:
+        query = spec.to_query("temporal", 900, workload.t_max, beta)
+        exclude = (spec.traj_id,) if exclude_self else ()
+        started = time.perf_counter()
+        result = engine.trip_query(query, exclude_ids=exclude)
+        elapsed += time.perf_counter() - started
+        estimates.append(result.estimated_mean)
+        truths.append(spec.true_duration)
+    return smape(estimates, truths), 1000.0 * elapsed / n
+
+
+def test_ablation_shift_and_enlarge(workload, benchmark, capsys):
+    with_adapt = QueryEngine(
+        workload.index, workload.network, partitioner="pi_Z",
+        shift_and_enlarge=True,
+    )
+    without = QueryEngine(
+        workload.index, workload.network, partitioner="pi_Z",
+        shift_and_enlarge=False,
+    )
+    spec = max(workload.queries, key=lambda s: len(s.path))
+    query = spec.to_query("temporal", 900, workload.t_max, 20)
+    benchmark(lambda: with_adapt.trip_query(query, exclude_ids=(spec.traj_id,)))
+
+    smape_on, ms_on = run_with_engine(workload, with_adapt)
+    smape_off, ms_off = run_with_engine(workload, without)
+    print("\n" + format_table(
+        ["shift-and-enlarge", "sMAPE %", "ms/query"],
+        [["on", f"{smape_on:.2f}", f"{ms_on:.2f}"],
+         ["off", f"{smape_off:.2f}", f"{ms_off:.2f}"]],
+        title="Ablation: shift-and-enlarge (Dai et al.)",
+    ))
+    # Adaptation must not materially hurt accuracy.
+    assert smape_on <= smape_off + 1.5
+
+
+def test_ablation_self_exclusion(workload, benchmark, capsys):
+    engine = QueryEngine(workload.index, workload.network, partitioner="pi_Z")
+    spec = max(workload.queries, key=lambda s: len(s.path))
+    query = spec.to_query("temporal", 900, workload.t_max, 20)
+    benchmark(lambda: engine.trip_query(query))
+
+    smape_excluded, _ = run_with_engine(workload, engine, exclude_self=True)
+    smape_included, _ = run_with_engine(workload, engine, exclude_self=False)
+    print("\n" + format_table(
+        ["query trajectory", "sMAPE %"],
+        [["excluded (honest)", f"{smape_excluded:.2f}"],
+         ["included (leaky)", f"{smape_included:.2f}"]],
+        title="Ablation: self-exclusion of the query trajectory",
+    ))
+    # Leaking the ground-truth trajectory into the answer can only help.
+    assert smape_included <= smape_excluded + 0.25
+
+
+def test_ablation_zone_beta_policy(workload, benchmark, capsys):
+    uniform = QueryEngine(
+        workload.index, workload.network, partitioner="pi_Z",
+    )
+    zoned = QueryEngine(
+        workload.index, workload.network, partitioner="pi_Z",
+        beta_policy=zone_beta_policy(workload.network, rural_factor=0.5),
+    )
+    spec = max(workload.queries, key=lambda s: len(s.path))
+    query = spec.to_query("temporal", 900, workload.t_max, 20)
+    benchmark(lambda: zoned.trip_query(query, exclude_ids=(spec.traj_id,)))
+
+    smape_uniform, ms_uniform = run_with_engine(workload, uniform)
+    smape_zoned, ms_zoned = run_with_engine(workload, zoned)
+    print("\n" + format_table(
+        ["beta policy", "sMAPE %", "ms/query"],
+        [["uniform (paper default)", f"{smape_uniform:.2f}", f"{ms_uniform:.2f}"],
+         ["rural beta/2 (future work)", f"{smape_zoned:.2f}", f"{ms_zoned:.2f}"]],
+        title="Ablation: zone-dependent beta (paper Section 7)",
+    ))
+    # The relaxed requirement must stay within a small accuracy band.
+    assert abs(smape_zoned - smape_uniform) < 2.0
+
+
+def test_ablation_interval_ladder(workload, benchmark, capsys):
+    """Coarser relaxation ladders trade accuracy for fewer retries."""
+    full_ladder = (900, 1800, 2700, 3600, 5400, 7200)
+    coarse_ladder = (900, 7200)
+    results = []
+    for label, ladder in (("paper A", full_ladder), ("2-step", coarse_ladder)):
+        engine = QueryEngine(
+            workload.index, workload.network, partitioner="pi_Z",
+            ladder=ladder,
+        )
+        s, ms = run_with_engine(workload, engine)
+        results.append([label, f"{s:.2f}", f"{ms:.2f}"])
+    engine = QueryEngine(
+        workload.index, workload.network, partitioner="pi_Z",
+        ladder=coarse_ladder,
+    )
+    spec = max(workload.queries, key=lambda s: len(s.path))
+    query = spec.to_query("temporal", 900, workload.t_max, 20)
+    benchmark(lambda: engine.trip_query(query, exclude_ids=(spec.traj_id,)))
+
+    print("\n" + format_table(
+        ["ladder", "sMAPE %", "ms/query"],
+        results,
+        title="Ablation: interval-size ladder A",
+    ))
+    assert all(float(row[1]) < 200 for row in results)

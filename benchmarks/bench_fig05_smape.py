@@ -1,0 +1,63 @@
+"""Figure 5: sMAPE vs beta for all partitioning/splitting methods.
+
+Paper expectations (Section 6.1):
+
+* (a) temporal filters — pi_1 worst, then pi_2/pi_3; the coarse methods
+  (pi_C, pi_Z, pi_ZC, pi_N) cluster at the bottom and peak at beta≈20-30;
+  speed-limit-only sMAPE 34.3 %, all-trajectories segment level 13.8 %.
+* (b) user filters — accuracy similar to temporal filters.
+* (c) SPQ-only — cannot beat the periodic methods (no time-of-day signal).
+* sigma_L is consistently worse than sigma_R.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import baseline_numbers, format_series, run_accuracy_config
+
+from .conftest import (
+    bench_betas,
+    bench_one_query,
+    bench_queries,
+    series_by_method,
+)
+
+
+@pytest.mark.parametrize("query_type", ["temporal", "user", "spq"])
+def test_figure5_series(sweep_results, workload, query_type, benchmark, capsys):
+    betas = bench_betas()
+    bench_one_query(benchmark, workload, query_type)
+    series = series_by_method(sweep_results[query_type], "smape", betas)
+    print("\n" + format_series(
+        f"Figure 5 ({query_type}): sMAPE [%] vs beta",
+        "method", betas, series,
+    ))
+    if query_type == "temporal":
+        numbers = baseline_numbers(workload, max_queries=bench_queries())
+        print(
+            f"baselines: speed-limit {numbers['speed_limit_smape']:.1f}% "
+            f"(paper 34.3%), segment-level "
+            f"{numbers['segment_level_smape']:.1f}% (paper 13.8%)"
+        )
+
+        # Paper shape assertions: baselines are beatable, pi_1 is worst.
+        best_path_based = min(min(v) for v in series.values())
+        assert best_path_based < numbers["speed_limit_smape"]
+        assert best_path_based < numbers["segment_level_smape"]
+        pi1 = np.mean(series["pi_1/regular"])
+        coarse = np.mean(
+            [np.mean(series[f"{m}/regular"]) for m in ("pi_Z", "pi_ZC", "pi_N")]
+        )
+        assert pi1 >= coarse
+
+
+def test_bench_temporal_pi_z(workload, benchmark):
+    """Benchmark the headline configuration (pi_Z, sigma_R, beta=20)."""
+    result = benchmark.pedantic(
+        run_accuracy_config,
+        args=(workload, "temporal", "pi_Z", "regular", 20),
+        kwargs={"max_queries": min(20, bench_queries())},
+        rounds=3,
+        iterations=1,
+    )
+    assert 0 < result.smape < 200

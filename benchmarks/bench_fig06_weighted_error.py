@@ -1,0 +1,67 @@
+"""Figure 6: weighted error vs beta.
+
+Paper expectations: pi_N has the lowest weighted error for temporal
+filters; for user filters only pi_MDM consistently beats the rest;
+SPQ-only favours the coarsest partitioning; speed-limit baseline 36.9 %,
+segment-level 24.0 %; sigma_L worse than sigma_R everywhere; there is an
+inverse relationship between weighted error and final sub-path length.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import format_series, run_accuracy_config
+
+from .conftest import (
+    bench_betas,
+    bench_one_query,
+    bench_queries,
+    series_by_method,
+)
+
+
+@pytest.mark.parametrize("query_type", ["temporal", "user", "spq"])
+def test_figure6_series(sweep_results, workload, query_type, benchmark, capsys):
+    betas = bench_betas()
+    bench_one_query(benchmark, workload, query_type, partitioner="pi_N")
+    series = series_by_method(
+        sweep_results[query_type], "weighted_error", betas
+    )
+    print("\n" + format_series(
+        f"Figure 6 ({query_type}): weighted error [%] vs beta",
+        "method", betas, series,
+    ))
+    if query_type == "temporal":
+        # pi_N (coarsest) beats pi_1 (finest) on weighted error.
+        assert np.mean(series["pi_N/regular"]) < np.mean(
+            series["pi_1/regular"]
+        )
+
+
+def test_inverse_relation_with_subpath_length(sweep_results, workload, benchmark):
+    """Coarser final partitioning correlates with lower weighted error."""
+    bench_one_query(benchmark, workload, "temporal", partitioner="pi_C")
+    betas = bench_betas()
+    results = sweep_results["temporal"]
+    pairs = [
+        (r.mean_subpath_length, r.weighted_error)
+        for r in results
+        if r.splitter == "regular"
+    ]
+    lengths = np.array([p[0] for p in pairs])
+    errors = np.array([p[1] for p in pairs])
+    correlation = np.corrcoef(lengths, errors)[0, 1]
+    assert correlation < 0, (
+        f"expected inverse relationship, correlation={correlation:.2f}"
+    )
+
+
+def test_bench_weighted_error_config(workload, benchmark):
+    result = benchmark.pedantic(
+        run_accuracy_config,
+        args=(workload, "temporal", "pi_N", "regular", 20),
+        kwargs={"max_queries": min(20, bench_queries())},
+        rounds=3,
+        iterations=1,
+    )
+    assert result.weighted_error > 0

@@ -1,0 +1,64 @@
+"""Figure 7: average final sub-query path length vs beta.
+
+Paper expectations: pi_N yields by far the longest sub-paths (it starts
+from the whole trip), pi_Z the coarsest among the attribute-based methods,
+pi_1 is fixed at 1; lengths shrink as beta grows (more splitting needed);
+SPQ-only sub-paths are much longer than the periodic ones.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import format_series, run_accuracy_config
+
+from .conftest import (
+    bench_betas,
+    bench_one_query,
+    bench_queries,
+    series_by_method,
+)
+
+
+@pytest.mark.parametrize("query_type", ["temporal", "user", "spq"])
+def test_figure7_series(sweep_results, workload, query_type, benchmark, capsys):
+    betas = bench_betas()
+    bench_one_query(benchmark, workload, query_type, partitioner="pi_ZC")
+    series = series_by_method(
+        sweep_results[query_type], "mean_subpath_length", betas
+    )
+    print("\n" + format_series(
+        f"Figure 7 ({query_type}): avg final sub-path length vs beta",
+        "method", betas, series,
+    ))
+    if query_type == "temporal":
+        # pi_1 partitions into single segments by construction.
+        assert all(v == pytest.approx(1.0) for v in series["pi_1/regular"])
+        # pi_N keeps the longest sub-paths.
+        for other in ("pi_1", "pi_2", "pi_3", "pi_C", "pi_Z", "pi_ZC"):
+            assert np.mean(series["pi_N/regular"]) >= np.mean(
+                series[f"{other}/regular"]
+            )
+
+
+def test_spq_only_longer_than_temporal(sweep_results, workload, benchmark):
+    """Figure 7c vs 7a: fixed-interval queries split far less."""
+    bench_one_query(benchmark, workload, "spq", partitioner="pi_N")
+    betas = bench_betas()
+    temporal = series_by_method(
+        sweep_results["temporal"], "mean_subpath_length", betas
+    )
+    spq = series_by_method(
+        sweep_results["spq"], "mean_subpath_length", betas
+    )
+    assert np.mean(spq["pi_N/regular"]) > np.mean(temporal["pi_N/regular"])
+
+
+def test_bench_subpath_metric(workload, benchmark):
+    result = benchmark.pedantic(
+        run_accuracy_config,
+        args=(workload, "spq", "pi_N", "regular", 20),
+        kwargs={"max_queries": min(20, bench_queries())},
+        rounds=3,
+        iterations=1,
+    )
+    assert result.mean_subpath_length >= 1.0

@@ -1,0 +1,58 @@
+"""Figure 8: average log-likelihood of the result histograms vs beta.
+
+Paper expectations (h = 10 s, gamma = 0.99): the periodic methods with
+coarse partitioning (pi_Z, pi_ZC) return the most accurate histograms;
+SPQ-only histograms are the weakest at small beta (no time-of-day
+conditioning); sigma_L performs worse than sigma_R.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import format_series, run_accuracy_config
+
+from .conftest import (
+    bench_betas,
+    bench_one_query,
+    bench_queries,
+    series_by_method,
+)
+
+
+@pytest.mark.parametrize("query_type", ["temporal", "user", "spq"])
+def test_figure8_series(sweep_results, workload, query_type, benchmark, capsys):
+    betas = bench_betas()
+    bench_one_query(benchmark, workload, query_type, partitioner="pi_Z")
+    series = series_by_method(
+        sweep_results[query_type], "log_likelihood", betas
+    )
+    print("\n" + format_series(
+        f"Figure 8 ({query_type}): avg log-likelihood vs beta "
+        "(higher is better)",
+        "method", betas, series,
+    ))
+    for values in series.values():
+        assert all(np.isfinite(v) for v in values)
+
+
+def test_temporal_beats_spq_only_histograms(sweep_results, workload, benchmark):
+    """Periodic conditioning must help the distribution estimate."""
+    bench_one_query(benchmark, workload, "temporal", partitioner="pi_ZC")
+    betas = bench_betas()
+    temporal = series_by_method(
+        sweep_results["temporal"], "log_likelihood", betas
+    )
+    spq = series_by_method(sweep_results["spq"], "log_likelihood", betas)
+    for method in ("pi_Z/regular", "pi_ZC/regular"):
+        assert np.mean(temporal[method]) > np.mean(spq[method]) - 0.5
+
+
+def test_bench_loglikelihood_config(workload, benchmark):
+    result = benchmark.pedantic(
+        run_accuracy_config,
+        args=(workload, "temporal", "pi_ZC", "regular", 20),
+        kwargs={"max_queries": min(20, bench_queries())},
+        rounds=3,
+        iterations=1,
+    )
+    assert np.isfinite(result.log_likelihood)

@@ -1,0 +1,101 @@
+"""Figure 9: query processing time (ms per query).
+
+Paper expectations: user-filter queries cost ~4-5x the temporal-filter
+queries, except pi_MDM at ~2x (it applies the user predicate only on main
+roads); SPQ-only queries are by far the cheapest (fewer temporal scans,
+longer sub-paths); sigma_L is much slower than sigma_R (its binary search
+issues extra count queries per split).
+
+Absolute times are not comparable to the paper's C++ numbers (DESIGN.md
+§3); all assertions are on ratios.
+"""
+
+import numpy as np
+import pytest
+
+from repro import PeriodicInterval, QueryEngine, StrictPathQuery
+from repro.experiments import format_series
+
+from .conftest import bench_betas, bench_one_query, series_by_method
+
+
+@pytest.mark.parametrize("query_type", ["temporal", "user", "spq"])
+def test_figure9_series(sweep_results, workload, query_type, benchmark, capsys):
+    betas = bench_betas()
+    bench_one_query(benchmark, workload, query_type)
+    series = series_by_method(
+        sweep_results[query_type], "ms_per_query", betas
+    )
+    print("\n" + format_series(
+        f"Figure 9 ({query_type}): ms per query vs beta",
+        "method", betas, series, value_format="{:.2f}",
+    ))
+
+
+def test_user_filters_cost_more_than_temporal(sweep_results, workload, benchmark):
+    bench_one_query(benchmark, workload, "user", partitioner="pi_C")
+    betas = bench_betas()
+    temporal = series_by_method(
+        sweep_results["temporal"], "ms_per_query", betas
+    )
+    user = series_by_method(sweep_results["user"], "ms_per_query", betas)
+    for method in ("pi_C/regular", "pi_Z/regular", "pi_ZC/regular"):
+        assert np.mean(user[method]) > np.mean(temporal[method])
+
+
+def test_mdm_cheaper_than_blanket_user_filters(sweep_results, workload, benchmark):
+    """pi_MDM applies user predicates selectively: it must undercut the
+    blanket user-filter methods (paper: ~2x vs ~4-5x the temporal cost)."""
+    bench_one_query(benchmark, workload, "user", partitioner="pi_MDM")
+    betas = bench_betas()
+    user = series_by_method(sweep_results["user"], "ms_per_query", betas)
+    mdm = np.mean(user["pi_MDM/regular"])
+    blanket = np.mean(
+        [np.mean(user[f"{m}/regular"]) for m in ("pi_C", "pi_Z", "pi_ZC")]
+    )
+    assert mdm < blanket
+
+
+def test_spq_only_is_cheapest(sweep_results, workload, benchmark):
+    bench_one_query(benchmark, workload, "spq", partitioner="pi_ZC")
+    betas = bench_betas()
+    temporal = series_by_method(
+        sweep_results["temporal"], "ms_per_query", betas
+    )
+    spq = series_by_method(sweep_results["spq"], "ms_per_query", betas)
+    for method in ("pi_Z/regular", "pi_ZC/regular"):
+        assert np.mean(spq[method]) < np.mean(temporal[method])
+
+
+def test_sigma_l_slower_than_sigma_r(sweep_results, workload, benchmark):
+    bench_one_query(
+        benchmark, workload, "temporal", splitter="longest_prefix"
+    )
+    betas = bench_betas()
+    temporal = series_by_method(
+        sweep_results["temporal"], "ms_per_query", betas
+    )
+    slow = np.mean(
+        [np.mean(temporal[f"{m}/longest_prefix"]) for m in ("pi_N", "pi_Z")]
+    )
+    fast = np.mean(
+        [np.mean(temporal[f"{m}/regular"]) for m in ("pi_N", "pi_Z")]
+    )
+    assert slow > fast
+
+
+def test_bench_single_trip_query(workload, benchmark):
+    """Raw per-query latency of the headline configuration."""
+    engine = QueryEngine(workload.index, workload.network, partitioner="pi_Z")
+    spec = max(workload.queries, key=lambda s: len(s.path))
+    query = StrictPathQuery(
+        path=spec.path,
+        interval=PeriodicInterval.around(spec.start_time, 900),
+        beta=20,
+    )
+
+    def run():
+        return engine.trip_query(query, exclude_ids=(spec.traj_id,))
+
+    result = benchmark(run)
+    assert result.histogram.total > 0

@@ -1,0 +1,161 @@
+"""Figure 10: temporal partitioning — memory and setup time.
+
+Paper expectations:
+
+* (a) the wavelet-tree (WT) and segment-counter (C) components grow with
+  the number of partitions (C linearly; WT via per-partition overhead and
+  degraded compression); the forest and the user container are unaffected;
+  the B+-tree forest needs more memory than the CSS forest.
+* (b) the time-of-day histogram store grows steeply with finer buckets
+  and with partition count — at fine grain it dwarfs the index itself.
+* (c) setup time is flat across partition grains and tree types.
+
+Sizes are measured from the real structures; magnitudes differ from the
+paper (our alphabet is ~3 orders of magnitude smaller — DESIGN.md §3)
+while the component shapes are preserved.
+"""
+
+import pytest
+
+from repro import SNTIndex
+from repro.experiments import format_table, mib, partitioning_report
+
+PARTITION_GRAINS = (7, 30, 90, 365, None)
+
+
+@pytest.fixture(scope="module")
+def report(workload):
+    return partitioning_report(
+        workload,
+        partition_days_list=PARTITION_GRAINS,
+        tod_bucket_minutes=(1, 5, 10),
+        include_btree=True,
+    )
+
+
+def _label(row):
+    days = row["partition_days"]
+    if row["kind"] == "btree":
+        return "BT"
+    return "FULL" if days is None else str(days)
+
+
+def test_figure10a_component_memory(report, workload, benchmark, capsys):
+    benchmark(workload.index.component_sizes)
+    rows = [
+        [
+            _label(row),
+            row["n_partitions"],
+            f"{mib(row['component_bytes']['C']):.3f}",
+            f"{mib(row['component_bytes']['WT']):.3f}",
+            f"{mib(row['component_bytes']['user']):.3f}",
+            f"{mib(row['component_bytes']['Forest']):.3f}",
+        ]
+        for row in report
+    ]
+    print("\n" + format_table(
+        ["partition", "W", "C MiB", "WT MiB", "user MiB", "Forest MiB"],
+        rows,
+        title="Figure 10a: index memory by component",
+    ))
+
+    by_label = {_label(row): row["component_bytes"] for row in report}
+    # C grows linearly with the number of partitions.
+    assert by_label["7"]["C"] > by_label["30"]["C"] > by_label["FULL"]["C"]
+    # WT grows with partition count.
+    assert by_label["7"]["WT"] > by_label["FULL"]["WT"]
+    # user container unaffected by partitioning.
+    assert by_label["7"]["user"] == by_label["FULL"]["user"]
+    # B+-tree forest larger than the CSS forest.
+    assert by_label["BT"]["Forest"] > by_label["FULL"]["Forest"]
+
+    # Paper-scale projection: the same layout model at ITSP parameters
+    # should land in the magnitudes of the paper's Figure 10a.
+    from repro.experiments import project_to_paper_scale
+
+    projection_rows = []
+    for weeks, w in (("7", 138), ("30", 33), ("90", 11), ("365", 3), ("FULL", 1)):
+        projected = project_to_paper_scale(n_partitions=w)
+        projection_rows.append(
+            [weeks, w]
+            + [f"{mib(projected[c]):,.0f}" for c in ("C", "WT", "user", "Forest")]
+        )
+    print("\n" + format_table(
+        ["partition", "W", "C MiB", "WT MiB", "user MiB", "Forest MiB"],
+        projection_rows,
+        title="Figure 10a projected to paper scale "
+        "(paper: C <6->~600 MiB, WT ~280 MiB -> >4 GiB)",
+    ))
+    projected_full = project_to_paper_scale(n_partitions=1)
+    projected_weekly = project_to_paper_scale(n_partitions=138)
+    # Paper magnitudes: C grows from single-digit MiB to hundreds.
+    assert 1 <= mib(projected_full["C"]) <= 30
+    assert 500 <= mib(projected_weekly["C"]) <= 3000
+    # WT grows by an order of magnitude FULL -> weekly.
+    assert projected_weekly["WT"] > 5 * projected_full["WT"]
+
+
+def test_figure10b_tod_histogram_memory(report, workload, benchmark, capsys):
+    benchmark.pedantic(
+        workload.index.build_tod_store, args=(600,), rounds=2, iterations=1
+    )
+    rows = [
+        [_label(row)]
+        + [f"{mib(row['tod_store_bytes'][m]):.3f}" for m in (1, 5, 10)]
+        for row in report
+        if row["kind"] == "css"
+    ]
+    print("\n" + format_table(
+        ["partition", "h=1min MiB", "h=5min MiB", "h=10min MiB"],
+        rows,
+        title="Figure 10b: time-of-day histogram store memory",
+    ))
+    by_label = {
+        _label(row): row["tod_store_bytes"]
+        for row in report
+        if row["kind"] == "css"
+    }
+    # Finer buckets cost more; more partitions cost more.
+    for label in by_label:
+        assert by_label[label][1] > by_label[label][5] > by_label[label][10]
+    assert by_label["7"][10] > by_label["FULL"][10]
+
+
+def test_figure10c_setup_time(report, workload, benchmark, capsys):
+    # Setup-time micro-benchmark: one partition build over a slice of the
+    # trajectory set (the full builds are measured in `report`).
+    from repro.sntindex.partition import build_partition
+
+    sample = list(workload.dataset.trajectories)[:500]
+    benchmark.pedantic(
+        build_partition,
+        args=(0, sample, workload.network.alphabet_size, 0, 1),
+        rounds=2,
+        iterations=1,
+    )
+    rows = [
+        [_label(row), f"{row['setup_seconds']:.2f}"] for row in report
+    ]
+    print("\n" + format_table(
+        ["partition", "setup s"],
+        rows,
+        title="Figure 10c: index setup time (paper: flat, 425-475 s "
+        "at full scale)",
+    ))
+    times = [row["setup_seconds"] for row in report if row["kind"] == "css"]
+    # Flat-ish: no partitioning choice may cost more than 3x another.
+    assert max(times) < 3.0 * min(times) + 0.5
+
+
+def test_bench_index_build(workload, benchmark):
+    """Setup-time benchmark for the FULL CSS configuration."""
+    trajectories = workload.dataset.trajectories
+    alphabet = workload.network.alphabet_size
+
+    index = benchmark.pedantic(
+        SNTIndex.build,
+        args=(trajectories, alphabet),
+        rounds=2,
+        iterations=1,
+    )
+    assert index.build_stats.n_trajectories == len(trajectories)

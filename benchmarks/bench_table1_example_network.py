@@ -1,0 +1,54 @@
+"""Table 1: estimateTT on the example network of Figure 1.
+
+Regenerates the paper's Table 1 exactly (speed-limit travel-time estimates
+per segment) and benchmarks the ``estimateTT`` fallback path.
+"""
+
+import pytest
+
+from repro import Edge, RoadCategory, RoadNetwork, ZoneType
+
+ROWS = [
+    # edge, source, target, category, zone, speed, length, paper estimateTT
+    ("A", 1, 1, 2, RoadCategory.MOTORWAY, ZoneType.RURAL, 110, 900, 29.5),
+    ("B", 2, 2, 3, RoadCategory.PRIMARY, ZoneType.CITY, 50, 120, 8.6),
+    ("C", 3, 2, 4, RoadCategory.SECONDARY, ZoneType.CITY, 30, 40, 4.8),
+    ("D", 4, 4, 3, RoadCategory.SECONDARY, ZoneType.CITY, 30, 80, 9.6),
+    ("E", 5, 3, 5, RoadCategory.PRIMARY, ZoneType.CITY, 50, 100, 7.2),
+    ("F", 6, 3, 6, RoadCategory.PRIMARY, ZoneType.RURAL, 80, 800, 36.0),
+]
+
+
+def build_network() -> RoadNetwork:
+    network = RoadNetwork()
+    for vertex in range(1, 7):
+        network.add_vertex(vertex, (float(vertex), 0.0))
+    for _, edge_id, s, t, category, zone, speed, length, _ in ROWS:
+        network.add_edge(
+            Edge(edge_id, s, t, category, zone, float(length), float(speed))
+        )
+    return network
+
+
+def test_table1_regenerates(benchmark, capsys):
+    network = benchmark(build_network)
+    print("\nTable 1: paper vs measured estimateTT")
+    print("e  c          z      sl   l     paper   measured")
+    for name, edge_id, _, _, category, zone, speed, length, expected in ROWS:
+        measured = network.estimate_tt(edge_id)
+        print(
+            f"{name}  {category.value:<9}  {zone.value:<5}  {speed:>3}  "
+            f"{length:>4}  {expected:5.1f}   {measured:8.2f}"
+        )
+        assert measured == pytest.approx(expected, abs=0.05)
+
+
+def test_bench_estimate_tt(benchmark):
+    network = build_network()
+    path = [1, 2, 5]
+
+    def run():
+        return network.path_estimate_tt(path)
+
+    total = benchmark(run)
+    assert total == pytest.approx(29.45 + 8.64 + 7.2, abs=0.1)

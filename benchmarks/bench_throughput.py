@@ -1,0 +1,67 @@
+"""Query throughput under concurrent readers (paper Section 7 outlook).
+
+Not a paper figure: the paper *predicts* that "the overall query
+throughput of the system most likely could [improve]" with
+parallelization because the index is read-only.  This bench quantifies
+that for the Python reproduction: the GIL caps pure-Python sections, the
+numpy kernels release it, so scaling is real but sub-linear.
+"""
+
+import pytest
+
+from repro.experiments import format_table, measure_throughput
+
+from .conftest import bench_queries
+
+
+def test_throughput_scaling(workload, benchmark, capsys):
+    n_queries = min(40, bench_queries())
+    benchmark.pedantic(
+        measure_throughput,
+        args=(workload,),
+        kwargs={"worker_counts": (1,), "n_queries": min(10, n_queries)},
+        rounds=2,
+        iterations=1,
+    )
+
+    results = measure_throughput(
+        workload, worker_counts=(1, 2, 4), n_queries=n_queries
+    )
+    base = results[0].queries_per_second
+    rows = [
+        [
+            r.n_workers,
+            f"{r.queries_per_second:.0f}",
+            f"{r.queries_per_second / base:.2f}x",
+        ]
+        for r in results
+    ]
+    print("\n" + format_table(
+        ["workers", "queries/s", "speed-up"],
+        rows,
+        title="Throughput: shared immutable index, N reader threads "
+        "(paper section 7: throughput 'most likely could' improve)",
+    ))
+    print(
+        "Finding: in this pure-Python reproduction thread-parallel reads "
+        "do NOT pay off —\nthe per-query numpy kernels are microseconds "
+        "long, so GIL hand-offs dominate.\nThe paper's prediction targets "
+        "its C++ engine, where readers truly run in parallel."
+    )
+    # Sanity only: everything processed, no deadlock, single-thread sane.
+    assert all(r.n_queries == n_queries for r in results)
+    assert base > 0
+    for result in results[1:]:
+        assert result.queries_per_second > 0
+
+
+def test_throughput_validation(workload, benchmark):
+    benchmark.pedantic(
+        measure_throughput,
+        args=(workload,),
+        kwargs={"worker_counts": (2,), "n_queries": 5},
+        rounds=2,
+        iterations=1,
+    )
+    with pytest.raises(ValueError):
+        measure_throughput(workload, worker_counts=(0,))

@@ -1,0 +1,104 @@
+"""Shared fixtures for the benchmark harness.
+
+One dataset/index/query-set (the *workload*) and one full accuracy sweep
+are computed once per session and shared by the Figure 5-9 benchmarks,
+since those figures are different metrics over the same runs.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE``    — dataset scale (default ``small``).
+* ``REPRO_BENCH_QUERIES``  — max queries per configuration (default 60).
+* ``REPRO_BENCH_BETAS``    — comma-separated beta values (default
+  ``10,20,30,40,50``, the paper's grid).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro.experiments import (
+    AccuracyResult,
+    accuracy_sweep,
+    build_workload,
+)
+
+
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+def bench_queries() -> int:
+    return int(os.environ.get("REPRO_BENCH_QUERIES", "60"))
+
+
+def bench_betas() -> Tuple[int, ...]:
+    raw = os.environ.get("REPRO_BENCH_BETAS", "10,20,30,40,50")
+    return tuple(int(x) for x in raw.split(","))
+
+
+@pytest.fixture(scope="session")
+def workload():
+    return build_workload(bench_scale(), seed=0)
+
+
+@pytest.fixture(scope="session")
+def sweep_results(workload) -> Dict[str, List[AccuracyResult]]:
+    """The full Figures 5-9 grid, computed once."""
+    betas = bench_betas()
+    results = {}
+    for query_type in ("temporal", "user", "spq"):
+        results[query_type] = accuracy_sweep(
+            workload,
+            query_type,
+            betas=betas,
+            max_queries=bench_queries(),
+        )
+    return results
+
+
+def series_by_method(
+    results: List[AccuracyResult], metric: str, betas: Tuple[int, ...]
+) -> Dict[str, List[float]]:
+    """Pivot sweep results into {method-label: [value per beta]}."""
+    table: Dict[str, Dict[int, float]] = {}
+    for result in results:
+        label = f"{result.partitioner}/{result.splitter}"
+        table.setdefault(label, {})[result.beta] = getattr(result, metric)
+    return {
+        label: [values[beta] for beta in betas]
+        for label, values in table.items()
+    }
+
+
+def bench_one_query(
+    benchmark,
+    workload,
+    query_type: str,
+    partitioner: str = "pi_Z",
+    splitter: str = "regular",
+    beta: int = 20,
+):
+    """Benchmark a single representative trip query of a configuration.
+
+    Every figure test runs under ``--benchmark-only``, so each carries a
+    micro-benchmark of the configuration it reports on.
+    """
+    from repro import QueryEngine
+
+    engine = QueryEngine(
+        workload.index,
+        workload.network,
+        partitioner=partitioner,
+        splitter=splitter,
+    )
+    spec = max(workload.queries, key=lambda s: len(s.path))
+    query = spec.to_query(query_type, 900, workload.t_max, beta)
+
+    result = benchmark(
+        lambda: engine.trip_query(query, exclude_ids=(spec.traj_id,))
+    )
+    assert result.histogram.total > 0
+    return result

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Commute analysis: when should a driver leave for work?
+
+Takes one driver's home-to-work route and computes travel-time histograms
+for a grid of departure windows through the morning, both from everyone's
+trajectories (temporal filters) and from the driver's own history (user
+filters via the pi_MDM method).  This is the paper's motivating
+application of time-varying, personal path weights.
+
+Run:  python examples/commute_analysis.py
+"""
+
+from collections import Counter
+
+from repro import (
+    PeriodicInterval,
+    QueryEngine,
+    SNTIndex,
+    StrictPathQuery,
+    generate_dataset,
+)
+from repro.config import SECONDS_PER_DAY
+
+
+def pick_commuter(dataset):
+    """The driver with the most morning trips over one fixed route."""
+    routes = Counter()
+    for trajectory in dataset.trajectories:
+        tod = trajectory.start_time % SECONDS_PER_DAY
+        if 6 * 3600 <= tod <= 10 * 3600 and len(trajectory) >= 8:
+            routes[(trajectory.user_id, trajectory.path)] += 1
+    (user_id, path), trips = routes.most_common(1)[0]
+    return user_id, path, trips
+
+
+def main() -> None:
+    dataset = generate_dataset("tiny", seed=0)
+    index = SNTIndex.build(
+        dataset.trajectories, dataset.network.alphabet_size
+    )
+    user_id, path, n_trips = pick_commuter(dataset)
+    km = dataset.network.path_length_m(list(path)) / 1000.0
+    print(
+        f"Driver u{user_id}: {n_trips} recorded morning trips over a "
+        f"{km:.1f} km route of {len(path)} segments\n"
+    )
+
+    everyone = QueryEngine(index, dataset.network, partitioner="pi_Z")
+    personal = QueryEngine(index, dataset.network, partitioner="pi_MDM")
+
+    print("departure   everyone (median / p90)    personal (median / p90)")
+    print("-" * 66)
+    day0 = 0
+    for minutes in range(7 * 60, 9 * 60 + 1, 15):
+        departure = day0 + minutes * 60
+        interval = PeriodicInterval.around(departure, 900)
+
+        q_all = StrictPathQuery(path=path, interval=interval, beta=10)
+        q_personal = StrictPathQuery(
+            path=path, interval=interval, user=user_id, beta=5
+        )
+        h_all = everyone.trip_query(q_all).histogram
+        h_personal = personal.trip_query(q_personal).histogram
+
+        label = f"{minutes // 60:02d}:{minutes % 60:02d}"
+        print(
+            f"  {label}       {h_all.quantile(0.5):5.0f}s / "
+            f"{h_all.quantile(0.9):5.0f}s            "
+            f"{h_personal.quantile(0.5):5.0f}s / "
+            f"{h_personal.quantile(0.9):5.0f}s"
+        )
+
+    print(
+        "\nThe rush-hour peak is visible as a bump in the medians; the"
+        "\npersonal histograms condition on the driver's own behaviour"
+        "\non main roads (pi_MDM applies the user filter selectively)."
+    )
+
+
+if __name__ == "__main__":
+    main()

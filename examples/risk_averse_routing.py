@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Risk-averse routing with travel-time histograms as edge weights.
+
+The paper's introduction motivates online histogram retrieval with routing:
+"These histograms can be used as edge weights by routing algorithms to
+compute better results."  This example generates route alternatives
+between two towns, costs each with a strict-path travel-time histogram at
+the desired departure time, and picks routes by different risk profiles:
+
+* the *mean* chooser takes the fastest route on average,
+* the *p95* chooser prefers reliability: the route whose 95th-percentile
+  arrival is earliest (risk-averse, e.g. for catching a flight).
+
+Run:  python examples/risk_averse_routing.py
+"""
+
+from repro import (
+    PeriodicInterval,
+    QueryEngine,
+    SNTIndex,
+    StrictPathQuery,
+    alternative_paths,
+    generate_dataset,
+)
+
+
+def main() -> None:
+    dataset = generate_dataset("tiny", seed=0)
+    network = dataset.network
+    index = SNTIndex.build(dataset.trajectories, network.alphabet_size)
+    engine = QueryEngine(index, network, partitioner="pi_Z")
+
+    # Route from a home in the first town to a workplace in the last.
+    synthetic = dataset.synthetic
+    origin = synthetic.towns[0].home_vertices[0]
+    destination = synthetic.towns[-1].work_vertices[0]
+    routes = alternative_paths(network, origin, destination, k=3)
+    print(f"{len(routes)} route alternatives from v{origin} to "
+          f"v{destination}\n")
+
+    departure = 7 * 3600 + 45 * 60  # 07:45, rush hour
+    candidates = []
+    for i, route in enumerate(routes):
+        query = StrictPathQuery(
+            path=tuple(route),
+            interval=PeriodicInterval.around(departure, 1800),
+            beta=10,
+        )
+        result = engine.trip_query(query)
+        histogram = result.histogram
+        km = network.path_length_m(route) / 1000.0
+        mean = result.estimated_mean
+        p50 = histogram.quantile(0.5)
+        p95 = histogram.quantile(0.95)
+        candidates.append((i, route, mean, p50, p95))
+        print(
+            f"route {i}: {len(route):3d} segments, {km:5.1f} km   "
+            f"mean {mean:5.0f}s   median {p50:5.0f}s   p95 {p95:5.0f}s"
+        )
+
+    by_mean = min(candidates, key=lambda c: c[2])
+    by_p95 = min(candidates, key=lambda c: c[4])
+    print(f"\nfastest on average:   route {by_mean[0]} "
+          f"(mean {by_mean[2]:.0f}s)")
+    print(f"most reliable (p95):  route {by_p95[0]} "
+          f"(p95 {by_p95[4]:.0f}s)")
+    if by_mean[0] != by_p95[0]:
+        print("-> the risk-averse choice differs from the mean-optimal one:"
+              "\n   distributions, not point estimates, change the decision.")
+    else:
+        print("-> here one route dominates under both criteria.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Collect the full paper-reproduction measurement set into one report.
+
+Runs every figure experiment at the benchmark scale and writes an
+aligned-text report (used to fill EXPERIMENTS.md).
+
+Run:  python scripts/collect_results.py [output-path]
+"""
+
+import sys
+import time
+
+from repro.experiments import (
+    accuracy_sweep,
+    baseline_numbers,
+    build_workload,
+    estimator_report,
+    format_series,
+    format_table,
+    mib,
+    partitioning_report,
+)
+
+def series_by_method(results, metric, betas):
+    """Pivot sweep results into {method-label: [value per beta]}."""
+    table = {}
+    for result in results:
+        label = f"{result.partitioner}/{result.splitter}"
+        table.setdefault(label, {})[result.beta] = getattr(result, metric)
+    return {
+        label: [values[beta] for beta in betas]
+        for label, values in table.items()
+    }
+
+
+def main() -> None:
+    out_path = sys.argv[1] if len(sys.argv) > 1 else "results_report.txt"
+    betas = (10, 20, 30, 40, 50)
+    lines = []
+
+    started = time.time()
+    workload = build_workload("small", seed=0)
+    lines.append(
+        f"workload: scale=small, {len(workload.dataset.trajectories)} "
+        f"trajectories, {workload.index.build_stats.n_traversals} "
+        f"traversals, {len(workload.queries)} queries, "
+        f"{workload.network.n_edges} edges"
+    )
+
+    numbers = baseline_numbers(workload)
+    lines.append(
+        f"baselines: speed-limit sMAPE "
+        f"{numbers['speed_limit_smape']:.2f}% (paper 34.3%), "
+        f"segment-level sMAPE {numbers['segment_level_smape']:.2f}% "
+        f"(paper 13.8%)"
+    )
+
+    for query_type in ("temporal", "user", "spq"):
+        results = accuracy_sweep(workload, query_type, betas=betas, max_queries=60)
+        for metric, fig in (
+            ("smape", "Figure 5"),
+            ("weighted_error", "Figure 6"),
+            ("mean_subpath_length", "Figure 7"),
+            ("log_likelihood", "Figure 8"),
+            ("ms_per_query", "Figure 9"),
+        ):
+            series = series_by_method(results, metric, betas)
+            lines.append("")
+            lines.append(
+                format_series(
+                    f"{fig} ({query_type}): {metric} vs beta",
+                    "method",
+                    betas,
+                    series,
+                )
+            )
+
+    lines.append("")
+    report = partitioning_report(workload)
+    rows = []
+    for row in report:
+        label = (
+            "BT"
+            if row["kind"] == "btree"
+            else ("FULL" if row["partition_days"] is None else str(row["partition_days"]))
+        )
+        c = row["component_bytes"]
+        rows.append(
+            [
+                label,
+                row["n_partitions"],
+                f"{mib(c['C']):.3f}",
+                f"{mib(c['WT']):.3f}",
+                f"{mib(c['user']):.3f}",
+                f"{mib(c['Forest']):.3f}",
+                f"{mib(row['tod_store_bytes'][1]):.3f}",
+                f"{mib(row['tod_store_bytes'][5]):.3f}",
+                f"{mib(row['tod_store_bytes'][10]):.3f}",
+                f"{row['setup_seconds']:.2f}",
+            ]
+        )
+    lines.append(
+        format_table(
+            [
+                "partition", "W", "C MiB", "WT MiB", "user MiB",
+                "Forest MiB", "ToD h=1m", "h=5m", "h=10m", "setup s",
+            ],
+            rows,
+            title="Figure 10: temporal partitioning (memory + setup)",
+        )
+    )
+
+    lines.append("")
+    qerrors = estimator_report(workload, max_queries=40)
+    lines.append(
+        format_table(
+            ["mode", "q-error (10^y)"],
+            [
+                [mode, f"{data['mean_q_error_log10']:.3f}"]
+                for mode, data in qerrors.items()
+            ],
+            title="Figure 11a: cardinality estimator q-error",
+        )
+    )
+
+    lines.append("")
+    lines.append(f"total collection time: {time.time() - started:.0f}s")
+    text = "\n".join(lines)
+    with open(out_path, "w") as handle:
+        handle.write(text + "\n")
+    print(text)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Baselines the paper compares against: speed limits and segment-level
+histogram convolution."""
+
+from .segment_level import SegmentLevelBaseline
+from .speed_limit import SpeedLimitBaseline
+
+__all__ = ["SegmentLevelBaseline", "SpeedLimitBaseline"]

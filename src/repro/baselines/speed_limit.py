@@ -1,0 +1,25 @@
+"""Speed-limit baseline (paper Section 6.1).
+
+"If only the speed limits are used to estimate the travel time, sMAPE is
+34.3%" — the weakest baseline: every segment is traversed exactly at its
+(possibly imputed) speed limit, durations are summed, no distribution.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..network.graph import RoadNetwork
+
+__all__ = ["SpeedLimitBaseline"]
+
+
+class SpeedLimitBaseline:
+    """Point estimates from ``estimateTT`` only."""
+
+    def __init__(self, network: RoadNetwork):
+        self._network = network
+
+    def estimate(self, path: Sequence[int]) -> float:
+        """Estimated trip duration in seconds."""
+        return self._network.path_estimate_tt(path)

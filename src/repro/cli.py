@@ -1,0 +1,211 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``generate``
+    Generate a synthetic world and write it to disk
+    (``network.json`` + ``trajectories.txt``).
+``info``
+    Print statistics of a stored world.
+``query``
+    Build the SNT-index over a stored world and answer one strict path
+    query, printing the travel-time histogram.
+
+Example
+-------
+::
+
+    python -m repro generate --scale tiny --seed 0 --out world/
+    python -m repro info --world world/
+    python -m repro query --world world/ --path 1,2,3 --tod 08:00 \\
+        --window-min 15 --beta 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .core.engine import QueryEngine
+from .core.intervals import FixedInterval, PeriodicInterval
+from .core.partitioning import PARTITIONER_NAMES
+from .core.spq import StrictPathQuery
+from .network.generator import generate_network
+from .network.io import (
+    load_network,
+    load_trajectories,
+    save_network,
+    save_trajectories,
+)
+from .sntindex.index import SNTIndex
+from .trajectories.generator import generate_dataset
+
+__all__ = ["main", "build_parser"]
+
+NETWORK_FILE = "network.json"
+TRAJECTORY_FILE = "trajectories.txt"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Travel-time histogram retrieval over trajectory data "
+            "(EDBT 2019 reproduction)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="generate a synthetic world and store it"
+    )
+    generate.add_argument("--scale", default="tiny")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--out", required=True, help="output directory")
+
+    info = commands.add_parser("info", help="describe a stored world")
+    info.add_argument("--world", required=True, help="world directory")
+
+    query = commands.add_parser(
+        "query", help="answer one strict path query over a stored world"
+    )
+    query.add_argument("--world", required=True)
+    query.add_argument(
+        "--path",
+        required=True,
+        help="comma-separated edge ids, e.g. 1,2,3",
+    )
+    query.add_argument(
+        "--tod",
+        default=None,
+        help="time of day HH:MM for a periodic window (omit: full history)",
+    )
+    query.add_argument("--window-min", type=int, default=15)
+    query.add_argument("--user", type=int, default=None)
+    query.add_argument("--beta", type=int, default=None)
+    query.add_argument(
+        "--partitioner", default="pi_Z", choices=PARTITIONER_NAMES
+    )
+    query.add_argument(
+        "--splitter", default="regular", choices=("regular", "longest_prefix")
+    )
+    return parser
+
+
+def _cmd_generate(args) -> int:
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    dataset = generate_dataset(args.scale, seed=args.seed)
+    save_network(dataset.network, out / NETWORK_FILE)
+    save_trajectories(dataset.trajectories, out / TRAJECTORY_FILE)
+    print(
+        f"generated scale={args.scale} seed={args.seed}: "
+        f"{dataset.network.n_edges} edges, "
+        f"{len(dataset.trajectories)} trajectories -> {out}"
+    )
+    return 0
+
+
+def _load_world(world: str):
+    base = Path(world)
+    network = load_network(base / NETWORK_FILE)
+    trajectories = load_trajectories(base / TRAJECTORY_FILE)
+    return network, trajectories
+
+
+def _cmd_info(args) -> int:
+    network, trajectories = _load_world(args.world)
+    start, end = trajectories.time_span()
+    print(f"network:      {network.n_vertices} vertices, "
+          f"{network.n_edges} directed edges")
+    print(f"trajectories: {len(trajectories)}")
+    print(f"traversals:   {trajectories.total_traversals()}")
+    print(f"drivers:      {len(set(tr.user_id for tr in trajectories))}")
+    print(f"span:         {(end - start) / 86_400:.1f} days")
+    return 0
+
+
+def _parse_tod(text: str) -> int:
+    try:
+        hours, minutes = text.split(":")
+        tod = int(hours) * 3600 + int(minutes) * 60
+    except ValueError:
+        raise SystemExit(f"invalid --tod {text!r}; expected HH:MM")
+    if not 0 <= tod < 86_400:
+        raise SystemExit(f"--tod {text!r} out of range")
+    return tod
+
+
+def _cmd_query(args) -> int:
+    network, trajectories = _load_world(args.world)
+    index = SNTIndex.build(trajectories, network.alphabet_size)
+    try:
+        path = tuple(int(token) for token in args.path.split(","))
+    except ValueError:
+        raise SystemExit(f"invalid --path {args.path!r}")
+    for edge in path:
+        if not network.has_edge(edge):
+            raise SystemExit(f"edge {edge} is not part of the network")
+    if not network.is_path(list(path)):
+        raise SystemExit(f"--path {args.path!r} is not traversable")
+
+    if args.tod is not None:
+        interval = PeriodicInterval(
+            start_tod=_parse_tod(args.tod) - args.window_min * 30,
+            duration=args.window_min * 60,
+        )
+    else:
+        interval = FixedInterval(0, index.t_max)
+
+    engine = QueryEngine(
+        index,
+        network,
+        partitioner=args.partitioner,
+        splitter=args.splitter,
+    )
+    result = engine.trip_query(
+        StrictPathQuery(
+            path=path, interval=interval, user=args.user, beta=args.beta
+        )
+    )
+    histogram = result.histogram
+    print(
+        f"answered with {len(result.outcomes)} sub-queries in "
+        f"{result.elapsed_s * 1000:.1f} ms"
+    )
+    print(f"estimated mean: {result.estimated_mean:.1f}s")
+    if not histogram.is_empty():
+        print(f"median: {histogram.quantile(0.5):.1f}s   "
+              f"p90: {histogram.quantile(0.9):.1f}s")
+        unit = histogram.scaled_to_unit_mass()
+        for bucket, mass in sorted(unit.as_dict().items()):
+            if mass >= 0.02:
+                width = histogram.bucket_width
+                bar = "#" * max(1, int(mass * 50))
+                print(f"  [{bucket * width:6.0f}s) {bar}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "info": _cmd_info,
+        "query": _cmd_query,
+    }
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; standard CLI etiquette.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

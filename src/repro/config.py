@@ -1,0 +1,142 @@
+"""Experiment scale configuration.
+
+The paper evaluates on 1.4 million trajectories over a 1.46 M-edge network
+on a 512 GiB server with a C++17 implementation.  A pure-Python build cannot
+hold that scale at benchmark speed (reproduction band: repro = 3/5), so every
+dataset-dependent quantity is derived from an :class:`ExperimentScale`.  The
+default scale for the benchmark harness is ``small``; tests use ``tiny``.
+
+The scale can be selected with the ``REPRO_SCALE`` environment variable
+(``tiny`` / ``small`` / ``medium`` / ``large``).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+#: Seconds per day; timestamps in the library are seconds from dataset epoch.
+SECONDS_PER_DAY = 86_400
+
+#: Minute resolution of entry timestamps, as in the ITSP dataset (paper 5.1.3).
+ENTRY_TIME_RESOLUTION_S = 60
+
+#: Gap (seconds) after which a new trajectory is started (paper 5.1.3).
+TRAJECTORY_GAP_S = 180
+
+#: The interval-size ladder A = <15, 30, 45, 60, 90, 120> minutes (paper 5.2).
+DEFAULT_INTERVAL_LADDER_S = (900, 1800, 2700, 3600, 5400, 7200)
+
+#: Default histogram bucket width in seconds (paper 6.1 uses h = 10 s).
+DEFAULT_BUCKET_WIDTH_S = 10.0
+
+#: Smoothing weight for log-likelihood evaluation (paper 6.1, gamma = 0.99).
+DEFAULT_GAMMA = 0.99
+
+#: Default user-predicate selectivity (Selinger et al., paper 4.4).
+DEFAULT_USER_SELECTIVITY = 0.1
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """All dataset-size knobs for one experiment scale.
+
+    Attributes
+    ----------
+    name:
+        Scale label (``tiny``/``small``/``medium``/``large``).
+    grid_towns:
+        Number of town grids in the synthetic network.
+    town_blocks:
+        Side length, in blocks, of each town grid.
+    n_drivers:
+        Number of distinct drivers (the ITSP dataset has 458 vehicles).
+    n_days:
+        Length of the data-collection span in days (ITSP: ~944 days).
+    trips_per_driver_day:
+        Mean number of trips a driver makes per day.
+    query_sample_fraction:
+        Fraction of second-half trajectories sampled into the query set
+        (the paper samples 1 %).
+    max_queries:
+        Hard cap on the query-set size so benches stay tractable.
+    """
+
+    name: str
+    grid_towns: int
+    town_blocks: int
+    n_drivers: int
+    n_days: int
+    trips_per_driver_day: float
+    query_sample_fraction: float
+    max_queries: int
+
+
+_SCALES = {
+    "tiny": ExperimentScale(
+        name="tiny",
+        grid_towns=2,
+        town_blocks=4,
+        n_drivers=12,
+        n_days=56,
+        trips_per_driver_day=2.0,
+        query_sample_fraction=0.05,
+        max_queries=40,
+    ),
+    "small": ExperimentScale(
+        name="small",
+        grid_towns=3,
+        town_blocks=6,
+        n_drivers=60,
+        n_days=365,
+        trips_per_driver_day=2.2,
+        query_sample_fraction=0.01,
+        max_queries=120,
+    ),
+    "medium": ExperimentScale(
+        name="medium",
+        grid_towns=4,
+        town_blocks=8,
+        n_drivers=150,
+        n_days=540,
+        trips_per_driver_day=2.5,
+        query_sample_fraction=0.01,
+        max_queries=300,
+    ),
+    "large": ExperimentScale(
+        name="large",
+        grid_towns=6,
+        town_blocks=10,
+        n_drivers=458,
+        n_days=944,
+        trips_per_driver_day=2.5,
+        query_sample_fraction=0.01,
+        max_queries=1000,
+    ),
+}
+
+
+def available_scales() -> tuple:
+    """Return the names of all known experiment scales."""
+    return tuple(_SCALES)
+
+
+def get_scale(name: str | None = None) -> ExperimentScale:
+    """Resolve an :class:`ExperimentScale` by name.
+
+    ``None`` falls back to the ``REPRO_SCALE`` environment variable and then
+    to ``small``.
+
+    Raises
+    ------
+    KeyError
+        If the name is not a known scale.
+    """
+    if name is None:
+        name = os.environ.get("REPRO_SCALE", "small")
+    try:
+        return _SCALES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scale {name!r}; expected one of {sorted(_SCALES)}"
+        ) from None

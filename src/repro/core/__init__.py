@@ -1,0 +1,34 @@
+"""Core query processing: SPQs, partitioning, splitting, estimation, engine."""
+
+from .engine import QueryEngine, SubQueryOutcome, TripQueryResult
+from .estimator import ESTIMATOR_MODES, CardinalityEstimator
+from .intervals import FixedInterval, PeriodicInterval, TimeInterval, is_periodic
+from .naive import naive_match_count, naive_travel_times
+from .partitioning import PARTITIONER_NAMES, PathSegment, get_partitioner
+from .policies import BetaPolicy, uniform_beta_policy, zone_beta_policy
+from .splitting import longest_prefix_splitter, modify_subquery, regular_split
+from .spq import StrictPathQuery
+
+__all__ = [
+    "StrictPathQuery",
+    "FixedInterval",
+    "PeriodicInterval",
+    "TimeInterval",
+    "is_periodic",
+    "PathSegment",
+    "get_partitioner",
+    "PARTITIONER_NAMES",
+    "regular_split",
+    "longest_prefix_splitter",
+    "modify_subquery",
+    "CardinalityEstimator",
+    "ESTIMATOR_MODES",
+    "QueryEngine",
+    "TripQueryResult",
+    "SubQueryOutcome",
+    "naive_travel_times",
+    "naive_match_count",
+    "BetaPolicy",
+    "uniform_beta_policy",
+    "zone_beta_policy",
+]

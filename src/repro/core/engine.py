@@ -1,0 +1,303 @@
+"""The travel-time query engine: ``tripQuery`` (paper Procedure 6).
+
+Pipeline per query (Figure 2):
+
+1. the **Query Partitioner** splits the trip path into sub-queries using a
+   ``pi`` method,
+2. per sub-query, the optional **Cardinality Estimator** predicts the
+   result size and pre-emptively relaxes doomed sub-queries via the
+   **Sub-query Splitter** (``sigma``) without touching the temporal index,
+3. ``getTravelTimes`` retrieves the travel times from the SNT-index; empty
+   or insufficient results are relaxed and retried,
+4. later sub-queries' periodic intervals are adapted with shift-and-enlarge
+   (Dai et al.), and
+5. the **Histogram Builder** turns each travel-time set into a histogram
+   and convolves them into the answer for the full path.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import DEFAULT_BUCKET_WIDTH_S, DEFAULT_INTERVAL_LADDER_S
+from ..errors import QueryError
+from ..histogram.histogram import Histogram
+from ..network.graph import RoadNetwork
+from ..sntindex.index import SNTIndex
+from ..sntindex.procedures import count_matches, get_travel_times
+from .estimator import CardinalityEstimator
+from .intervals import is_periodic
+from .partitioning import get_partitioner
+from .splitting import longest_prefix_splitter, modify_subquery, regular_split
+from .spq import StrictPathQuery
+
+__all__ = ["SubQueryOutcome", "TripQueryResult", "QueryEngine"]
+
+
+@dataclass
+class SubQueryOutcome:
+    """One completed sub-query, in path order."""
+
+    query: StrictPathQuery
+    values: np.ndarray
+    histogram: Histogram
+    from_fallback: bool
+
+    @property
+    def mean(self) -> float:
+        """``X_bar_j`` — used by the sMAPE / weighted-error metrics."""
+        return float(self.values.mean())
+
+    @property
+    def path_length(self) -> int:
+        return self.query.length
+
+
+@dataclass
+class TripQueryResult:
+    """Answer for a full trip path."""
+
+    histogram: Histogram
+    outcomes: List[SubQueryOutcome]
+    #: Number of getTravelTimes index dispatches (including retries).
+    n_index_scans: int
+    #: Sub-queries skipped by the cardinality estimator before any scan.
+    n_estimator_skips: int
+    elapsed_s: float
+
+    @property
+    def estimated_mean(self) -> float:
+        """Sum of sub-query means — the paper's point estimate."""
+        return float(sum(o.mean for o in self.outcomes))
+
+    @property
+    def final_subpaths(self) -> List[Tuple[int, ...]]:
+        return [o.query.path for o in self.outcomes]
+
+    @property
+    def mean_subpath_length(self) -> float:
+        """Average final sub-query path length (Figure 7)."""
+        lengths = [o.path_length for o in self.outcomes]
+        return float(np.mean(lengths)) if lengths else 0.0
+
+
+class QueryEngine:
+    """Answers strict path queries over an SNT-index."""
+
+    def __init__(
+        self,
+        index: SNTIndex,
+        network: RoadNetwork,
+        partitioner: str = "pi_Z",
+        splitter: str = "regular",
+        ladder: Sequence[int] = DEFAULT_INTERVAL_LADDER_S,
+        bucket_width_s: float = DEFAULT_BUCKET_WIDTH_S,
+        estimator: Optional[CardinalityEstimator] = None,
+        max_relaxations: int = 10_000,
+        shift_and_enlarge: bool = True,
+        beta_policy=None,
+    ):
+        """
+        Parameters
+        ----------
+        index, network:
+            The SNT-index and its road network.
+        partitioner:
+            ``pi`` method name (``pi_1``..``pi_3``, ``pi_C``, ``pi_Z``,
+            ``pi_ZC``, ``pi_N``, ``pi_MDM``).
+        splitter:
+            ``"regular"`` (sigma_R) or ``"longest_prefix"`` (sigma_L).
+        ladder:
+            The interval-size list ``A`` in seconds (ascending).
+        bucket_width_s:
+            Histogram bucket width ``h``.
+        estimator:
+            Optional :class:`CardinalityEstimator`; ``None`` disables the
+            pre-check (every sub-query goes straight to the index).
+        max_relaxations:
+            Safety valve against pathological relaxation loops.
+        shift_and_enlarge:
+            Apply Dai et al.'s interval adaptation to later sub-queries
+            (Procedure 6 line 4).  Disable for the ablation study.
+        beta_policy:
+            Optional per-sub-query cardinality policy (paper Section 7
+            future work; see :mod:`repro.core.policies`).  Applied to the
+            initial partitioning.
+        """
+        if splitter not in ("regular", "longest_prefix"):
+            raise QueryError(f"unknown splitter {splitter!r}")
+        self.index = index
+        self.network = network
+        self.partitioner_name = partitioner
+        self._partition = get_partitioner(partitioner)
+        self.splitter_name = splitter
+        self.ladder = tuple(ladder)
+        self.bucket_width_s = float(bucket_width_s)
+        self.estimator = estimator
+        self._max_relaxations = max_relaxations
+        self.shift_and_enlarge = shift_and_enlarge
+        self.beta_policy = beta_policy
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+
+    def trip_query(
+        self,
+        query: StrictPathQuery,
+        exclude_ids: Sequence[int] = (),
+    ) -> TripQueryResult:
+        """Procedure 6: partition, retrieve, relax, convolve."""
+        started = time.perf_counter()
+        split_fn = self._make_split_fn(exclude_ids)
+
+        segments = self._partition(query.path, self.network)
+        queue = deque()
+        for segment in segments:
+            sub_path = query.path[segment.start : segment.end]
+            beta = (
+                self.beta_policy(sub_path, query.beta)
+                if self.beta_policy is not None
+                else query.beta
+            )
+            queue.append(
+                StrictPathQuery(
+                    path=sub_path,
+                    interval=query.interval,
+                    user=query.user if segment.keep_user else None,
+                    beta=beta,
+                )
+            )
+
+        outcomes: List[SubQueryOutcome] = []
+        shift_s = 0.0  # S_i: sum of earlier histogram minima
+        enlarge_s = 0.0  # R_i: sum of earlier histogram ranges
+        n_scans = 0
+        n_skips = 0
+        relaxations = 0
+        # One FM-index backward search per distinct sub-path per trip:
+        # estimator, retrieval, and interval-widening retries share it.
+        ranges_cache: dict = {}
+
+        while queue:
+            sub = queue.popleft()
+            ranges = ranges_cache.get(sub.path)
+            if ranges is None:
+                ranges = self.index.isa_ranges(sub.path)
+                ranges_cache[sub.path] = ranges
+
+            # Shift-and-enlarge (Procedure 6 line 4), once per chain.
+            if (
+                self.shift_and_enlarge
+                and is_periodic(sub.interval)
+                and not sub.shift_applied
+                and outcomes
+            ):
+                sub = sub.with_interval(
+                    sub.interval.shifted_and_enlarged(
+                        int(shift_s), int(np.ceil(enlarge_s))
+                    )
+                ).marked_shifted()
+
+            # Cardinality estimator pre-check (Section 4.4).
+            if (
+                self.estimator is not None
+                and sub.beta is not None
+                and self.estimator.estimate(sub, isa_ranges=ranges) < sub.beta
+            ):
+                n_skips += 1
+                relaxations += 1
+                if relaxations > self._max_relaxations:
+                    raise QueryError("relaxation limit exceeded")
+                queue.extendleft(
+                    reversed(
+                        modify_subquery(
+                            sub, self.ladder, self.index.t_max, split_fn
+                        )
+                    )
+                )
+                continue
+
+            result = get_travel_times(
+                self.index,
+                sub,
+                fallback_tt=self.network.estimate_tt,
+                exclude_ids=exclude_ids,
+                isa_ranges=ranges,
+            )
+            n_scans += 1
+            if result.is_empty:
+                relaxations += 1
+                if relaxations > self._max_relaxations:
+                    raise QueryError("relaxation limit exceeded")
+                queue.extendleft(
+                    reversed(
+                        modify_subquery(
+                            sub, self.ladder, self.index.t_max, split_fn
+                        )
+                    )
+                )
+                continue
+
+            histogram = Histogram.from_values(
+                result.values, self.bucket_width_s
+            )
+            outcomes.append(
+                SubQueryOutcome(
+                    query=sub,
+                    values=result.values,
+                    histogram=histogram,
+                    from_fallback=result.from_fallback,
+                )
+            )
+            shift_s += histogram.min_value
+            enlarge_s += histogram.value_range
+
+        histogram = self._convolve([o.histogram for o in outcomes])
+        return TripQueryResult(
+            histogram=histogram,
+            outcomes=outcomes,
+            n_index_scans=n_scans,
+            n_estimator_skips=n_skips,
+            elapsed_s=time.perf_counter() - started,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _make_split_fn(self, exclude_ids: Sequence[int]):
+        if self.splitter_name == "regular":
+            return regular_split
+
+        def counter(path, interval, user, limit):
+            return count_matches(
+                self.index,
+                path,
+                interval,
+                user=user,
+                exclude_ids=exclude_ids,
+                limit=limit,
+            )
+
+        return longest_prefix_splitter(counter)
+
+    def _convolve(self, histograms: List[Histogram]) -> Histogram:
+        """Convolve sub-query histograms into one probability histogram.
+
+        Each factor is normalised to unit mass first; convolving dozens of
+        raw count histograms would overflow float64 (the product of the
+        totals), and the normalised convolution describes the same
+        distribution.
+        """
+        if not histograms:
+            return Histogram(self.bucket_width_s, 0, np.zeros(0))
+        result = histograms[0].scaled_to_unit_mass()
+        for histogram in histograms[1:]:
+            result = result * histogram.scaled_to_unit_mass()
+        return result

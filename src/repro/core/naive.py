@@ -1,0 +1,92 @@
+"""Naive strict-path-query evaluation by linear scan.
+
+Serves as the correctness oracle for the SNT-index: scans the entire
+trajectory set, checks the strict sub-path condition, the temporal
+predicate on the *entry time of the first path segment* (``tr.s.t_i in
+I``), and the user filter, and returns travel times in ascending entry
+time with the ``beta`` cut applied — exactly the semantics of
+``getTravelTimes``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..trajectories.model import TrajectorySet
+from .intervals import TimeInterval
+from .spq import StrictPathQuery
+
+__all__ = ["naive_travel_times", "naive_match_count"]
+
+
+def _occurrences(
+    haystack: Tuple[int, ...], needle: Tuple[int, ...]
+) -> List[int]:
+    positions = []
+    m = len(needle)
+    for i in range(len(haystack) - m + 1):
+        if haystack[i : i + m] == needle:
+            positions.append(i)
+    return positions
+
+
+def _matches(
+    trajectories: TrajectorySet,
+    path: Sequence[int],
+    interval: TimeInterval,
+    user: Optional[int],
+    exclude_ids: Sequence[int],
+) -> List[Tuple[int, float]]:
+    """All matching occurrences as ``(entry_time, duration)`` pairs."""
+    needle = tuple(path)
+    excluded = set(exclude_ids)
+    found: List[Tuple[int, float]] = []
+    for trajectory in trajectories:
+        if trajectory.traj_id in excluded:
+            continue
+        if user is not None and trajectory.user_id != user:
+            continue
+        for position in _occurrences(trajectory.path, needle):
+            entry = trajectory.points[position].t
+            if interval.contains(entry):
+                duration = trajectory.duration_of_subpath(
+                    position, position + len(needle)
+                )
+                found.append((entry, duration))
+    found.sort(key=lambda pair: pair[0])
+    return found
+
+
+def naive_travel_times(
+    trajectories: TrajectorySet,
+    query: StrictPathQuery,
+    exclude_ids: Sequence[int] = (),
+) -> np.ndarray:
+    """Travel times a correct index must return for ``query``.
+
+    Matches the index semantics: occurrences ordered by entry time, cut at
+    ``beta``; periodic queries below ``beta`` return the empty set.
+    """
+    found = _matches(
+        trajectories, query.path, query.interval, query.user, exclude_ids
+    )
+    if query.beta is not None:
+        from .intervals import is_periodic
+
+        if is_periodic(query.interval) and len(found) < query.beta:
+            return np.empty(0, dtype=np.float64)
+        found = found[: query.beta]
+    return np.asarray([duration for _, duration in found], dtype=np.float64)
+
+
+def naive_match_count(
+    trajectories: TrajectorySet,
+    path: Sequence[int],
+    interval: TimeInterval,
+    user: Optional[int] = None,
+    exclude_ids: Sequence[int] = (),
+) -> int:
+    """Exact number of matching occurrences (q-error ground truth)."""
+    return len(_matches(trajectories, path, interval, user, exclude_ids))

@@ -1,0 +1,57 @@
+"""Per-sub-query cardinality policies (paper Section 7, future work).
+
+The paper's outlook suggests "approaches that use different values of the
+parameter beta for each sub-query, e.g., smaller sample size requirements
+in rural zones".  A *beta policy* maps an initial sub-query path to the
+cardinality requirement it should use; the engine applies it right after
+query partitioning.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from ..network.graph import RoadNetwork
+from ..network.zones import ZoneType
+
+__all__ = ["BetaPolicy", "uniform_beta_policy", "zone_beta_policy"]
+
+#: Maps (sub-path, requested beta) to the beta the sub-query should use.
+BetaPolicy = Callable[[Sequence[int], Optional[int]], Optional[int]]
+
+
+def uniform_beta_policy() -> BetaPolicy:
+    """The paper's default: every sub-query uses the query's beta."""
+
+    def policy(path: Sequence[int], beta: Optional[int]) -> Optional[int]:
+        return beta
+
+    return policy
+
+
+def zone_beta_policy(
+    network: RoadNetwork, rural_factor: float = 0.5, minimum: int = 2
+) -> BetaPolicy:
+    """Smaller sample-size requirements outside cities.
+
+    Sub-queries whose first segment lies in a RURAL or SUMMER_HOUSE zone
+    use ``max(minimum, round(beta * rural_factor))``; city and ambiguous
+    sub-paths keep the full requirement.  Rural segments have lower
+    traffic variability (little congestion), so fewer samples suffice —
+    and fewer relaxations mean faster queries.
+    """
+    if not 0 < rural_factor <= 1:
+        raise ValueError("rural_factor must be in (0, 1]")
+    if minimum < 1:
+        raise ValueError("minimum must be at least 1")
+    relaxed_zones = (ZoneType.RURAL, ZoneType.SUMMER_HOUSE)
+
+    def policy(path: Sequence[int], beta: Optional[int]) -> Optional[int]:
+        if beta is None or not path:
+            return beta
+        zone = network.edge(path[0]).zone
+        if zone in relaxed_zones:
+            return max(minimum, int(round(beta * rural_factor)))
+        return beta
+
+    return policy

@@ -1,0 +1,74 @@
+"""Strict path queries (paper Section 2.3).
+
+``Q = spq(P, I, f, beta)`` asks for the travel-time histogram of all
+trajectories that traverse path ``P`` without stops or detours, entered the
+path during ``I``, and satisfy the non-temporal filter ``f`` (here: an
+optional user-id predicate).  ``beta`` is the cardinality requirement: a
+periodic sub-query only succeeds when at least ``beta`` matching
+trajectories are found.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from ..errors import EmptyPathError
+from .intervals import TimeInterval
+
+__all__ = ["StrictPathQuery"]
+
+
+@dataclass(frozen=True)
+class StrictPathQuery:
+    """One (sub-)query ``spq(P, I, f, beta)``.
+
+    Attributes
+    ----------
+    path:
+        The edge-id sequence ``P``.
+    interval:
+        Temporal predicate ``I`` (fixed or periodic).
+    user:
+        Non-temporal filter ``f``: restrict to this user id, or ``None``.
+    beta:
+        Cardinality requirement; ``None`` retrieves all eligible
+        trajectories (the paper's "if beta is omitted").
+    shift_applied:
+        Engine bookkeeping: shift-and-enlarge is applied at most once per
+        sub-query chain (children of a split inherit the parent's already
+        shifted interval).
+    """
+
+    path: Tuple[int, ...]
+    interval: TimeInterval
+    user: Optional[int] = None
+    beta: Optional[int] = None
+    shift_applied: bool = False
+
+    def __post_init__(self):
+        object.__setattr__(self, "path", tuple(int(e) for e in self.path))
+        if not self.path:
+            raise EmptyPathError("strict path query requires a non-empty path")
+        if self.beta is not None and self.beta < 1:
+            raise EmptyPathError("beta must be positive when given")
+
+    @property
+    def length(self) -> int:
+        """``|P|``."""
+        return len(self.path)
+
+    def with_interval(self, interval: TimeInterval) -> "StrictPathQuery":
+        return replace(self, interval=interval)
+
+    def with_path(self, path: Tuple[int, ...]) -> "StrictPathQuery":
+        return replace(self, path=tuple(path))
+
+    def without_user(self) -> "StrictPathQuery":
+        return replace(self, user=None)
+
+    def without_beta(self) -> "StrictPathQuery":
+        return replace(self, beta=None)
+
+    def marked_shifted(self) -> "StrictPathQuery":
+        return replace(self, shift_applied=True)

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch one base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class NetworkError(ReproError):
+    """Raised for malformed road networks (unknown edges, bad attributes)."""
+
+
+class UnknownEdgeError(NetworkError):
+    """Raised when an edge id is not part of the road network."""
+
+    def __init__(self, edge_id: int):
+        super().__init__(f"edge id {edge_id!r} is not part of the network")
+        self.edge_id = edge_id
+
+
+class TrajectoryError(ReproError):
+    """Raised for malformed trajectories (non-monotone time, bad path)."""
+
+
+class IndexError_(ReproError):
+    """Raised for index construction or lookup failures.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class QueryError(ReproError):
+    """Raised for malformed strict path queries."""
+
+
+class EmptyPathError(QueryError):
+    """Raised when a query path contains no edges."""
+
+
+class IntervalError(QueryError):
+    """Raised for degenerate or inverted time intervals."""
+
+
+class EstimatorError(ReproError):
+    """Raised when a cardinality estimator is misconfigured."""

@@ -1,0 +1,67 @@
+"""Plain-text reporting helpers for the benchmark harness.
+
+The benchmarks regenerate the paper's figures as aligned text tables
+(series per method, one column per beta / partition size), annotated with
+the qualitative expectation from the paper so that paper-vs-measured is
+visible directly in the benchmark output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["format_table", "format_series", "mib"]
+
+
+def mib(n_bytes: float) -> float:
+    """Bytes to MiB."""
+    return n_bytes / (1024.0 * 1024.0)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned text table."""
+    columns = [
+        [str(h)] + [_fmt(row[i]) for row in rows]
+        for i, h in enumerate(headers)
+    ]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        str(h).ljust(widths[i]) for i, h in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rows:
+        lines.append(
+            "  ".join(_fmt(row[i]).ljust(widths[i]) for i in range(len(row)))
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    x_values: Sequence[object],
+    series: Dict[str, Sequence[float]],
+    value_format: str = "{:.2f}",
+) -> str:
+    """Render one figure as a table: one row per series, one column per x."""
+    headers = [x_label] + [str(x) for x in x_values]
+    rows: List[List[object]] = []
+    for name in series:
+        rows.append(
+            [name] + [value_format.format(v) for v in series[name]]
+        )
+    return format_table(headers, rows, title=title)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,28 @@
+"""FM-index substrate: suffix arrays, BWT, rank structures, backward search.
+
+This subpackage implements the spatial half of the SNT-index (paper
+Section 4.1.1): the trajectory set is serialised into one integer string,
+suffix-sorted, Burrows-Wheeler transformed, and stored in a Huffman-shaped
+wavelet tree so that the ISA range of any query path is found in
+O(|P| log |Sigma|) independent of the number of trajectories.
+"""
+
+from .bitvector import RankBitvector
+from .bwt import bwt_from_suffix_array, symbol_counts
+from .fm import FMIndex, TERMINATOR
+from .huffman import huffman_codes
+from .suffix_array import inverse_suffix_array, naive_suffix_array, suffix_array
+from .wavelet_tree import WaveletTree
+
+__all__ = [
+    "FMIndex",
+    "TERMINATOR",
+    "RankBitvector",
+    "WaveletTree",
+    "huffman_codes",
+    "suffix_array",
+    "naive_suffix_array",
+    "inverse_suffix_array",
+    "bwt_from_suffix_array",
+    "symbol_counts",
+]

@@ -1,0 +1,53 @@
+"""Burrows-Wheeler transform and symbol-count table for the FM-index.
+
+Paper Section 4.1.1: the FM-index consists of
+
+* ``C`` — for every symbol of the alphabet, the number of lexicographically
+  smaller symbols in the trajectory string, and
+* ``Tbwt`` — the Burrows-Wheeler transform ``Tbwt[i] = T[SA[i] - 1]``
+  (wrapping around at position 0).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["bwt_from_suffix_array", "symbol_counts"]
+
+
+def bwt_from_suffix_array(text: Sequence[int], sa: np.ndarray) -> np.ndarray:
+    """Compute ``Tbwt`` from ``text`` and its suffix array.
+
+    ``Tbwt[i] = T[SA[i] - 1]``; for ``SA[i] == 0`` the transform wraps to the
+    last character of the string (which, for trajectory strings, is always
+    the terminator ``$``).
+    """
+    arr = np.asarray(text, dtype=np.int64)
+    sa = np.asarray(sa, dtype=np.int64)
+    if arr.size != sa.size:
+        raise ValueError("text and suffix array must have equal length")
+    if arr.size == 0:
+        return arr.copy()
+    return arr[(sa - 1) % arr.size]
+
+
+def symbol_counts(text: Sequence[int], alphabet_size: int) -> np.ndarray:
+    """Build the ``C`` array of the FM-index.
+
+    ``C[c]`` is the number of symbols in ``text`` that are strictly smaller
+    than ``c``.  The returned array has ``alphabet_size + 1`` entries so that
+    ``C[c + 1] - C[c]`` is the number of occurrences of ``c`` and ``C[-1]``
+    equals ``len(text)``.
+    """
+    arr = np.asarray(text, dtype=np.int64)
+    if arr.size and int(arr.max()) >= alphabet_size:
+        raise ValueError(
+            f"symbol {int(arr.max())} out of range for alphabet size "
+            f"{alphabet_size}"
+        )
+    histogram = np.bincount(arr, minlength=alphabet_size)
+    counts = np.zeros(alphabet_size + 1, dtype=np.int64)
+    np.cumsum(histogram, out=counts[1:])
+    return counts

@@ -1,0 +1,118 @@
+"""FM-index over the concatenated trajectory string.
+
+Paper Section 4.1.1.  The index consists of the symbol-count array ``C`` and
+the Burrows-Wheeler transform ``Tbwt`` stored in a wavelet tree; backward
+search (Procedure 2, ``getISARange``) turns a path into the half-open range
+``[st, ed)`` of inverse-suffix-array values of the trajectory positions at
+which the path starts.  Its cost is O(|P| log |Sigma|) and is independent of
+the number of indexed trajectories.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .bwt import bwt_from_suffix_array, symbol_counts
+from .suffix_array import inverse_suffix_array, suffix_array
+from .wavelet_tree import WaveletTree
+
+__all__ = ["FMIndex", "TERMINATOR"]
+
+#: The `$` terminator symbol; smaller than every edge symbol (paper: `e > $`).
+TERMINATOR = 0
+
+
+class FMIndex:
+    """FM-index of an integer string, with the ISA kept for index building.
+
+    Like every BWT-based index the transform treats the text as cyclic.
+    Counts are exact (non-cyclic) whenever the text ends with a terminator
+    symbol that never occurs in query patterns — which the trajectory-string
+    convention (``T = P_tr0 $ ... $``, paths never contain ``$``) guarantees.
+
+    Parameters
+    ----------
+    text:
+        The trajectory string as a sequence of non-negative integers with
+        :data:`TERMINATOR` (0) separating trajectories.  Edge symbols must be
+        ``>= 1``.
+    alphabet_size:
+        Total alphabet size (``max symbol + 1``); lets multiple temporal
+        partitions share one alphabet even if a partition does not contain
+        every edge.
+    """
+
+    def __init__(self, text: Sequence[int], alphabet_size: int | None = None):
+        arr = np.asarray(text, dtype=np.int64)
+        if arr.size and arr.min() < 0:
+            raise ValueError("FM-index symbols must be non-negative")
+        if alphabet_size is None:
+            alphabet_size = int(arr.max()) + 1 if arr.size else 1
+        self._n = int(arr.size)
+        self._alphabet_size = int(alphabet_size)
+        sa = suffix_array(arr)
+        self.isa = inverse_suffix_array(sa)
+        self._counts = symbol_counts(arr, self._alphabet_size)
+        self._bwt = WaveletTree(bwt_from_suffix_array(arr, sa))
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def alphabet_size(self) -> int:
+        return self._alphabet_size
+
+    @property
+    def counts(self) -> np.ndarray:
+        """The ``C`` array; ``counts[c]`` = #symbols smaller than ``c``."""
+        return self._counts
+
+    @property
+    def bwt(self) -> WaveletTree:
+        """The wavelet tree holding ``Tbwt``."""
+        return self._bwt
+
+    def isa_range(self, path: Sequence[int]) -> Tuple[int, int]:
+        """Backward search: Procedure 2 (``getISARange``).
+
+        Returns the half-open ISA range ``[st, ed)`` of suffixes of the
+        trajectory string that start with ``path``; ``(0, 0)`` when the path
+        does not occur.
+        """
+        if len(path) == 0:
+            raise ValueError("isa_range requires a non-empty path")
+        symbol = int(path[-1])
+        if not 0 <= symbol < self._alphabet_size:
+            return (0, 0)
+        st = int(self._counts[symbol])
+        ed = int(self._counts[symbol + 1])
+        for position in range(len(path) - 2, -1, -1):
+            if st >= ed:
+                return (0, 0)
+            symbol = int(path[position])
+            if not 0 <= symbol < self._alphabet_size:
+                return (0, 0)
+            base = int(self._counts[symbol])
+            rank_st, rank_ed = self._bwt.rank_pair(symbol, st, ed)
+            st = base + rank_st
+            ed = base + rank_ed
+        if st >= ed:
+            return (0, 0)
+        return (st, ed)
+
+    def count(self, path: Sequence[int]) -> int:
+        """Number of occurrences of ``path`` in the trajectory string."""
+        st, ed = self.isa_range(path)
+        return ed - st
+
+    def contains(self, path: Sequence[int]) -> bool:
+        """Whether any trajectory traverses ``path`` (paper Section 4.1:
+        "it can be established from just the FM-index whether a given path
+        is traversed at all")."""
+        return self.count(path) > 0
+
+    def size_in_bytes(self) -> int:
+        """Succinct size of the index: wavelet tree + ``C`` (8 B each)."""
+        return self._bwt.size_in_bytes() + 8 * (self._alphabet_size + 1)

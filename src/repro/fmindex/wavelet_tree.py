@@ -1,0 +1,128 @@
+"""Huffman-shaped wavelet tree over an integer alphabet.
+
+Stores a sequence so that ``rank_c(i)`` — occurrences of symbol ``c`` in the
+prefix ``[0, i)`` — runs in O(|code(c)|) time, i.e. O(log |Sigma|) for a
+balanced shape and less for frequent symbols under the Huffman shape (paper
+Section 4.1.1: "The Burrows-Wheeler transform is stored in a wavelet tree to
+enable rank queries in O(log |Sigma|) time").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from .bitvector import RankBitvector
+from .huffman import huffman_codes
+
+__all__ = ["WaveletTree"]
+
+
+class WaveletTree:
+    """Immutable wavelet tree supporting ``rank`` and ``access``."""
+
+    def __init__(self, text: Sequence[int]):
+        arr = np.asarray(text, dtype=np.int64)
+        self._n = int(arr.size)
+        frequencies: Dict[int, int] = {}
+        if self._n:
+            symbols, counts = np.unique(arr, return_counts=True)
+            frequencies = {int(s): int(c) for s, c in zip(symbols, counts)}
+        self._codes: Dict[int, Tuple[int, ...]] = huffman_codes(frequencies)
+        self._decode: Dict[Tuple[int, ...], int] = {
+            code: sym for sym, code in self._codes.items()
+        }
+        self._nodes: Dict[Tuple[int, ...], RankBitvector] = {}
+        if self._n:
+            self._build(arr)
+
+    def _build(self, arr: np.ndarray) -> None:
+        max_symbol = int(arr.max())
+        code_len = np.zeros(max_symbol + 1, dtype=np.int64)
+        for symbol, code in self._codes.items():
+            code_len[symbol] = len(code)
+
+        pending = [((), arr)]
+        while pending:
+            prefix, seq = pending.pop()
+            depth = len(prefix)
+            # Lookup table: next code bit for every symbol at this depth.
+            # Symbols that cannot appear in this node are left at 0; they
+            # never influence the constructed bits.
+            bit_at = np.zeros(max_symbol + 1, dtype=bool)
+            for symbol, code in self._codes.items():
+                if len(code) > depth and code[:depth] == prefix:
+                    bit_at[symbol] = bool(code[depth])
+            bits = bit_at[seq]
+            self._nodes[prefix] = RankBitvector(bits)
+            left = seq[~bits]
+            right = seq[bits]
+            if left.size and code_len[left[0]] > depth + 1:
+                pending.append((prefix + (0,), left))
+            if right.size and code_len[right[0]] > depth + 1:
+                pending.append((prefix + (1,), right))
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def codes(self) -> Dict[int, Tuple[int, ...]]:
+        """Mapping from symbol to Huffman code (tuple of bits)."""
+        return dict(self._codes)
+
+    def rank(self, symbol: int, i: int) -> int:
+        """Occurrences of ``symbol`` in positions ``[0, i)``."""
+        if not 0 <= i <= self._n:
+            raise IndexError(f"rank position {i} out of range [0, {self._n}]")
+        code = self._codes.get(int(symbol))
+        if code is None:  # symbol never occurs in the text
+            return 0
+        position = i
+        prefix: Tuple[int, ...] = ()
+        for bit in code:
+            bits = self._nodes[prefix]
+            position = bits.rank1(position) if bit else bits.rank0(position)
+            prefix = prefix + (bit,)
+        return position
+
+    def rank_pair(self, symbol: int, i: int, j: int) -> Tuple[int, int]:
+        """Compute ``(rank(symbol, i), rank(symbol, j))`` in one descent.
+
+        Backward search (Procedure 2) always needs the rank at both interval
+        endpoints; sharing the descent halves the node lookups.
+        """
+        code = self._codes.get(int(symbol))
+        if code is None:
+            return 0, 0
+        pos_i, pos_j = i, j
+        prefix: Tuple[int, ...] = ()
+        for bit in code:
+            bits = self._nodes[prefix]
+            if bit:
+                pos_i = bits.rank1(pos_i)
+                pos_j = bits.rank1(pos_j)
+            else:
+                pos_i = bits.rank0(pos_i)
+                pos_j = bits.rank0(pos_j)
+            prefix = prefix + (bit,)
+        return pos_i, pos_j
+
+    def access(self, i: int) -> int:
+        """Return the symbol stored at position ``i``."""
+        if not 0 <= i < self._n:
+            raise IndexError(f"access position {i} out of range [0, {self._n})")
+        prefix: Tuple[int, ...] = ()
+        position = i
+        while prefix not in self._decode:
+            bits = self._nodes[prefix]
+            bit = int(bits[position])
+            position = bits.rank1(position) if bit else bits.rank0(position)
+            prefix = prefix + (bit,)
+        return self._decode[prefix]
+
+    def size_in_bytes(self) -> int:
+        """Total succinct size of all node bitvectors plus the code table."""
+        node_bytes = sum(bits.size_in_bytes() for bits in self._nodes.values())
+        # Code table: symbol id (8 B) + code length (1 B) per symbol.
+        return node_bytes + 9 * len(self._codes)

@@ -1,0 +1,12 @@
+"""Travel-time histograms, convolution, smoothing, and time-of-day stores."""
+
+from .histogram import Histogram
+from .likelihood import log_likelihood, smoothed_density
+from .tod import TimeOfDayHistogramStore
+
+__all__ = [
+    "Histogram",
+    "log_likelihood",
+    "smoothed_density",
+    "TimeOfDayHistogramStore",
+]

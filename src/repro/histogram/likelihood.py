@@ -1,0 +1,67 @@
+"""Smoothed histogram likelihood (paper Section 5.3.3).
+
+The quality of a result histogram ``H`` is judged by the log-likelihood of
+the true travel time ``a`` under the discrete density
+
+    p_H(x) = gamma * f(x, H) + (1 - gamma) * U(x)
+
+where ``f(x, H)`` is the mass fraction of the bucket containing ``x`` and
+``U`` is a uniform distribution over ``[t_min, t_max)``.  The smoothing
+keeps ``p_H`` strictly positive everywhere in the support.
+
+The paper mixes a bucket *mass* with a uniform *density*; to obtain a
+proper density we divide the bucket mass by the bucket width.  The choice
+is monotone in the bucket mass, applied identically to every method, and
+therefore preserves all comparisons the paper draws from Figure 8.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .histogram import Histogram
+
+__all__ = ["smoothed_density", "log_likelihood"]
+
+
+def smoothed_density(
+    value: float,
+    histogram: Histogram,
+    gamma: float,
+    t_min: float,
+    t_max: float,
+) -> float:
+    """Evaluate ``p_H(value)`` with uniform smoothing.
+
+    Parameters
+    ----------
+    value:
+        The observed travel time.
+    histogram:
+        The estimated travel-time histogram.
+    gamma:
+        Mixture weight of the histogram component, ``0 < gamma < 1``.
+    t_min, t_max:
+        Support of the uniform smoothing component.
+    """
+    if not 0.0 < gamma < 1.0:
+        raise ValueError("gamma must be strictly between 0 and 1")
+    if t_max <= t_min:
+        raise ValueError("t_max must exceed t_min")
+    uniform = 1.0 / (t_max - t_min)
+    if histogram.is_empty():
+        histogram_density = 0.0
+    else:
+        histogram_density = histogram.mass_at(value) / histogram.bucket_width
+    return gamma * histogram_density + (1.0 - gamma) * uniform
+
+
+def log_likelihood(
+    value: float,
+    histogram: Histogram,
+    gamma: float,
+    t_min: float,
+    t_max: float,
+) -> float:
+    """``log L(value, H)`` under the smoothed density."""
+    return math.log(smoothed_density(value, histogram, gamma, t_min, t_max))

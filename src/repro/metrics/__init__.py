@@ -1,0 +1,15 @@
+"""Evaluation metrics: sMAPE, weighted error, log-likelihood, q-error."""
+
+from .accuracy import smape, symmetric_ape, weighted_error_terms
+from .likelihood import average_log_likelihood
+from .qerror import mean_q_error_log10, q_error, q_error_log10
+
+__all__ = [
+    "smape",
+    "symmetric_ape",
+    "weighted_error_terms",
+    "average_log_likelihood",
+    "q_error",
+    "q_error_log10",
+    "mean_q_error_log10",
+]

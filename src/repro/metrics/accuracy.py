@@ -1,0 +1,70 @@
+"""Point-estimate accuracy metrics (paper Sections 5.3.1-5.3.2).
+
+``sMAPE`` compares the sum of sub-query travel-time means against the true
+trip duration; the ``weighted error`` scores each sub-query against the
+trajectory's true duration over that sub-path, weighted by the sub-path's
+share of the trip length.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["smape", "symmetric_ape", "weighted_error_terms"]
+
+
+def symmetric_ape(estimate: float, truth: float) -> float:
+    """Symmetric absolute percentage error of one estimate, in percent.
+
+    ``200 * |est - truth| / (est + truth)``; bounded by [0, 200].
+    """
+    denominator = 0.5 * (estimate + truth)
+    if denominator <= 0:
+        raise ValueError("sMAPE requires positive estimate + truth")
+    return 100.0 * abs(estimate - truth) / denominator
+
+
+def smape(estimates: Sequence[float], truths: Sequence[float]) -> float:
+    """Mean symmetric absolute percentage error over a query set."""
+    if len(estimates) != len(truths):
+        raise ValueError("estimates and truths must align")
+    if not estimates:
+        raise ValueError("sMAPE of an empty query set is undefined")
+    return float(
+        np.mean(
+            [symmetric_ape(e, t) for e, t in zip(estimates, truths)]
+        )
+    )
+
+
+def weighted_error_terms(
+    sub_means: Sequence[float],
+    sub_truths: Sequence[float],
+    sub_lengths_m: Sequence[float],
+) -> float:
+    """Weighted error of one query (inner sum of paper Section 5.3.2).
+
+    Parameters
+    ----------
+    sub_means:
+        ``X_bar_j`` — retrieved travel-time mean per final sub-query.
+    sub_truths:
+        ``a^{P_j}_tr`` — the query trajectory's true duration per sub-path.
+    sub_lengths_m:
+        Sub-path lengths in meters; converted into weights ``w_j`` summing
+        to one.
+    """
+    if not (len(sub_means) == len(sub_truths) == len(sub_lengths_m)):
+        raise ValueError("per-sub-query arrays must align")
+    if not sub_means:
+        raise ValueError("weighted error needs at least one sub-query")
+    total_length = float(sum(sub_lengths_m))
+    if total_length <= 0:
+        raise ValueError("total path length must be positive")
+    error = 0.0
+    for mean, truth, length in zip(sub_means, sub_truths, sub_lengths_m):
+        weight = length / total_length
+        error += weight * symmetric_ape(mean, truth)
+    return error

@@ -1,0 +1,39 @@
+"""Histogram-quality metric: average log-likelihood (paper Section 5.3.3)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..config import DEFAULT_GAMMA
+from ..histogram.histogram import Histogram
+from ..histogram.likelihood import log_likelihood
+
+__all__ = ["average_log_likelihood"]
+
+
+def average_log_likelihood(
+    truths: Sequence[float],
+    histograms: Sequence[Histogram],
+    gamma: float = DEFAULT_GAMMA,
+    t_min: float = 0.0,
+    t_max: float | None = None,
+) -> float:
+    """``(1/|Q|) sum_i log L(a_tr_i, H_i)`` over the query set.
+
+    ``t_min``/``t_max`` bound the uniform smoothing support; ``t_max``
+    defaults to twice the largest true duration, covering every observed
+    value.
+    """
+    if len(truths) != len(histograms):
+        raise ValueError("truths and histograms must align")
+    if not truths:
+        raise ValueError("log-likelihood of an empty set is undefined")
+    if t_max is None:
+        t_max = 2.0 * max(truths) + 1.0
+    values = [
+        log_likelihood(truth, histogram, gamma, t_min, t_max)
+        for truth, histogram in zip(truths, histograms)
+    ]
+    return float(np.mean(values))

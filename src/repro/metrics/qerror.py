@@ -1,0 +1,43 @@
+"""Q-error for cardinality estimates (paper Section 5.3.4).
+
+``q = max(beta_hat' / n', n' / beta_hat')`` with both sides clamped to at
+least one (Stefanoni et al.), so empty results and zero estimates remain
+well-defined.  The paper reports the q-error in orders of magnitude
+(``10^y``), i.e. ``log10(q)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["q_error", "q_error_log10", "mean_q_error_log10"]
+
+
+def q_error(estimate: float, actual: float) -> float:
+    """The q-error of one estimate; always >= 1."""
+    estimate_clamped = max(float(estimate), 1.0)
+    actual_clamped = max(float(actual), 1.0)
+    return max(
+        estimate_clamped / actual_clamped, actual_clamped / estimate_clamped
+    )
+
+
+def q_error_log10(estimate: float, actual: float) -> float:
+    """Orders of magnitude between estimate and truth (paper Fig. 11a)."""
+    return math.log10(q_error(estimate, actual))
+
+
+def mean_q_error_log10(
+    estimates: Sequence[float], actuals: Sequence[float]
+) -> float:
+    """Average log10 q-error over a query set."""
+    if len(estimates) != len(actuals):
+        raise ValueError("estimates and actuals must align")
+    if not estimates:
+        raise ValueError("q-error of an empty set is undefined")
+    return float(
+        np.mean([q_error_log10(e, a) for e, a in zip(estimates, actuals)])
+    )

@@ -1,0 +1,32 @@
+"""Road-network substrate: graph model, categories, zones, generation, routing."""
+
+from .categories import MAIN_ROAD_CATEGORIES, RoadCategory
+from .generator import SyntheticNetwork, TownInfo, generate_network
+from .graph import Edge, RoadNetwork
+from .io import (
+    load_network,
+    load_trajectories,
+    save_network,
+    save_trajectories,
+)
+from .routing import alternative_paths, shortest_path
+from .zones import ZoneGeometry, ZoneMap, ZoneType
+
+__all__ = [
+    "save_network",
+    "load_network",
+    "save_trajectories",
+    "load_trajectories",
+    "Edge",
+    "RoadNetwork",
+    "RoadCategory",
+    "MAIN_ROAD_CATEGORIES",
+    "ZoneType",
+    "ZoneGeometry",
+    "ZoneMap",
+    "SyntheticNetwork",
+    "TownInfo",
+    "generate_network",
+    "shortest_path",
+    "alternative_paths",
+]

@@ -1,0 +1,79 @@
+"""Road segment categories.
+
+The paper's network (OpenStreetMap North Denmark) distinguishes 17 segment
+categories (Section 5.1.1); category-based partitioning (pi_C) splits query
+paths at category changes, and the pi_MDM method applies user predicates
+only on *main* roads (motorways and other major connecting roads).
+
+We adopt the standard OSM ``highway`` categories.  Each category carries a
+default speed limit used when a segment's own limit is unknown — the paper
+uses the median of known limits per category; the generator leaves a
+fraction of limits unset to exercise exactly that fallback.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["RoadCategory", "MAIN_ROAD_CATEGORIES"]
+
+
+class RoadCategory(Enum):
+    """The 17 OSM-style segment categories used by the reproduction."""
+
+    MOTORWAY = "motorway"
+    MOTORWAY_LINK = "motorway_link"
+    TRUNK = "trunk"
+    TRUNK_LINK = "trunk_link"
+    PRIMARY = "primary"
+    PRIMARY_LINK = "primary_link"
+    SECONDARY = "secondary"
+    SECONDARY_LINK = "secondary_link"
+    TERTIARY = "tertiary"
+    TERTIARY_LINK = "tertiary_link"
+    UNCLASSIFIED = "unclassified"
+    RESIDENTIAL = "residential"
+    LIVING_STREET = "living_street"
+    SERVICE = "service"
+    ROAD = "road"
+    TRACK = "track"
+    PATH = "path"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Categories considered "main roads" by the pi_MDM partitioning method
+#: (paper Section 6.1: "motorways or other major roads connecting cities").
+MAIN_ROAD_CATEGORIES = frozenset(
+    {
+        RoadCategory.MOTORWAY,
+        RoadCategory.MOTORWAY_LINK,
+        RoadCategory.TRUNK,
+        RoadCategory.TRUNK_LINK,
+        RoadCategory.PRIMARY,
+        RoadCategory.PRIMARY_LINK,
+    }
+)
+
+#: Typical speed limits (km/h) per category, used as a last-resort fallback
+#: when no segment of a category has a known limit.
+TYPICAL_SPEED_LIMIT_KMH = {
+    RoadCategory.MOTORWAY: 110,
+    RoadCategory.MOTORWAY_LINK: 80,
+    RoadCategory.TRUNK: 90,
+    RoadCategory.TRUNK_LINK: 70,
+    RoadCategory.PRIMARY: 80,
+    RoadCategory.PRIMARY_LINK: 60,
+    RoadCategory.SECONDARY: 60,
+    RoadCategory.SECONDARY_LINK: 50,
+    RoadCategory.TERTIARY: 50,
+    RoadCategory.TERTIARY_LINK: 50,
+    RoadCategory.UNCLASSIFIED: 50,
+    RoadCategory.RESIDENTIAL: 50,
+    RoadCategory.LIVING_STREET: 15,
+    RoadCategory.SERVICE: 30,
+    RoadCategory.ROAD: 50,
+    RoadCategory.TRACK: 30,
+    RoadCategory.PATH: 10,
+}

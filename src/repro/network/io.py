@@ -1,0 +1,117 @@
+"""Network and trajectory (de)serialisation.
+
+JSON round-trips for road networks and a compact CSV-like format for
+trajectory sets, so generated worlds can be persisted and reloaded
+without regeneration (the paper's setup loads "trajectory and map data
+from disk", Section 6.3).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from ..errors import NetworkError
+from ..trajectories.model import Trajectory, TrajectoryPoint, TrajectorySet
+from .categories import RoadCategory
+from .graph import Edge, RoadNetwork
+from .zones import ZoneType
+
+__all__ = [
+    "save_network",
+    "load_network",
+    "save_trajectories",
+    "load_trajectories",
+]
+
+PathLike = Union[str, Path]
+
+
+def save_network(network: RoadNetwork, path: PathLike) -> None:
+    """Write a road network to a JSON file."""
+    payload = {
+        "vertices": [
+            {"id": v, "x": network.position(v)[0], "y": network.position(v)[1]}
+            for v in network.vertices()
+        ],
+        "edges": [
+            {
+                "id": e.edge_id,
+                "source": e.source,
+                "target": e.target,
+                "category": e.category.value,
+                "zone": e.zone.value,
+                "length_m": e.length_m,
+                "speed_limit_kmh": e.speed_limit_kmh,
+            }
+            for e in network.edges()
+        ],
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_network(path: PathLike) -> RoadNetwork:
+    """Read a road network from a JSON file written by :func:`save_network`."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise NetworkError(f"cannot load network from {path}: {exc}") from exc
+    network = RoadNetwork()
+    for vertex in payload.get("vertices", ()):
+        network.add_vertex(vertex["id"], (vertex["x"], vertex["y"]))
+    for edge in payload.get("edges", ()):
+        network.add_edge(
+            Edge(
+                edge_id=edge["id"],
+                source=edge["source"],
+                target=edge["target"],
+                category=RoadCategory(edge["category"]),
+                zone=ZoneType(edge["zone"]),
+                length_m=edge["length_m"],
+                speed_limit_kmh=edge["speed_limit_kmh"],
+            )
+        )
+    return network
+
+
+def save_trajectories(trajectories: TrajectorySet, path: PathLike) -> None:
+    """Write a trajectory set as line-oriented records.
+
+    Format per line: ``traj_id,user_id,edge:t:tt;edge:t:tt;...`` — close
+    to the ITSP export format (trajectory id, vehicle id, segment id,
+    entry time, time on segment).
+    """
+    lines = []
+    for trajectory in trajectories:
+        points = ";".join(
+            f"{p.edge}:{p.t}:{p.tt:g}" for p in trajectory.points
+        )
+        lines.append(f"{trajectory.traj_id},{trajectory.user_id},{points}")
+    Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
+
+
+def load_trajectories(path: PathLike) -> TrajectorySet:
+    """Read a trajectory set written by :func:`save_trajectories`."""
+    trajectories = []
+    text = Path(path).read_text()
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            traj_id, user_id, points_raw = line.split(",", 2)
+            points = []
+            for token in points_raw.split(";"):
+                edge, t, tt = token.split(":")
+                points.append(
+                    TrajectoryPoint(int(edge), int(t), float(tt))
+                )
+        except ValueError as exc:
+            raise NetworkError(
+                f"{path}:{line_number}: malformed trajectory line"
+            ) from exc
+        trajectories.append(
+            Trajectory(int(traj_id), int(user_id), points)
+        )
+    return TrajectorySet(trajectories)

@@ -1,0 +1,15 @@
+"""The adapted SNT-index: FM-index partitions + extended temporal forest."""
+
+from .index import BuildStats, SNTIndex
+from .partition import IndexPartition, build_partition
+from .procedures import TravelTimeResult, count_matches, get_travel_times
+
+__all__ = [
+    "SNTIndex",
+    "BuildStats",
+    "IndexPartition",
+    "build_partition",
+    "TravelTimeResult",
+    "get_travel_times",
+    "count_matches",
+]

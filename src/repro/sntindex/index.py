@@ -1,0 +1,261 @@
+"""The adapted SNT-index (paper Section 4).
+
+Composition of
+
+* one FM-index per temporal partition (spatial part, Section 4.1.1/4.3.2),
+* the shared temporal forest with extended leaves ``(isa, d, TT, a, seq,
+  w)`` (Sections 4.1.2-4.1.3), built over CSS-trees (Section 4.3.1) or
+  B+-trees,
+* the associative container ``U: d -> u`` for user filtering, and
+* per-(segment, partition) time-of-day histograms for the accurate
+  cardinality-estimator modes (Section 4.4).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import SECONDS_PER_DAY
+from ..errors import IndexError_
+from ..histogram.tod import TimeOfDayHistogramStore
+from ..temporal.forest import EdgeTemporalIndex, TemporalForest
+from ..temporal.records import TraversalColumns
+from ..trajectories.model import TrajectorySet
+from .partition import IndexPartition, build_partition
+
+__all__ = ["SNTIndex", "BuildStats"]
+
+
+@dataclass
+class BuildStats:
+    """Timings and sizes recorded while building the index (Fig. 10c)."""
+
+    setup_seconds: float
+    n_partitions: int
+    n_trajectories: int
+    n_traversals: int
+
+
+class SNTIndex:
+    """In-memory NCT index answering strict path queries."""
+
+    def __init__(
+        self,
+        partitions: List[IndexPartition],
+        forest: TemporalForest,
+        users: np.ndarray,
+        tod_store: TimeOfDayHistogramStore,
+        t_min: int,
+        t_max: int,
+        alphabet_size: int,
+        kind: str,
+        partition_days: Optional[int],
+        build_stats: BuildStats,
+    ):
+        self.partitions = partitions
+        self.forest = forest
+        self.users = users
+        self.tod_store = tod_store
+        self.t_min = t_min
+        self.t_max = t_max
+        self.alphabet_size = alphabet_size
+        self.kind = kind
+        self.partition_days = partition_days
+        self.build_stats = build_stats
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def build(
+        cls,
+        trajectories: TrajectorySet,
+        alphabet_size: int,
+        partition_days: Optional[int] = None,
+        kind: str = "css",
+        tod_bucket_s: int = 600,
+    ) -> "SNTIndex":
+        """Build the index from a trajectory set.
+
+        Parameters
+        ----------
+        trajectories:
+            The map-matched NCT set ``T``.
+        alphabet_size:
+            ``max edge id + 1`` (use ``network.alphabet_size``).
+        partition_days:
+            Temporal partition size in days, or ``None`` for a single
+            partition (the paper's FULL configuration).
+        kind:
+            Temporal tree type: ``"css"`` (default) or ``"btree"``.
+        tod_bucket_s:
+            Bucket width of the estimator's time-of-day histograms.
+        """
+        if len(trajectories) == 0:
+            raise IndexError_("cannot build an index from zero trajectories")
+        started = time.perf_counter()
+        t_min, t_max = trajectories.time_span()
+
+        # Assign trajectories to partitions by start time.
+        groups: Dict[int, List] = {}
+        if partition_days is None:
+            groups[0] = list(trajectories)
+        else:
+            if partition_days < 1:
+                raise IndexError_("partition_days must be >= 1")
+            window = partition_days * SECONDS_PER_DAY
+            for trajectory in trajectories:
+                groups.setdefault(
+                    (trajectory.start_time - t_min) // window, []
+                ).append(trajectory)
+
+        partitions: List[IndexPartition] = []
+        row_chunks: List[dict] = []
+        w_chunks: List[np.ndarray] = []
+        for w, bucket in enumerate(sorted(groups)):
+            members = groups[bucket]
+            if partition_days is None:
+                lo, hi = t_min, t_max
+            else:
+                window = partition_days * SECONDS_PER_DAY
+                lo = t_min + bucket * window
+                hi = lo + window
+            partition, rows = build_partition(
+                w, members, alphabet_size, lo, hi
+            )
+            partitions.append(partition)
+            row_chunks.append(rows)
+            w_chunks.append(np.full(rows["edge"].size, w, dtype=np.int32))
+
+        merged = {
+            name: np.concatenate([chunk[name] for chunk in row_chunks])
+            for name in ("edge", "t", "isa", "d", "tt", "a", "seq")
+        }
+        merged_w = np.concatenate(w_chunks)
+
+        # Group rows by edge and build the forest.
+        order = np.argsort(merged["edge"], kind="stable")
+        edges_sorted = merged["edge"][order]
+        unique_edges, first_positions = np.unique(
+            edges_sorted, return_index=True
+        )
+        boundaries = np.append(first_positions, edges_sorted.size)
+        per_edge: Dict[int, TraversalColumns] = {}
+        tod_store = TimeOfDayHistogramStore(bucket_width_s=tod_bucket_s)
+        for i, edge_id in enumerate(unique_edges):
+            rows = order[boundaries[i] : boundaries[i + 1]]
+            columns = TraversalColumns.from_arrays(
+                t=merged["t"][rows],
+                isa=merged["isa"][rows],
+                d=merged["d"][rows],
+                tt=merged["tt"][rows],
+                a=merged["a"][rows],
+                seq=merged["seq"][rows],
+                w=merged_w[rows],
+            )
+            per_edge[int(edge_id)] = columns
+            for w in np.unique(columns.w):
+                tod_store.add_traversals(
+                    int(edge_id),
+                    columns.t[columns.w == w],
+                    partition=int(w),
+                )
+        forest = TemporalForest.build(per_edge, kind=kind)
+
+        # Associative container U: d -> u (dense trajectory ids).
+        max_id = max(tr.traj_id for tr in trajectories)
+        users = np.full(max_id + 1, -1, dtype=np.int64)
+        for trajectory in trajectories:
+            users[trajectory.traj_id] = trajectory.user_id
+
+        stats = BuildStats(
+            setup_seconds=time.perf_counter() - started,
+            n_partitions=len(partitions),
+            n_trajectories=len(trajectories),
+            n_traversals=int(merged["edge"].size),
+        )
+        return cls(
+            partitions=partitions,
+            forest=forest,
+            users=users,
+            tod_store=tod_store,
+            t_min=t_min,
+            t_max=t_max,
+            alphabet_size=alphabet_size,
+            kind=kind,
+            partition_days=partition_days,
+            build_stats=stats,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Spatial lookups
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_partitions(self) -> int:
+        return len(self.partitions)
+
+    def isa_ranges(self, path: Sequence[int]) -> List[Tuple[int, int, int]]:
+        """Per-partition ISA ranges ``(w, st, ed)``; empty ranges omitted.
+
+        This is the temporally partitioned ``getISARange`` (Section 4.3.2).
+        """
+        ranges: List[Tuple[int, int, int]] = []
+        for partition in self.partitions:
+            st, ed = partition.isa_range(path)
+            if st < ed:
+                ranges.append((partition.w, st, ed))
+        return ranges
+
+    def path_traversal_count(self, path: Sequence[int]) -> int:
+        """``c_P = ed - st`` summed over partitions (estimator input)."""
+        return sum(ed - st for _, st, ed in self.isa_ranges(path))
+
+    def contains_path(self, path: Sequence[int]) -> bool:
+        """Established from the FM-indexes alone (Section 4.1)."""
+        return bool(self.isa_ranges(path))
+
+    def edge_index(self, edge: int) -> Optional[EdgeTemporalIndex]:
+        return self.forest.get(edge)
+
+    def user_of(self, traj_id: int) -> int:
+        if not 0 <= traj_id < self.users.size:
+            raise IndexError_(f"unknown trajectory id {traj_id}")
+        return int(self.users[traj_id])
+
+    def build_tod_store(self, bucket_width_s: int) -> TimeOfDayHistogramStore:
+        """Build a fresh time-of-day histogram store at another grain.
+
+        Used by the Figure 10b experiment to cost 1/5/10-minute stores
+        without rebuilding the FM-indexes and forest.
+        """
+        store = TimeOfDayHistogramStore(bucket_width_s=bucket_width_s)
+        for edge in self.forest.edges():
+            columns = self.forest.get(edge).columns
+            for w in np.unique(columns.w):
+                store.add_traversals(
+                    int(edge), columns.t[columns.w == w], partition=int(w)
+                )
+        return store
+
+    # ------------------------------------------------------------------ #
+    # Size accounting (real structures; Fig. 10 uses experiments.memory)
+    # ------------------------------------------------------------------ #
+
+    def component_sizes(self) -> Dict[str, int]:
+        """Succinct/modelled sizes per component, in bytes."""
+        wavelet = sum(p.fm.bwt.size_in_bytes() for p in self.partitions)
+        counters = 8 * (self.alphabet_size + 1) * len(self.partitions)
+        with_w = self.partition_days is not None
+        return {
+            "WT": wavelet,
+            "C": counters,
+            "user": 8 * int(self.users.size),
+            "Forest": self.forest.size_in_bytes(with_partition_id=with_w),
+            "tod_histograms": self.tod_store.size_in_bytes(),
+        }

@@ -1,0 +1,122 @@
+"""One temporal partition of the SNT-index (paper Section 4.3.2).
+
+Temporal partitioning splits the trajectory set by trajectory start time
+into ``T_1 ... T_W``; each partition owns its own trajectory string, hence
+its own FM-index (wavelet tree + segment counter ``C``), while all
+partitions share the temporal forest, whose leaves carry the partition id
+``w``.  Backward search must therefore be repeated per partition and can
+return a different ISA range for the same path in every partition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..fmindex import FMIndex
+from ..trajectories.model import Trajectory
+
+__all__ = ["IndexPartition", "build_partition"]
+
+
+@dataclass
+class IndexPartition:
+    """FM-index plus bookkeeping for one temporal partition."""
+
+    w: int
+    fm: FMIndex
+    n_trajectories: int
+    n_traversals: int
+    #: Start-time range [t_lo, t_hi) of trajectories assigned to this
+    #: partition (informational; assignment happens at build time).
+    t_lo: int
+    t_hi: int
+
+    def isa_range(self, path: Sequence[int]) -> Tuple[int, int]:
+        return self.fm.isa_range(path)
+
+
+def build_partition(
+    w: int,
+    trajectories: Sequence[Trajectory],
+    alphabet_size: int,
+    t_lo: int,
+    t_hi: int,
+) -> Tuple[IndexPartition, dict]:
+    """Build the FM-index of one partition and its traversal rows.
+
+    Returns the partition plus a dict of flat numpy row arrays
+    (``edge, t, isa, d, tt, a, seq``) for all traversals, which the index
+    builder merges into the shared temporal forest.
+    """
+    texts: List[np.ndarray] = []
+    total = 0
+    lengths = np.empty(len(trajectories), dtype=np.int64)
+    for i, trajectory in enumerate(trajectories):
+        path = np.fromiter(
+            (p.edge for p in trajectory.points),
+            dtype=np.int64,
+            count=len(trajectory.points),
+        )
+        texts.append(path)
+        texts.append(np.zeros(1, dtype=np.int64))
+        lengths[i] = path.size
+        total += path.size
+
+    text = (
+        np.concatenate(texts) if texts else np.zeros(0, dtype=np.int64)
+    )
+    fm = FMIndex(text, alphabet_size=alphabet_size)
+
+    # Traversal positions in the trajectory string: trajectory i occupies
+    # [start_i, start_i + l_i) with start offsets skipping terminators.
+    starts = np.zeros(len(trajectories), dtype=np.int64)
+    if len(trajectories) > 1:
+        np.cumsum(lengths[:-1] + 1, out=starts[1:])
+
+    edge = np.empty(total, dtype=np.int64)
+    t = np.empty(total, dtype=np.int64)
+    isa = np.empty(total, dtype=np.int64)
+    d = np.empty(total, dtype=np.int64)
+    tt = np.empty(total, dtype=np.float64)
+    a = np.empty(total, dtype=np.float64)
+    seq = np.empty(total, dtype=np.int32)
+
+    cursor = 0
+    for i, trajectory in enumerate(trajectories):
+        l = int(lengths[i])
+        sl = slice(cursor, cursor + l)
+        edge[sl] = texts[2 * i]
+        t[sl] = np.fromiter(
+            (p.t for p in trajectory.points), dtype=np.int64, count=l
+        )
+        tts = np.fromiter(
+            (p.tt for p in trajectory.points), dtype=np.float64, count=l
+        )
+        tt[sl] = tts
+        a[sl] = np.cumsum(tts)
+        seq[sl] = np.arange(l, dtype=np.int32)
+        d[sl] = trajectory.traj_id
+        isa[sl] = fm.isa[starts[i] : starts[i] + l]
+        cursor += l
+
+    partition = IndexPartition(
+        w=w,
+        fm=fm,
+        n_trajectories=len(trajectories),
+        n_traversals=total,
+        t_lo=t_lo,
+        t_hi=t_hi,
+    )
+    rows = {
+        "edge": edge,
+        "t": t,
+        "isa": isa,
+        "d": d,
+        "tt": tt,
+        "a": a,
+        "seq": seq,
+    }
+    return partition, rows

@@ -1,0 +1,215 @@
+"""Travel-time retrieval procedures (paper Procedures 3-5).
+
+``buildMap`` scans the temporal index of the *first* segment of a query
+path, filtering by time interval, ISA range and user predicate, and maps
+``(d, seq)`` to the antecedent aggregate ``a - TT``.  ``probeMap`` scans
+the *last* segment and emits ``a_last - (a_first - TT_first)`` — the exact
+travel time over the whole path — for every record whose ``(d, seq + 1 -
+l)`` hits the map.  ``get_travel_times`` (Procedure 5) glues both together
+behind the FM-index ISA range.
+
+The implementation is column-oriented: the forest returns candidate row
+positions for the time predicate, and ISA/user filters are numpy masks.
+Matches are taken in ascending entry time and cut at ``beta``, mirroring
+the paper's early termination (Procedure 3 line 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.intervals import FixedInterval, PeriodicInterval, TimeInterval, is_periodic
+from ..core.spq import StrictPathQuery
+from .index import SNTIndex
+
+__all__ = ["TravelTimeResult", "get_travel_times", "count_matches"]
+
+
+@dataclass
+class TravelTimeResult:
+    """Outcome of one strict path sub-query."""
+
+    #: Retrieved travel times ``X`` (or the single fallback estimate).
+    values: np.ndarray
+    #: Number of trajectories matched in the first-segment scan.
+    n_matched: int
+    #: True when ``values`` holds the ``estimateTT`` speed-limit fallback.
+    from_fallback: bool = False
+    #: True when a periodic query matched fewer than ``beta`` trajectories
+    #: (Procedure 5 line 7) and therefore returned no values.
+    insufficient: bool = False
+
+    @property
+    def is_empty(self) -> bool:
+        return self.values.size == 0
+
+
+def _interval_rows(index_edge, interval: TimeInterval) -> np.ndarray:
+    if is_periodic(interval):
+        return index_edge.rows_periodic(interval.start_tod, interval.duration)
+    return index_edge.rows_fixed(interval.start, interval.end)
+
+
+def _first_segment_matches(
+    index: SNTIndex,
+    query: StrictPathQuery,
+    exclude_ids: Sequence[int] = (),
+    beta: Optional[int] = None,
+    isa_ranges=None,
+) -> Optional[Tuple[np.ndarray, "np.ndarray"]]:
+    """Rows of the first segment matching all predicates, beta-cut.
+
+    Returns ``(row_positions, columns)`` of the first segment's index, or
+    ``None`` when the path does not occur / the edge has no data.
+    ``isa_ranges`` lets callers share one backward search between the
+    cardinality estimate and the retrieval (the engine does this).
+    """
+    ranges = (
+        isa_ranges if isa_ranges is not None else index.isa_ranges(query.path)
+    )
+    if not ranges:
+        return None
+    phi0 = index.edge_index(query.path[0])
+    if phi0 is None or len(phi0) == 0:
+        return None
+    rows = _interval_rows(phi0, query.interval)
+    if rows.size == 0:
+        columns = phi0.columns
+        return rows, columns
+    columns = phi0.columns
+
+    st_per_w = np.zeros(index.n_partitions, dtype=np.int64)
+    ed_per_w = np.zeros(index.n_partitions, dtype=np.int64)
+    for w, st, ed in ranges:
+        st_per_w[w], ed_per_w[w] = st, ed
+    w = columns.w[rows]
+    isa = columns.isa[rows]
+    mask = (isa >= st_per_w[w]) & (isa < ed_per_w[w])
+
+    if query.user is not None:
+        mask &= index.users[columns.d[rows]] == query.user
+    for excluded in exclude_ids:
+        mask &= columns.d[rows] != excluded
+
+    selected = rows[mask]
+    if beta is not None and selected.size > beta:
+        selected = selected[:beta]  # ascending entry time (Procedure 3)
+    return selected, columns
+
+
+def get_travel_times(
+    index: SNTIndex,
+    query: StrictPathQuery,
+    fallback_tt: Optional[Callable[[int], float]] = None,
+    exclude_ids: Sequence[int] = (),
+    isa_ranges=None,
+) -> TravelTimeResult:
+    """Procedure 5: retrieve ``X`` for ``spq(P, I, f, beta)``.
+
+    Parameters
+    ----------
+    index:
+        The SNT-index.
+    query:
+        The (sub-)query.
+    fallback_tt:
+        ``estimateTT`` callable for the speed-limit fallback on empty
+        single-segment results (Procedure 5 lines 12-13); usually
+        ``network.estimate_tt``.
+    exclude_ids:
+        Trajectory ids excluded from matching (used by the evaluation
+        workload to keep the query trajectory itself out of its answer).
+    """
+    empty = np.empty(0, dtype=np.float64)
+    matches = _first_segment_matches(
+        index,
+        query,
+        exclude_ids=exclude_ids,
+        beta=query.beta,
+        isa_ranges=isa_ranges,
+    )
+    l = query.length
+
+    if matches is None:
+        selected = np.empty(0, dtype=np.int64)
+        columns = None
+    else:
+        selected, columns = matches
+
+    n_matched = int(selected.size)
+    if (
+        query.beta is not None
+        and n_matched < query.beta
+        and is_periodic(query.interval)
+    ):
+        # Procedure 5 line 7: periodic queries fail below the cardinality
+        # requirement; fixed-interval queries proceed regardless of beta.
+        return TravelTimeResult(empty, n_matched, insufficient=True)
+
+    if n_matched == 0:
+        if l == 1 and fallback_tt is not None:
+            estimate = np.asarray([fallback_tt(query.path[0])])
+            return TravelTimeResult(estimate, 0, from_fallback=True)
+        return TravelTimeResult(empty, 0)
+
+    if l == 1:
+        # The first segment is the last: X is the TT column directly.
+        values = columns.tt[selected].astype(np.float64, copy=True)
+        return TravelTimeResult(values, n_matched)
+
+    # buildMap: (d, seq) -> a - TT for the first segment (Procedure 3).
+    first_d = columns.d[selected]
+    first_seq = columns.seq[selected]
+    diffs = columns.a[selected] - columns.tt[selected]
+    probe_map: Dict[Tuple[int, int], float] = {
+        (int(first_d[i]), int(first_seq[i])): float(diffs[i])
+        for i in range(n_matched)
+    }
+
+    # probeMap over the last segment (Procedure 4).
+    phi_last = index.edge_index(query.path[-1])
+    if phi_last is None:  # cannot happen when the ISA range was non-empty
+        return TravelTimeResult(empty, n_matched)
+    last = phi_last.columns
+    candidates = np.nonzero(np.isin(last.d, first_d))[0]
+    values = []
+    for row in candidates:
+        key = (int(last.d[row]), int(last.seq[row]) + 1 - l)
+        diff = probe_map.get(key)
+        if diff is not None:
+            values.append(float(last.a[row]) - diff)
+    result = np.asarray(values, dtype=np.float64)
+    if result.size == 0 and l == 1 and fallback_tt is not None:
+        return TravelTimeResult(
+            np.asarray([fallback_tt(query.path[0])]), 0, from_fallback=True
+        )
+    return TravelTimeResult(result, n_matched)
+
+
+def count_matches(
+    index: SNTIndex,
+    path: Sequence[int],
+    interval: TimeInterval,
+    user: Optional[int] = None,
+    exclude_ids: Sequence[int] = (),
+    limit: Optional[int] = None,
+) -> int:
+    """Exact number of trajectories matching a strict path predicate.
+
+    Used by the longest-prefix splitter (``sigma_L``) and as the q-error
+    ground truth ``n = |T|``.  ``limit`` caps the count (early
+    termination) when only a threshold comparison is needed.
+    """
+    query = StrictPathQuery(
+        path=tuple(path), interval=interval, user=user, beta=limit
+    )
+    matches = _first_segment_matches(
+        index, query, exclude_ids=exclude_ids, beta=limit
+    )
+    if matches is None:
+        return 0
+    selected, _ = matches
+    return int(selected.size)

@@ -1,0 +1,20 @@
+"""Temporal index substrate: B+-tree, CSS-tree, and the per-edge forest.
+
+Implements the temporal half of the SNT-index (paper Sections 4.1.2, 4.1.3
+and 4.3.1): for every road segment a tree keyed by traversal entry time
+whose leaves carry ``(isa, d, TT, a, seq, w)``.
+"""
+
+from .btree import BPlusTree
+from .css_tree import CSSTree
+from .forest import EdgeTemporalIndex, TemporalForest
+from .records import LeafRecord, TraversalColumns
+
+__all__ = [
+    "BPlusTree",
+    "CSSTree",
+    "EdgeTemporalIndex",
+    "TemporalForest",
+    "LeafRecord",
+    "TraversalColumns",
+]

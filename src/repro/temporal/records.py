@@ -1,0 +1,133 @@
+"""Leaf records of the extended temporal index (paper Section 4.1.3).
+
+For every traversal of a segment the temporal index stores a record
+
+    t -> (isa, d, TT, a, seq, w)
+
+where ``t`` is the entry timestamp, ``isa`` the inverse-suffix-array value of
+the traversal's position in the trajectory string, ``d`` the trajectory id,
+``TT`` the traversal time of the segment, ``seq`` the sequence number of the
+segment within the trajectory, ``a`` the running travel-time aggregate
+``a = sum(TT_0..TT_seq)`` and ``w`` the temporal-partition identifier
+(Section 4.3.2).
+
+Records are kept in a column store (:class:`TraversalColumns`) sorted by
+``t`` so that both tree variants index the same payload rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, NamedTuple
+
+import numpy as np
+
+__all__ = ["LeafRecord", "TraversalColumns"]
+
+
+class LeafRecord(NamedTuple):
+    """One materialised leaf entry, mirroring Figure 4 of the paper."""
+
+    t: int
+    isa: int
+    d: int
+    tt: float
+    a: float
+    seq: int
+    w: int
+
+
+@dataclass
+class TraversalColumns:
+    """Columnar storage for the traversal records of one segment.
+
+    All arrays share the same length and are sorted by ``t`` (ties broken by
+    insertion order).  The class is append-friendly: :meth:`from_arrays`
+    bulk-loads, and tree structures reference rows by position.
+    """
+
+    t: np.ndarray
+    isa: np.ndarray
+    d: np.ndarray
+    tt: np.ndarray
+    a: np.ndarray
+    seq: np.ndarray
+    w: np.ndarray
+
+    @classmethod
+    def from_arrays(
+        cls,
+        t: np.ndarray,
+        isa: np.ndarray,
+        d: np.ndarray,
+        tt: np.ndarray,
+        a: np.ndarray,
+        seq: np.ndarray,
+        w: np.ndarray | None = None,
+    ) -> "TraversalColumns":
+        """Bulk-load columns, sorting every column by ``t``."""
+        t = np.asarray(t, dtype=np.int64)
+        order = np.argsort(t, kind="stable")
+        if w is None:
+            w = np.zeros(t.size, dtype=np.int32)
+        return cls(
+            t=t[order],
+            isa=np.asarray(isa, dtype=np.int64)[order],
+            d=np.asarray(d, dtype=np.int64)[order],
+            tt=np.asarray(tt, dtype=np.float64)[order],
+            a=np.asarray(a, dtype=np.float64)[order],
+            seq=np.asarray(seq, dtype=np.int32)[order],
+            w=np.asarray(w, dtype=np.int32)[order],
+        )
+
+    @classmethod
+    def empty(cls) -> "TraversalColumns":
+        return cls(
+            t=np.empty(0, np.int64),
+            isa=np.empty(0, np.int64),
+            d=np.empty(0, np.int64),
+            tt=np.empty(0, np.float64),
+            a=np.empty(0, np.float64),
+            seq=np.empty(0, np.int32),
+            w=np.empty(0, np.int32),
+        )
+
+    def __len__(self) -> int:
+        return int(self.t.size)
+
+    def record(self, row: int) -> LeafRecord:
+        """Materialise row ``row`` as a :class:`LeafRecord`."""
+        return LeafRecord(
+            t=int(self.t[row]),
+            isa=int(self.isa[row]),
+            d=int(self.d[row]),
+            tt=float(self.tt[row]),
+            a=float(self.a[row]),
+            seq=int(self.seq[row]),
+            w=int(self.w[row]),
+        )
+
+    def __iter__(self) -> Iterator[LeafRecord]:
+        for row in range(len(self)):
+            yield self.record(row)
+
+    def validate(self) -> None:
+        """Check column invariants; raises ``ValueError`` on violation."""
+        n = len(self)
+        for name in ("isa", "d", "tt", "a", "seq", "w"):
+            if getattr(self, name).size != n:
+                raise ValueError(f"column {name!r} length mismatch")
+        if n and np.any(np.diff(self.t) < 0):
+            raise ValueError("timestamps are not sorted")
+        if n and np.any(self.tt <= 0):
+            raise ValueError("traversal times must be positive")
+
+    def size_in_bytes(self, with_partition_id: bool = True) -> int:
+        """Byte size of one row times row count, using the C++-layout model.
+
+        Layout per leaf record (paper Figure 4): ``t`` 8 B, ``isa`` 8 B,
+        ``d`` 4 B, ``TT`` 4 B, ``a`` 4 B, ``seq`` 4 B and, when temporal
+        partitioning is enabled, ``w`` 2 B.
+        """
+        per_row = 8 + 8 + 4 + 4 + 4 + 4 + (2 if with_partition_id else 0)
+        return per_row * len(self)

@@ -1,0 +1,25 @@
+"""Trajectory substrate: NCT model, GPS pipeline, and workload generation."""
+
+from .congestion import congestion_multiplier, is_weekend
+from .generator import Driver, GeneratedDataset, generate_dataset
+from .gps import GPSPoint, simulate_gps, split_on_gaps
+from .mapmatch import MapMatcher
+from .model import Trajectory, TrajectoryPoint, TrajectorySet
+from .preprocess import matched_edges_to_points, trajectories_from_gps
+
+__all__ = [
+    "Trajectory",
+    "TrajectoryPoint",
+    "TrajectorySet",
+    "GPSPoint",
+    "simulate_gps",
+    "split_on_gaps",
+    "MapMatcher",
+    "matched_edges_to_points",
+    "trajectories_from_gps",
+    "congestion_multiplier",
+    "is_weekend",
+    "Driver",
+    "GeneratedDataset",
+    "generate_dataset",
+]

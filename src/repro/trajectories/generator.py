@@ -1,0 +1,275 @@
+"""Synthetic ITSP-like trajectory workload (substitution, DESIGN.md §3).
+
+Reproduces the *data process* behind the paper's ITSP dataset
+(Section 5.1.3): a fixed population of drivers (458 vehicles in the paper)
+making daily commutes and errands over a multi-year span.  Travel times are
+generated so that the effects the evaluation measures actually exist in the
+data:
+
+* **time-of-day congestion** (periodic predicates matter),
+* **turn costs** that depend on the *next* edge taken (path-based estimates
+  beat segment-level convolution, which can only average over all turners),
+* **per-trip driver mood** (within-trip correlation that convolution of
+  independent segment histograms misses), and
+* **per-driver speed factors** (user predicates matter, mostly on main
+  roads where the spread between drivers is widest).
+
+Entry timestamps are integer seconds from the dataset epoch (day 0 is a
+Monday); traversal times are whole seconds >= 1, so ``t_{i+1} = t_i + TT_i``
+holds exactly and timestamps are strictly increasing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import SECONDS_PER_DAY, ExperimentScale, get_scale
+from ..network.categories import MAIN_ROAD_CATEGORIES, RoadCategory
+from ..network.generator import SyntheticNetwork, generate_network
+from ..network.graph import RoadNetwork
+from ..network.routing import alternative_paths
+from .congestion import congestion_multiplier, is_weekend
+from .model import Trajectory, TrajectoryPoint, TrajectorySet
+
+__all__ = ["Driver", "GeneratedDataset", "generate_dataset"]
+
+#: Per-edge multiplicative noise (sigma of the lognormal).
+EDGE_NOISE_SIGMA = 0.10
+#: Per-trip "mood" noise shared by all edges of a trip.
+TRIP_NOISE_SIGMA = 0.07
+#: Spread of per-driver speed factors.
+DRIVER_SPEED_SIGMA = 0.09
+
+
+@dataclass
+class Driver:
+    """A driver with home/work anchors and pre-computed route pools."""
+
+    user_id: int
+    home_vertex: int
+    work_vertex: int
+    speed_factor: float
+    commute_routes: List[List[int]]
+    return_routes: List[List[int]]
+    errand_routes: List[List[int]]
+
+
+@dataclass
+class GeneratedDataset:
+    """Everything the experiments need: world, drivers and trajectories."""
+
+    synthetic: SyntheticNetwork
+    drivers: List[Driver]
+    trajectories: TrajectorySet
+    scale: ExperimentScale
+
+    @property
+    def network(self) -> RoadNetwork:
+        return self.synthetic.network
+
+
+class _TripSimulator:
+    """Simulates traversal times along a route at a departure time."""
+
+    def __init__(self, network: RoadNetwork, rng: np.random.Generator):
+        self._network = network
+        self._rng = rng
+        self._edge_cache: Dict[int, Tuple[float, RoadCategory, object]] = {}
+        self._turn_cache: Dict[Tuple[int, int], float] = {}
+
+    def _edge_static(self, edge_id: int) -> Tuple[float, RoadCategory, object]:
+        cached = self._edge_cache.get(edge_id)
+        if cached is None:
+            edge = self._network.edge(edge_id)
+            free_flow_s = 3.6 * edge.length_m / self._network.speed_limit(edge_id)
+            cached = (free_flow_s, edge.category, edge.zone)
+            self._edge_cache[edge_id] = cached
+        return cached
+
+    def _turn_base_delay(self, from_edge: int, to_edge: int) -> float:
+        """Geometric turn cost: straight < right < left < U-turn.
+
+        The delay is charged to the *incoming* edge's traversal time but
+        depends on the outgoing edge — the path-dependence that makes
+        strict-path estimates more accurate than segment-level ones.
+        """
+        cached = self._turn_cache.get((from_edge, to_edge))
+        if cached is not None:
+            return cached
+        network = self._network
+        a = network.edge(from_edge)
+        b = network.edge(to_edge)
+        ax, ay = network.position(a.source)
+        bx, by = network.position(a.target)
+        cx, cy = network.position(b.target)
+        v1 = (bx - ax, by - ay)
+        v2 = (cx - bx, cy - by)
+        cross = v1[0] * v2[1] - v1[1] * v2[0]
+        dot = v1[0] * v2[0] + v1[1] * v2[1]
+        angle = math.atan2(cross, dot)  # signed, left positive
+        absolute = abs(angle)
+        if absolute < math.radians(30):
+            delay = 0.5
+        elif absolute > math.radians(150):
+            delay = 8.0  # U-turn
+        elif angle < 0:
+            delay = 2.5  # right turn
+        else:
+            delay = 5.0  # left turn across traffic
+        # Entering a strictly bigger road: yield / merge wait.
+        if b.category in MAIN_ROAD_CATEGORIES and a.category not in MAIN_ROAD_CATEGORIES:
+            delay += 4.0
+        self._turn_cache[(from_edge, to_edge)] = delay
+        return delay
+
+    def simulate(
+        self, route: Sequence[int], departure_s: int, speed_factor: float
+    ) -> List[TrajectoryPoint]:
+        """Generate the (edge, t, TT) sequence for one trip."""
+        l = len(route)
+        mood = float(np.exp(self._rng.normal(0.0, TRIP_NOISE_SIGMA)))
+        edge_noise = np.exp(self._rng.normal(0.0, EDGE_NOISE_SIGMA, size=l))
+        points: List[TrajectoryPoint] = []
+        t = int(departure_s)
+        for i, edge_id in enumerate(route):
+            free_flow_s, category, zone = self._edge_static(edge_id)
+            congestion = congestion_multiplier(t, category, zone)
+            travel = free_flow_s / speed_factor * congestion * mood * edge_noise[i]
+            if i + 1 < l:
+                turn = self._turn_base_delay(edge_id, route[i + 1])
+                travel += turn * congestion
+            tt = max(1, int(round(travel)))
+            points.append(TrajectoryPoint(edge=edge_id, t=t, tt=float(tt)))
+            t += tt
+        return points
+
+
+def _make_drivers(
+    synthetic: SyntheticNetwork, scale: ExperimentScale, rng: np.random.Generator
+) -> List[Driver]:
+    towns = synthetic.towns
+    drivers: List[Driver] = []
+    for user_id in range(scale.n_drivers):
+        home_town = towns[int(rng.integers(len(towns)))]
+        # 60 % commute to a different town (motorway users).
+        if len(towns) > 1 and rng.random() < 0.6:
+            other = [t for t in towns if t.index != home_town.index]
+            work_town = other[int(rng.integers(len(other)))]
+        else:
+            work_town = home_town
+        home = int(rng.choice(home_town.home_vertices))
+        work = int(rng.choice(work_town.work_vertices))
+        if home == work:
+            work = int(rng.choice(work_town.work_vertices))
+        network = synthetic.network
+        commute = alternative_paths(network, home, work, k=2)
+        back = alternative_paths(network, work, home, k=2)
+        if not commute or not back:
+            continue  # disconnected pick; skip this driver slot
+        errands: List[List[int]] = []
+        candidates = list(work_town.work_vertices) + list(
+            home_town.work_vertices
+        )
+        if synthetic.summer_vertices and rng.random() < 0.25:
+            candidates += list(synthetic.summer_vertices)
+        for _ in range(3):
+            destination = int(rng.choice(candidates))
+            if destination == home:
+                continue
+            out = alternative_paths(network, home, destination, k=1)
+            ret = alternative_paths(network, destination, home, k=1)
+            if out and ret:
+                errands.append(out[0])
+                errands.append(ret[0])
+        speed = float(
+            np.clip(np.exp(rng.normal(0.0, DRIVER_SPEED_SIGMA)), 0.75, 1.35)
+        )
+        drivers.append(
+            Driver(
+                user_id=user_id,
+                home_vertex=home,
+                work_vertex=work,
+                speed_factor=speed,
+                commute_routes=commute,
+                return_routes=back,
+                errand_routes=errands or commute,
+            )
+        )
+    return drivers
+
+
+def _pick_route(routes: List[List[int]], rng: np.random.Generator) -> List[int]:
+    """Mostly the preferred variant, occasionally the alternative."""
+    if len(routes) == 1 or rng.random() < 0.85:
+        return routes[0]
+    return routes[int(rng.integers(1, len(routes)))]
+
+
+def generate_dataset(
+    scale: ExperimentScale | str | None = None,
+    seed: int = 0,
+    synthetic: Optional[SyntheticNetwork] = None,
+) -> GeneratedDataset:
+    """Generate the full synthetic dataset for an experiment scale.
+
+    Deterministic for a given ``(scale, seed)``; the network can be shared
+    by passing ``synthetic`` explicitly.
+    """
+    if not isinstance(scale, ExperimentScale):
+        scale = get_scale(scale if isinstance(scale, str) else None)
+    rng = np.random.default_rng(seed + 1)
+    if synthetic is None:
+        synthetic = generate_network(scale, seed=seed)
+    drivers = _make_drivers(synthetic, scale, rng)
+    simulator = _TripSimulator(synthetic.network, rng)
+
+    trajectories: List[Trajectory] = []
+    next_id = 0
+    extra_rate_weekday = max(0.0, scale.trips_per_driver_day - 1.8)
+    extra_rate_weekend = scale.trips_per_driver_day * 0.55
+    for day in range(scale.n_days):
+        day_start = day * SECONDS_PER_DAY
+        weekend = is_weekend(day_start)
+        for driver in drivers:
+            trips: List[Tuple[List[int], int]] = []
+            if not weekend and rng.random() < 0.9:
+                out_departure = day_start + int(
+                    rng.normal(7 * 3600 + 50 * 60, 20 * 60)
+                )
+                back_departure = day_start + int(
+                    rng.normal(16 * 3600 + 30 * 60, 40 * 60)
+                )
+                trips.append((_pick_route(driver.commute_routes, rng), out_departure))
+                trips.append((_pick_route(driver.return_routes, rng), back_departure))
+            n_extra = int(
+                rng.poisson(extra_rate_weekend if weekend else extra_rate_weekday)
+            )
+            for _ in range(n_extra):
+                route = driver.errand_routes[
+                    int(rng.integers(len(driver.errand_routes)))
+                ]
+                departure = day_start + int(rng.uniform(9 * 3600, 21 * 3600))
+                trips.append((route, departure))
+            for route, departure in trips:
+                if not route:
+                    continue
+                points = simulator.simulate(route, departure, driver.speed_factor)
+                trajectories.append(
+                    Trajectory(
+                        traj_id=next_id,
+                        user_id=driver.user_id,
+                        points=points,
+                    )
+                )
+                next_id += 1
+
+    return GeneratedDataset(
+        synthetic=synthetic,
+        drivers=drivers,
+        trajectories=TrajectorySet(trajectories),
+        scale=scale,
+    )

@@ -1,0 +1,267 @@
+"""Integration tests: the QueryEngine against the naive oracle and the
+relaxation behaviour on realistic data."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CardinalityEstimator,
+    FixedInterval,
+    PeriodicInterval,
+    QueryEngine,
+    SNTIndex,
+    StrictPathQuery,
+    generate_dataset,
+    naive_travel_times,
+)
+from repro.errors import QueryError
+from repro.sntindex import get_travel_times
+
+
+@pytest.fixture(scope="module")
+def world():
+    dataset = generate_dataset("tiny", seed=0)
+    index = SNTIndex.build(
+        dataset.trajectories, dataset.network.alphabet_size
+    )
+    return dataset, index
+
+
+class TestOracleAgreement:
+    """get_travel_times must return exactly what the linear scan returns."""
+
+    def test_random_subpath_queries(self, world):
+        dataset, index = world
+        rng = np.random.default_rng(1)
+        checked = 0
+        for _ in range(150):
+            trajectory = dataset.trajectories[
+                int(rng.integers(len(dataset.trajectories)))
+            ]
+            l = len(trajectory)
+            i = int(rng.integers(0, l))
+            j = int(rng.integers(i + 1, min(l, i + 6) + 1))
+            interval = (
+                PeriodicInterval.around(trajectory.start_time, 1800)
+                if rng.random() < 0.5
+                else FixedInterval(0, index.t_max)
+            )
+            user = trajectory.user_id if rng.random() < 0.3 else None
+            beta = [None, 5, 20][int(rng.integers(3))]
+            query = StrictPathQuery(
+                path=trajectory.path[i:j],
+                interval=interval,
+                user=user,
+                beta=beta,
+            )
+            got = sorted(get_travel_times(index, query).values.tolist())
+            want = sorted(
+                naive_travel_times(dataset.trajectories, query).tolist()
+            )
+            assert got == want, query
+            checked += 1
+        assert checked == 150
+
+    def test_exclusion_matches_oracle(self, world):
+        dataset, index = world
+        trajectory = dataset.trajectories[10]
+        query = StrictPathQuery(
+            path=trajectory.path[:2], interval=FixedInterval(0, index.t_max)
+        )
+        got = sorted(
+            get_travel_times(
+                index, query, exclude_ids=(trajectory.traj_id,)
+            ).values.tolist()
+        )
+        want = sorted(
+            naive_travel_times(
+                dataset.trajectories, query, exclude_ids=(trajectory.traj_id,)
+            ).tolist()
+        )
+        assert got == want
+
+
+class TestTripQuery:
+    @pytest.fixture(scope="class")
+    def engine(self, world):
+        dataset, index = world
+        return QueryEngine(index, dataset.network, partitioner="pi_Z")
+
+    def long_trip(self, dataset, min_len=8):
+        return next(tr for tr in dataset.trajectories if len(tr) >= min_len)
+
+    def test_returns_nonempty_histogram(self, world, engine):
+        dataset, _ = world
+        trip = self.long_trip(dataset)
+        result = engine.trip_query(
+            StrictPathQuery(
+                path=trip.path,
+                interval=PeriodicInterval.around(trip.start_time, 900),
+                beta=10,
+            ),
+            exclude_ids=(trip.traj_id,),
+        )
+        assert result.histogram.total > 0
+        assert result.outcomes
+
+    def test_final_subpaths_cover_path_in_order(self, world, engine):
+        dataset, _ = world
+        trip = self.long_trip(dataset)
+        result = engine.trip_query(
+            StrictPathQuery(
+                path=trip.path,
+                interval=PeriodicInterval.around(trip.start_time, 900),
+                beta=10,
+            ),
+            exclude_ids=(trip.traj_id,),
+        )
+        flattened = tuple(
+            edge for subpath in result.final_subpaths for edge in subpath
+        )
+        assert flattened == trip.path
+
+    def test_estimated_mean_positive(self, world, engine):
+        dataset, _ = world
+        trip = self.long_trip(dataset)
+        result = engine.trip_query(
+            StrictPathQuery(
+                path=trip.path,
+                interval=PeriodicInterval.around(trip.start_time, 900),
+                beta=5,
+            ),
+            exclude_ids=(trip.traj_id,),
+        )
+        assert result.estimated_mean > 0
+        assert result.mean_subpath_length >= 1.0
+
+    def test_all_partitioners_run(self, world):
+        dataset, index = world
+        trip = self.long_trip(dataset)
+        query = StrictPathQuery(
+            path=trip.path,
+            interval=PeriodicInterval.around(trip.start_time, 900),
+            beta=5,
+        )
+        for name in (
+            "pi_1", "pi_2", "pi_3", "pi_C", "pi_Z", "pi_ZC", "pi_N", "pi_MDM",
+        ):
+            engine = QueryEngine(index, dataset.network, partitioner=name)
+            result = engine.trip_query(query, exclude_ids=(trip.traj_id,))
+            assert result.histogram.total > 0, name
+
+    def test_longest_prefix_splitter_runs(self, world):
+        dataset, index = world
+        trip = self.long_trip(dataset)
+        engine = QueryEngine(
+            index, dataset.network, partitioner="pi_N", splitter="longest_prefix"
+        )
+        result = engine.trip_query(
+            StrictPathQuery(
+                path=trip.path,
+                interval=PeriodicInterval.around(trip.start_time, 900),
+                beta=10,
+            ),
+            exclude_ids=(trip.traj_id,),
+        )
+        assert result.histogram.total > 0
+        flattened = tuple(
+            edge for subpath in result.final_subpaths for edge in subpath
+        )
+        assert flattened == trip.path
+
+    def test_user_filter_query(self, world):
+        dataset, index = world
+        trip = self.long_trip(dataset)
+        engine = QueryEngine(index, dataset.network, partitioner="pi_MDM")
+        result = engine.trip_query(
+            StrictPathQuery(
+                path=trip.path,
+                interval=PeriodicInterval.around(trip.start_time, 900),
+                user=trip.user_id,
+                beta=5,
+            ),
+            exclude_ids=(trip.traj_id,),
+        )
+        assert result.histogram.total > 0
+
+    def test_spq_only_query(self, world):
+        dataset, index = world
+        trip = self.long_trip(dataset)
+        engine = QueryEngine(index, dataset.network, partitioner="pi_N")
+        result = engine.trip_query(
+            StrictPathQuery(
+                path=trip.path,
+                interval=FixedInterval(0, index.t_max),
+                beta=20,
+            ),
+            exclude_ids=(trip.traj_id,),
+        )
+        assert result.histogram.total > 0
+
+    def test_unknown_splitter_rejected(self, world):
+        dataset, index = world
+        with pytest.raises(QueryError):
+            QueryEngine(index, dataset.network, splitter="alphabetical")
+
+    def test_estimator_skips_reduce_scans(self, world):
+        dataset, index = world
+        trip = self.long_trip(dataset)
+        query = StrictPathQuery(
+            path=trip.path,
+            interval=PeriodicInterval.around(trip.start_time, 900),
+            beta=30,
+        )
+        plain = QueryEngine(index, dataset.network, partitioner="pi_N")
+        with_est = QueryEngine(
+            index,
+            dataset.network,
+            partitioner="pi_N",
+            estimator=CardinalityEstimator(index, "CSS-Acc"),
+        )
+        r_plain = plain.trip_query(query, exclude_ids=(trip.traj_id,))
+        r_est = with_est.trip_query(query, exclude_ids=(trip.traj_id,))
+        assert r_est.n_estimator_skips > 0
+        assert r_est.n_index_scans <= r_plain.n_index_scans
+        # Both produce answers for the same path.
+        assert tuple(
+            e for p in r_est.final_subpaths for e in p
+        ) == trip.path
+
+    def test_deterministic_given_same_inputs(self, world):
+        dataset, index = world
+        trip = self.long_trip(dataset)
+        engine = QueryEngine(index, dataset.network, partitioner="pi_C")
+        query = StrictPathQuery(
+            path=trip.path,
+            interval=PeriodicInterval.around(trip.start_time, 900),
+            beta=10,
+        )
+        r1 = engine.trip_query(query, exclude_ids=(trip.traj_id,))
+        r2 = engine.trip_query(query, exclude_ids=(trip.traj_id,))
+        assert r1.histogram == r2.histogram
+        assert r1.estimated_mean == r2.estimated_mean
+
+
+class TestEngineFallbacks:
+    def test_path_without_any_data_uses_speed_limits(self, world):
+        dataset, index = world
+        network = dataset.network
+        # Find an edge never traversed by any trajectory.
+        traversed = set()
+        for trajectory in dataset.trajectories:
+            traversed.update(trajectory.path)
+        unused = [e for e in network.edge_ids() if e not in traversed]
+        if not unused:
+            pytest.skip("every edge traversed at this scale")
+        engine = QueryEngine(index, network, partitioner="pi_N")
+        result = engine.trip_query(
+            StrictPathQuery(
+                path=(unused[0],),
+                interval=PeriodicInterval.around(8 * 3600, 900),
+                beta=10,
+            )
+        )
+        assert len(result.outcomes) == 1
+        assert result.outcomes[0].from_fallback
+        expected = network.estimate_tt(unused[0])
+        assert result.outcomes[0].values.tolist() == [expected]

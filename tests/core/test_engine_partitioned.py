@@ -1,0 +1,76 @@
+"""The engine must answer identically over FULL and partitioned indexes."""
+
+import pytest
+
+from repro import (
+    PeriodicInterval,
+    QueryEngine,
+    SNTIndex,
+    StrictPathQuery,
+    generate_dataset,
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    dataset = generate_dataset("tiny", seed=0)
+    full = SNTIndex.build(
+        dataset.trajectories, dataset.network.alphabet_size
+    )
+    weekly = SNTIndex.build(
+        dataset.trajectories,
+        dataset.network.alphabet_size,
+        partition_days=7,
+    )
+    return dataset, full, weekly
+
+
+def test_partition_count(world):
+    _, full, weekly = world
+    assert full.n_partitions == 1
+    assert weekly.n_partitions > 1
+
+
+@pytest.mark.parametrize("partitioner", ["pi_Z", "pi_C", "pi_N"])
+def test_trip_queries_identical(world, partitioner):
+    dataset, full, weekly = world
+    engine_full = QueryEngine(full, dataset.network, partitioner=partitioner)
+    engine_weekly = QueryEngine(
+        weekly, dataset.network, partitioner=partitioner
+    )
+    trips = [tr for tr in dataset.trajectories if len(tr) >= 8][:15]
+    for trip in trips:
+        query = StrictPathQuery(
+            path=trip.path,
+            interval=PeriodicInterval.around(trip.start_time, 900),
+            beta=10,
+        )
+        a = engine_full.trip_query(query, exclude_ids=(trip.traj_id,))
+        b = engine_weekly.trip_query(query, exclude_ids=(trip.traj_id,))
+        assert a.histogram == b.histogram
+        assert a.estimated_mean == pytest.approx(b.estimated_mean)
+        assert [o.query.path for o in a.outcomes] == [
+            o.query.path for o in b.outcomes
+        ]
+
+
+def test_estimator_works_on_partitioned_index(world):
+    from repro import CardinalityEstimator
+
+    dataset, _, weekly = world
+    engine = QueryEngine(
+        weekly,
+        dataset.network,
+        partitioner="pi_Z",
+        estimator=CardinalityEstimator(weekly, "CSS-Acc"),
+    )
+    trip = next(tr for tr in dataset.trajectories if len(tr) >= 8)
+    result = engine.trip_query(
+        StrictPathQuery(
+            path=trip.path,
+            interval=PeriodicInterval.around(trip.start_time, 900),
+            beta=10,
+        ),
+        exclude_ids=(trip.traj_id,),
+    )
+    assert result.histogram.total > 0

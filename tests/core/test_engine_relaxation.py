@@ -1,0 +1,310 @@
+"""White-box tests of the engine's relaxation behaviour on crafted data.
+
+Each scenario constructs a minimal trajectory set whose coverage forces a
+specific relaxation path through Procedure 1: widen, split, drop-user,
+fixed fallback, and the shift-and-enlarge adaptation.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    FixedInterval,
+    PeriodicInterval,
+    QueryEngine,
+    SNTIndex,
+    StrictPathQuery,
+)
+from repro.config import SECONDS_PER_DAY
+from repro.network import Edge, RoadCategory, RoadNetwork, ZoneType
+from repro.trajectories import Trajectory, TrajectoryPoint, TrajectorySet
+
+EIGHT = 8 * 3600
+
+
+def chain_network(n_edges=4) -> RoadNetwork:
+    """A simple chain network 0 -> 1 -> ... with edges 1..n."""
+    network = RoadNetwork()
+    for vertex in range(n_edges + 1):
+        network.add_vertex(vertex, (float(vertex * 100), 0.0))
+    for edge_id in range(1, n_edges + 1):
+        network.add_edge(
+            Edge(
+                edge_id,
+                edge_id - 1,
+                edge_id,
+                RoadCategory.PRIMARY,
+                ZoneType.CITY,
+                100.0,
+                50.0,
+            )
+        )
+    return network
+
+
+def make_trajectory(traj_id, user, edges, start, tt=10):
+    points = []
+    t = start
+    for edge in edges:
+        points.append(TrajectoryPoint(edge, t, float(tt)))
+        t += tt
+    return Trajectory(traj_id, user, points)
+
+
+def build(trajectories, network):
+    return SNTIndex.build(
+        TrajectorySet(trajectories), network.alphabet_size
+    )
+
+
+class TestWideningRelaxation:
+    def test_widening_finds_offset_traffic(self):
+        """Traffic 30 min after the window: found after one widen step."""
+        network = chain_network(2)
+        rows = [
+            make_trajectory(d, 1, [1, 2], d * SECONDS_PER_DAY + EIGHT + 1800)
+            for d in range(5)
+        ]
+        index = build(rows, network)
+        engine = QueryEngine(index, network, partitioner="pi_N")
+        result = engine.trip_query(
+            StrictPathQuery(
+                path=(1, 2),
+                interval=PeriodicInterval(start_tod=EIGHT - 450, duration=900),
+                beta=3,
+            )
+        )
+        # One sub-query, answered after widening (no splits, no fallback).
+        assert len(result.outcomes) == 1
+        outcome = result.outcomes[0]
+        assert outcome.query.path == (1, 2)
+        assert not outcome.from_fallback
+        assert outcome.query.interval.duration > 900
+        assert outcome.values.size >= 3
+
+    def test_no_widening_when_enough_data(self):
+        network = chain_network(2)
+        rows = [
+            make_trajectory(d, 1, [1, 2], d * SECONDS_PER_DAY + EIGHT)
+            for d in range(5)
+        ]
+        index = build(rows, network)
+        engine = QueryEngine(index, network, partitioner="pi_N")
+        result = engine.trip_query(
+            StrictPathQuery(
+                path=(1, 2),
+                interval=PeriodicInterval.around(EIGHT + 450, 900),
+                beta=3,
+            )
+        )
+        assert result.outcomes[0].query.interval.duration == 900
+
+
+class TestSplitRelaxation:
+    def test_uncovered_full_path_splits(self):
+        """No trajectory covers <1,2,3,4>; halves are covered."""
+        network = chain_network(4)
+        rows = [
+            make_trajectory(d, 1, [1, 2], d * SECONDS_PER_DAY + EIGHT)
+            for d in range(4)
+        ] + [
+            make_trajectory(10 + d, 1, [3, 4], d * SECONDS_PER_DAY + EIGHT)
+            for d in range(4)
+        ]
+        index = build(rows, network)
+        engine = QueryEngine(index, network, partitioner="pi_N")
+        result = engine.trip_query(
+            StrictPathQuery(
+                path=(1, 2, 3, 4),
+                interval=PeriodicInterval.around(EIGHT, 900),
+                beta=2,
+            )
+        )
+        assert [o.query.path for o in result.outcomes] == [(1, 2), (3, 4)]
+        assert not any(o.from_fallback for o in result.outcomes)
+
+    def test_split_children_restart_at_alpha_min(self):
+        network = chain_network(4)
+        rows = [
+            make_trajectory(d, 1, [1, 2], d * SECONDS_PER_DAY + EIGHT)
+            for d in range(4)
+        ] + [
+            make_trajectory(10 + d, 1, [3, 4], d * SECONDS_PER_DAY + EIGHT)
+            for d in range(4)
+        ]
+        index = build(rows, network)
+        engine = QueryEngine(index, network, partitioner="pi_N")
+        result = engine.trip_query(
+            StrictPathQuery(
+                path=(1, 2, 3, 4),
+                interval=PeriodicInterval.around(EIGHT, 900),
+                beta=2,
+            )
+        )
+        # First child is answered at alpha_min (enough data there).
+        assert result.outcomes[0].query.interval.duration == 900
+
+
+class TestUserDropAndFallback:
+    def test_unknown_user_drops_filter(self):
+        network = chain_network(1)
+        rows = [
+            make_trajectory(d, 1, [1], d * SECONDS_PER_DAY + EIGHT)
+            for d in range(4)
+        ]
+        index = build(rows, network)
+        engine = QueryEngine(index, network, partitioner="pi_N")
+        result = engine.trip_query(
+            StrictPathQuery(
+                path=(1,),
+                interval=PeriodicInterval.around(EIGHT, 900),
+                user=999,  # nobody
+                beta=2,
+            )
+        )
+        # The user filter was dropped and real data returned.
+        assert len(result.outcomes) == 1
+        assert result.outcomes[0].query.user is None
+        assert not result.outcomes[0].from_fallback
+
+    def test_totally_empty_segment_hits_speed_limit_fallback(self):
+        network = chain_network(2)
+        rows = [
+            make_trajectory(d, 1, [1], d * SECONDS_PER_DAY + EIGHT)
+            for d in range(4)
+        ]
+        index = build(rows, network)
+        engine = QueryEngine(index, network, partitioner="pi_N")
+        result = engine.trip_query(
+            StrictPathQuery(
+                path=(2,),  # edge 2 has no data at all
+                interval=PeriodicInterval.around(EIGHT, 900),
+                beta=2,
+            )
+        )
+        assert result.outcomes[0].from_fallback
+        assert result.outcomes[0].values.tolist() == [
+            pytest.approx(network.estimate_tt(2))
+        ]
+
+    def test_fallback_query_has_terminal_form(self):
+        network = chain_network(2)
+        rows = [
+            make_trajectory(d, 1, [1], d * SECONDS_PER_DAY + EIGHT)
+            for d in range(4)
+        ]
+        index = build(rows, network)
+        engine = QueryEngine(index, network, partitioner="pi_N")
+        result = engine.trip_query(
+            StrictPathQuery(
+                path=(2,),
+                interval=PeriodicInterval.around(EIGHT, 900),
+                beta=2,
+            )
+        )
+        terminal = result.outcomes[0].query
+        assert isinstance(terminal.interval, FixedInterval)
+        assert terminal.beta is None
+        assert terminal.user is None
+
+
+class TestShiftAndEnlarge:
+    def make_world(self):
+        """Two-segment trips where segment 1 takes ~30 minutes."""
+        network = RoadNetwork()
+        for vertex in range(3):
+            network.add_vertex(vertex, (float(vertex * 100), 0.0))
+        # Segment 1 in CITY, segment 2 in RURAL: pi_Z splits them.
+        network.add_edge(
+            Edge(1, 0, 1, RoadCategory.PRIMARY, ZoneType.CITY, 100.0, 50.0)
+        )
+        network.add_edge(
+            Edge(2, 1, 2, RoadCategory.PRIMARY, ZoneType.RURAL, 100.0, 50.0)
+        )
+        rows = []
+        for d in range(6):
+            start = d * SECONDS_PER_DAY + EIGHT
+            rows.append(
+                Trajectory(
+                    d,
+                    1,
+                    [
+                        TrajectoryPoint(1, start, 1800.0),
+                        TrajectoryPoint(2, start + 1800, 60.0),
+                    ],
+                )
+            )
+        return network, build(rows, network)
+
+    def test_second_subquery_interval_shifted(self):
+        network, index = self.make_world()
+        engine = QueryEngine(index, network, partitioner="pi_Z")
+        result = engine.trip_query(
+            StrictPathQuery(
+                path=(1, 2),
+                interval=PeriodicInterval.around(EIGHT + 450, 900),
+                beta=3,
+            )
+        )
+        assert len(result.outcomes) == 2
+        first, second = result.outcomes
+        # The second window starts ~30 min later (the travel time of the
+        # first sub-path), so the entries at ~08:30 are inside it.
+        assert second.query.shift_applied
+        shift = (
+            second.query.interval.start_tod - first.query.interval.start_tod
+        ) % SECONDS_PER_DAY
+        assert 1500 <= shift <= 2400
+        assert not second.from_fallback
+        assert second.values.size >= 3
+
+    def test_disabled_adaptation_misses_offset_traffic(self):
+        network, index = self.make_world()
+        adaptive = QueryEngine(
+            index, network, partitioner="pi_Z", shift_and_enlarge=True
+        )
+        static = QueryEngine(
+            index, network, partitioner="pi_Z", shift_and_enlarge=False
+        )
+        query = StrictPathQuery(
+            path=(1, 2),
+            interval=PeriodicInterval.around(EIGHT + 450, 900),
+            beta=3,
+        )
+        adaptive_result = adaptive.trip_query(query)
+        static_result = static.trip_query(query)
+        # Without adaptation the second sub-query needs widening: its
+        # final interval is strictly larger.
+        assert (
+            static_result.outcomes[1].query.interval.size
+            > adaptive_result.outcomes[1].query.interval.size
+        )
+
+
+class TestEstimatorPruning:
+    def test_skip_count_tracks_prunes(self):
+        from repro import CardinalityEstimator
+
+        network = chain_network(2)
+        rows = [
+            make_trajectory(d, 1, [1, 2], d * SECONDS_PER_DAY + EIGHT)
+            for d in range(3)
+        ]
+        index = build(rows, network)
+        engine = QueryEngine(
+            index,
+            network,
+            partitioner="pi_N",
+            estimator=CardinalityEstimator(index, "CSS-Acc"),
+        )
+        # beta far above the data: the estimator prunes every periodic
+        # attempt before any scan.
+        result = engine.trip_query(
+            StrictPathQuery(
+                path=(1, 2),
+                interval=PeriodicInterval.around(EIGHT, 900),
+                beta=50,
+            )
+        )
+        assert result.n_estimator_skips > 0
+        assert result.histogram.total > 0

@@ -1,0 +1,173 @@
+"""Tests for the SPQ cardinality estimator (paper Section 4.4)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CardinalityEstimator,
+    FixedInterval,
+    PeriodicInterval,
+    SNTIndex,
+    StrictPathQuery,
+)
+from repro.config import SECONDS_PER_DAY
+from repro.errors import EstimatorError
+from repro.trajectories import Trajectory, TrajectoryPoint, TrajectorySet
+
+
+def build_index(kind="css", partition_days=None):
+    """50 trajectories over edges 1-2, all entering around 08:00."""
+    rows = []
+    eight = 8 * 3600
+    for d in range(50):
+        day = d % 25
+        start = day * SECONDS_PER_DAY + eight + (d % 7) * 60
+        rows.append(
+            Trajectory(
+                d,
+                d % 5,
+                [
+                    TrajectoryPoint(1, start, 10.0),
+                    TrajectoryPoint(2, start + 10, 12.0),
+                ],
+            )
+        )
+    return SNTIndex.build(
+        TrajectorySet(rows),
+        alphabet_size=5,
+        kind=kind,
+        partition_days=partition_days,
+        tod_bucket_s=600,
+    )
+
+
+@pytest.fixture(scope="module")
+def index():
+    return build_index()
+
+
+class TestModes:
+    def test_isa_mode_counts_traversals(self, index):
+        estimator = CardinalityEstimator(index, "ISA")
+        query = StrictPathQuery(
+            path=(1, 2), interval=PeriodicInterval.around(8 * 3600, 900)
+        )
+        assert estimator.estimate(query) == 50.0
+
+    def test_isa_overestimates_narrow_windows(self, index):
+        # The paper: the ISA estimate is "on average off by an order of
+        # magnitude" because it ignores temporal selectivity.
+        isa = CardinalityEstimator(index, "ISA")
+        accurate = CardinalityEstimator(index, "CSS-Acc")
+        query = StrictPathQuery(
+            path=(1, 2),
+            interval=PeriodicInterval.around(20 * 3600, 900),  # no data
+        )
+        assert isa.estimate(query) == 50.0
+        assert accurate.estimate(query) == pytest.approx(0.0, abs=1.0)
+
+    def test_fast_mode_uniform_selectivity(self, index):
+        estimator = CardinalityEstimator(index, "CSS-Fast")
+        query = StrictPathQuery(
+            path=(1, 2), interval=PeriodicInterval.around(8 * 3600, 900)
+        )
+        expected = 50 * 900 / SECONDS_PER_DAY
+        assert estimator.estimate(query) == pytest.approx(expected)
+
+    def test_acc_mode_uses_tod_histogram(self, index):
+        estimator = CardinalityEstimator(index, "CSS-Acc")
+        rush = StrictPathQuery(
+            path=(1, 2), interval=PeriodicInterval.around(8 * 3600, 1800)
+        )
+        night = StrictPathQuery(
+            path=(1, 2), interval=PeriodicInterval.around(3 * 3600, 1800)
+        )
+        # All traversals are around 08:00: Acc must rank rush >> night.
+        assert estimator.estimate(rush) > 25
+        assert estimator.estimate(night) == pytest.approx(0.0, abs=1.0)
+
+    def test_acc_beats_fast_on_skewed_data(self, index):
+        fast = CardinalityEstimator(index, "CSS-Fast")
+        accurate = CardinalityEstimator(index, "CSS-Acc")
+        query = StrictPathQuery(
+            path=(1, 2), interval=PeriodicInterval.around(8 * 3600, 1800)
+        )
+        true_cardinality = 50  # every trajectory is inside the window
+        fast_error = abs(fast.estimate(query) - true_cardinality)
+        acc_error = abs(accurate.estimate(query) - true_cardinality)
+        assert acc_error < fast_error
+
+    def test_fixed_interval_css_exact(self, index):
+        estimator = CardinalityEstimator(index, "CSS-Fast")
+        # Half of the days.
+        query = StrictPathQuery(
+            path=(1, 2),
+            interval=FixedInterval(0, 13 * SECONDS_PER_DAY),
+        )
+        estimate = estimator.estimate(query)
+        assert estimate == pytest.approx(50 * 26 / 50, abs=4)
+
+    def test_bt_fixed_interval_naive_formula(self):
+        index = build_index(kind="btree")
+        estimator = CardinalityEstimator(index, "BT-Fast")
+        query = StrictPathQuery(
+            path=(1, 2), interval=FixedInterval(0, 13 * SECONDS_PER_DAY)
+        )
+        estimate = estimator.estimate(query)
+        assert 15 <= estimate <= 35  # ~half, via the min/max ratio
+
+    def test_user_selectivity_tenth(self, index):
+        plain = CardinalityEstimator(index, "CSS-Fast")
+        query = StrictPathQuery(
+            path=(1, 2), interval=PeriodicInterval.around(8 * 3600, 900)
+        )
+        with_user = StrictPathQuery(
+            path=(1, 2),
+            interval=PeriodicInterval.around(8 * 3600, 900),
+            user=3,
+        )
+        assert plain.estimate(with_user) == pytest.approx(
+            plain.estimate(query) / 10
+        )
+
+    def test_missing_path_estimates_zero(self, index):
+        estimator = CardinalityEstimator(index, "CSS-Acc")
+        query = StrictPathQuery(
+            path=(2, 1), interval=FixedInterval(0, 100)
+        )
+        assert estimator.estimate(query) == 0.0
+
+
+class TestValidation:
+    def test_unknown_mode(self, index):
+        with pytest.raises(EstimatorError):
+            CardinalityEstimator(index, "LSTM")
+
+    def test_css_mode_requires_css_index(self):
+        index = build_index(kind="btree")
+        with pytest.raises(EstimatorError):
+            CardinalityEstimator(index, "CSS-Fast")
+
+    def test_bt_mode_on_css_index_allowed(self, index):
+        estimator = CardinalityEstimator(index, "BT-Fast")
+        query = StrictPathQuery(
+            path=(1,), interval=PeriodicInterval.around(8 * 3600, 900)
+        )
+        assert estimator.estimate(query) > 0
+
+    def test_bad_user_selectivity(self, index):
+        with pytest.raises(EstimatorError):
+            CardinalityEstimator(index, "ISA", user_selectivity=0.0)
+
+
+class TestPartitionedEstimates:
+    def test_sum_over_partitions_close_to_full(self):
+        full = build_index()
+        partitioned = build_index(partition_days=7)
+        assert partitioned.n_partitions > 1
+        query = StrictPathQuery(
+            path=(1, 2), interval=PeriodicInterval.around(8 * 3600, 1800)
+        )
+        e_full = CardinalityEstimator(full, "CSS-Acc").estimate(query)
+        e_part = CardinalityEstimator(partitioned, "CSS-Acc").estimate(query)
+        assert e_part == pytest.approx(e_full, rel=0.1)

@@ -1,0 +1,229 @@
+"""Tests for pi partitioning methods and the sigma splitting function.
+
+Uses the paper's example path P = <A, C, D, E> on the Figure 1 network,
+for which Section 3.2 gives the expected partitions of every method.
+"""
+
+import pytest
+
+from repro.core import (
+    FixedInterval,
+    PeriodicInterval,
+    StrictPathQuery,
+    get_partitioner,
+    longest_prefix_splitter,
+    modify_subquery,
+    regular_split,
+)
+from repro.core.partitioning import PARTITIONER_NAMES
+from repro.errors import QueryError
+
+from tests.network.test_graph import build_paper_network
+
+# Edge ids on the paper network: A=1, B=2, C=3, D=4, E=5, F=6.
+A, B, C, D, E, F = 1, 2, 3, 4, 5, 6
+PATH_ACDE = (A, C, D, E)
+
+LADDER = (900, 1800, 2700, 3600, 5400, 7200)
+
+
+@pytest.fixture(scope="module")
+def network():
+    return build_paper_network()
+
+
+def subpaths(name, path, network):
+    segments = get_partitioner(name)(path, network)
+    return [tuple(path[s.start : s.end]) for s in segments]
+
+
+class TestPartitioners:
+    """Expected partitions from paper Section 3.2."""
+
+    def test_pi_1(self, network):
+        assert subpaths("pi_1", PATH_ACDE, network) == [
+            (A,), (C,), (D,), (E,),
+        ]
+
+    def test_pi_2(self, network):
+        assert subpaths("pi_2", PATH_ACDE, network) == [(A, C), (D, E)]
+
+    def test_pi_3(self, network):
+        assert subpaths("pi_3", PATH_ACDE, network) == [(A, C, D), (E,)]
+
+    def test_pi_C(self, network):
+        # A motorway | C,D secondary | E primary.
+        assert subpaths("pi_C", PATH_ACDE, network) == [(A,), (C, D), (E,)]
+
+    def test_pi_Z(self, network):
+        # A rural | C,D,E city.
+        assert subpaths("pi_Z", PATH_ACDE, network) == [(A,), (C, D, E)]
+
+    def test_pi_ZC(self, network):
+        assert subpaths("pi_ZC", PATH_ACDE, network) == [(A,), (C, D), (E,)]
+
+    def test_pi_N(self, network):
+        assert subpaths("pi_N", PATH_ACDE, network) == [PATH_ACDE]
+
+    def test_pi_MDM_user_flags(self, network):
+        # Partition like pi_C; keep the user filter only on main roads
+        # (motorway A and primary E), not on the secondary stretch.
+        segments = get_partitioner("pi_MDM")(PATH_ACDE, network)
+        assert [tuple(PATH_ACDE[s.start : s.end]) for s in segments] == [
+            (A,), (C, D), (E,),
+        ]
+        assert [s.keep_user for s in segments] == [True, False, True]
+
+    def test_partitions_cover_path_exactly(self, network):
+        for name in PARTITIONER_NAMES:
+            segments = get_partitioner(name)(PATH_ACDE, network)
+            covered = []
+            for segment in segments:
+                covered.extend(range(segment.start, segment.end))
+            assert covered == list(range(len(PATH_ACDE))), name
+
+    def test_single_edge_path(self, network):
+        for name in PARTITIONER_NAMES:
+            assert subpaths(name, (A,), network) == [(A,)], name
+
+    def test_unknown_partitioner(self):
+        with pytest.raises(KeyError):
+            get_partitioner("pi_X")
+
+
+class TestModifySubquery:
+    """Procedure 1 state machine."""
+
+    def make(self, path=PATH_ACDE, size=900, user=None, beta=20, fixed=False):
+        interval = (
+            FixedInterval(0, 10_000)
+            if fixed
+            else PeriodicInterval.around(8 * 3600, size)
+        )
+        return StrictPathQuery(
+            path=path, interval=interval, user=user, beta=beta
+        )
+
+    def test_widen_first(self):
+        result = modify_subquery(self.make(size=900), LADDER, t_max=10_000)
+        assert len(result) == 1
+        assert result[0].interval.duration == 1800
+        assert result[0].path == PATH_ACDE
+
+    def test_widen_steps_through_ladder(self):
+        query = self.make(size=900)
+        sizes = []
+        for _ in range(5):
+            (query,) = modify_subquery(query, LADDER, t_max=10_000)
+            sizes.append(query.interval.duration)
+        assert sizes == [1800, 2700, 3600, 5400, 7200]
+
+    def test_widen_handles_off_ladder_sizes(self):
+        # Shift-and-enlarge can leave the duration between ladder rungs.
+        query = self.make(size=2000)
+        (widened,) = modify_subquery(query, LADDER, t_max=10_000)
+        assert widened.interval.duration == 2700
+
+    def test_split_after_ladder_exhausted(self):
+        query = self.make(size=7200)
+        result = modify_subquery(query, LADDER, t_max=10_000)
+        assert len(result) == 2
+        assert result[0].path == (A, C)
+        assert result[1].path == (D, E)
+        # Children restart at alpha_min.
+        assert result[0].interval.duration == 900
+        assert result[1].interval.duration == 900
+
+    def test_split_fixed_interval_goes_straight_to_split(self):
+        query = self.make(fixed=True)
+        result = modify_subquery(query, LADDER, t_max=10_000)
+        assert len(result) == 2
+        assert result[0].interval == query.interval  # unchanged
+
+    def test_single_segment_drops_user(self):
+        query = self.make(path=(A,), size=7200, user=7)
+        result = modify_subquery(query, LADDER, t_max=10_000)
+        assert len(result) == 1
+        assert result[0].user is None
+        assert result[0].path == (A,)
+        assert result[0].beta == 20  # beta kept at this stage
+
+    def test_final_fallback_drops_everything(self):
+        query = self.make(path=(A,), size=7200, user=None)
+        result = modify_subquery(query, LADDER, t_max=10_000)
+        assert len(result) == 1
+        final = result[0]
+        assert final.beta is None
+        assert final.user is None
+        assert final.interval == FixedInterval(0, 10_000)
+
+    def test_ladder_must_be_sorted(self):
+        with pytest.raises(QueryError):
+            modify_subquery(self.make(), (900, 600), t_max=10_000)
+        with pytest.raises(QueryError):
+            modify_subquery(self.make(), (), t_max=10_000)
+
+    def test_full_relaxation_chain_terminates(self):
+        query = self.make(user=3, beta=50)
+        queue = [query]
+        steps = 0
+        done = []
+        while queue and steps < 200:
+            steps += 1
+            current = queue.pop(0)
+            if (
+                current.beta is None
+                and isinstance(current.interval, FixedInterval)
+            ):
+                done.append(current)  # terminal form
+                continue
+            queue = modify_subquery(current, LADDER, t_max=10_000) + queue
+        assert not queue, "relaxation must terminate"
+        # Terminal sub-queries cover the path exactly, in order.
+        covered = [e for q in done for e in q.path]
+        assert covered == list(PATH_ACDE)
+
+
+class TestSplitPoints:
+    def test_regular_split_halves(self):
+        query = StrictPathQuery(
+            path=(1, 2, 3, 4, 5), interval=FixedInterval(0, 10), beta=2
+        )
+        assert regular_split(query, query.interval) == 2
+
+    def test_regular_split_two(self):
+        query = StrictPathQuery(
+            path=(1, 2), interval=FixedInterval(0, 10), beta=2
+        )
+        assert regular_split(query, query.interval) == 1
+
+    def test_longest_prefix_uses_counter(self):
+        # Counter: prefixes up to length 3 have 5 matches, longer have 1.
+        def counter(path, interval, user, limit):
+            return 5 if len(path) <= 3 else 1
+
+        split = longest_prefix_splitter(counter)
+        query = StrictPathQuery(
+            path=(1, 2, 3, 4, 5, 6), interval=FixedInterval(0, 10), beta=5
+        )
+        assert split(query, query.interval) == 3
+
+    def test_longest_prefix_minimum_one(self):
+        def counter(path, interval, user, limit):
+            return 0
+
+        split = longest_prefix_splitter(counter)
+        query = StrictPathQuery(
+            path=(1, 2, 3, 4), interval=FixedInterval(0, 10), beta=5
+        )
+        assert split(query, query.interval) == 1
+
+    def test_longest_prefix_never_full_path(self):
+        def counter(path, interval, user, limit):
+            return 100
+
+        split = longest_prefix_splitter(counter)
+        query = StrictPathQuery(
+            path=(1, 2, 3, 4), interval=FixedInterval(0, 10), beta=5
+        )
+        assert split(query, query.interval) == 3  # l - 1 at most

@@ -1,0 +1,153 @@
+"""Tests for the StrictPathQuery type and beta policies."""
+
+import pytest
+
+from repro.core import (
+    FixedInterval,
+    PeriodicInterval,
+    StrictPathQuery,
+    uniform_beta_policy,
+    zone_beta_policy,
+)
+from repro.errors import EmptyPathError
+
+from tests.network.test_graph import build_paper_network
+
+
+class TestStrictPathQuery:
+    def make(self, **kwargs):
+        defaults = dict(
+            path=(1, 2, 3), interval=FixedInterval(0, 100), beta=5
+        )
+        defaults.update(kwargs)
+        return StrictPathQuery(**defaults)
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(EmptyPathError):
+            StrictPathQuery(path=(), interval=FixedInterval(0, 1))
+
+    def test_bad_beta_rejected(self):
+        with pytest.raises(EmptyPathError):
+            self.make(beta=0)
+        with pytest.raises(EmptyPathError):
+            self.make(beta=-3)
+
+    def test_beta_none_allowed(self):
+        assert self.make(beta=None).beta is None
+
+    def test_path_coerced_to_int_tuple(self):
+        import numpy as np
+
+        query = StrictPathQuery(
+            path=np.array([1, 2, 3]), interval=FixedInterval(0, 1)
+        )
+        assert query.path == (1, 2, 3)
+        assert all(isinstance(e, int) for e in query.path)
+
+    def test_length(self):
+        assert self.make().length == 3
+
+    def test_with_interval(self):
+        query = self.make()
+        periodic = PeriodicInterval.around(0, 900)
+        modified = query.with_interval(periodic)
+        assert modified.interval == periodic
+        assert query.interval == FixedInterval(0, 100)  # immutable
+
+    def test_with_path(self):
+        modified = self.make().with_path((9, 8))
+        assert modified.path == (9, 8)
+
+    def test_without_user(self):
+        query = self.make(user=7)
+        assert query.without_user().user is None
+        assert query.user == 7
+
+    def test_without_beta(self):
+        assert self.make().without_beta().beta is None
+
+    def test_marked_shifted(self):
+        query = self.make()
+        assert not query.shift_applied
+        assert query.marked_shifted().shift_applied
+
+    def test_hashable_and_frozen(self):
+        query = self.make()
+        assert hash(query) == hash(self.make())
+        with pytest.raises(Exception):
+            query.beta = 99  # frozen dataclass
+
+
+class TestBetaPolicies:
+    def setup_method(self):
+        self.network = build_paper_network()
+
+    def test_uniform_policy_identity(self):
+        policy = uniform_beta_policy()
+        assert policy((1, 2), 20) == 20
+        assert policy((1,), None) is None
+
+    def test_zone_policy_relaxes_rural(self):
+        policy = zone_beta_policy(self.network, rural_factor=0.5)
+        # Edge 1 (A) is rural; edge 2 (B) is city.
+        assert policy((1,), 20) == 10
+        assert policy((2,), 20) == 20
+
+    def test_zone_policy_minimum(self):
+        policy = zone_beta_policy(
+            self.network, rural_factor=0.1, minimum=3
+        )
+        assert policy((1,), 20) == 3
+
+    def test_zone_policy_none_beta_passthrough(self):
+        policy = zone_beta_policy(self.network)
+        assert policy((1,), None) is None
+
+    def test_zone_policy_validation(self):
+        with pytest.raises(ValueError):
+            zone_beta_policy(self.network, rural_factor=0.0)
+        with pytest.raises(ValueError):
+            zone_beta_policy(self.network, rural_factor=1.5)
+        with pytest.raises(ValueError):
+            zone_beta_policy(self.network, minimum=0)
+
+    def test_engine_applies_policy(self):
+        # Engine-level integration on the tiny dataset.
+        from repro import (
+            PeriodicInterval,
+            QueryEngine,
+            SNTIndex,
+            StrictPathQuery,
+            generate_dataset,
+        )
+        from repro.core import zone_beta_policy as make_policy
+        from repro.network.zones import ZoneType
+
+        dataset = generate_dataset("tiny", seed=0)
+        index = SNTIndex.build(
+            dataset.trajectories, dataset.network.alphabet_size
+        )
+        trip = next(
+            tr
+            for tr in dataset.trajectories
+            if len(tr) >= 10
+            and any(
+                dataset.network.edge(e).zone is ZoneType.RURAL
+                for e in tr.path
+            )
+        )
+        engine = QueryEngine(
+            index,
+            dataset.network,
+            partitioner="pi_Z",
+            beta_policy=make_policy(dataset.network, rural_factor=0.25),
+        )
+        result = engine.trip_query(
+            StrictPathQuery(
+                path=trip.path,
+                interval=PeriodicInterval.around(trip.start_time, 900),
+                beta=20,
+            ),
+            exclude_ids=(trip.traj_id,),
+        )
+        assert result.histogram.total > 0

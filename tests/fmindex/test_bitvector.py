@@ -1,0 +1,102 @@
+"""Tests for the rank-support bitvector."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fmindex.bitvector import RankBitvector
+
+
+def naive_rank1(bits, i):
+    return sum(1 for b in bits[:i] if b)
+
+
+def test_empty():
+    bv = RankBitvector([])
+    assert len(bv) == 0
+    assert bv.rank1(0) == 0
+    assert bv.n_ones == 0
+
+
+def test_single_bits():
+    assert RankBitvector([True]).rank1(1) == 1
+    assert RankBitvector([False]).rank1(1) == 0
+
+
+def test_small_pattern():
+    bits = [1, 0, 1, 1, 0, 0, 1, 0, 1]
+    bv = RankBitvector(bits)
+    for i in range(len(bits) + 1):
+        assert bv.rank1(i) == naive_rank1(bits, i)
+        assert bv.rank0(i) == i - naive_rank1(bits, i)
+
+
+def test_getitem():
+    bits = [1, 0, 1, 1, 0]
+    bv = RankBitvector(bits)
+    assert [bv[i] for i in range(5)] == [True, False, True, True, False]
+
+
+def test_getitem_out_of_range():
+    bv = RankBitvector([1, 0])
+    with pytest.raises(IndexError):
+        bv[2]
+    with pytest.raises(IndexError):
+        bv[-1]
+
+
+def test_rank_out_of_range():
+    bv = RankBitvector([1, 0])
+    with pytest.raises(IndexError):
+        bv.rank1(3)
+
+
+def test_block_boundaries():
+    # Exercise ranks across byte and block boundaries.
+    bits = ([True] * 100 + [False] * 100) * 7
+    bv = RankBitvector(bits)
+    for i in [0, 1, 7, 8, 9, 63, 64, 65, 100, 199, 200, 512, 513, 1399, 1400]:
+        assert bv.rank1(i) == naive_rank1(bits, i)
+
+
+def test_n_ones():
+    bits = [True, False, True] * 50
+    assert RankBitvector(bits).n_ones == 100
+
+
+def test_rank1_bulk_matches_scalar():
+    rng = np.random.default_rng(7)
+    bits = rng.random(1000) < 0.3
+    bv = RankBitvector(bits)
+    positions = np.array([0, 1, 8, 9, 511, 512, 513, 999, 1000])
+    expected = [bv.rank1(int(p)) for p in positions]
+    assert bv.rank1_bulk(positions).tolist() == expected
+
+
+def test_rank1_bulk_out_of_range():
+    bv = RankBitvector([True] * 4)
+    with pytest.raises(IndexError):
+        bv.rank1_bulk(np.array([5]))
+
+
+def test_size_in_bytes_reasonable():
+    bv = RankBitvector([True] * 8000)
+    # 1000 packed bytes + block ranks; far below a byte per bit.
+    assert 1000 <= bv.size_in_bytes() < 1400
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.booleans(), max_size=300), st.data())
+def test_property_rank_matches_naive(bits, data):
+    bv = RankBitvector(bits)
+    i = data.draw(st.integers(min_value=0, max_value=len(bits)))
+    assert bv.rank1(i) == naive_rank1(bits, i)
+    assert bv.rank0(i) + bv.rank1(i) == i
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.booleans(), min_size=1, max_size=300))
+def test_property_access_matches_input(bits):
+    bv = RankBitvector(bits)
+    assert [bv[i] for i in range(len(bits))] == [bool(b) for b in bits]

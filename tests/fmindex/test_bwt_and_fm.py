@@ -1,0 +1,139 @@
+"""Tests for the BWT, symbol counts, and the full FM-index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fmindex import (
+    FMIndex,
+    bwt_from_suffix_array,
+    suffix_array,
+    symbol_counts,
+)
+
+from tests.paper_vectors import (
+    EXPECTED_BWT,
+    ISA_RANGE_A,
+    ISA_RANGE_AB,
+    TRAJECTORY_STRING,
+)
+
+
+def naive_count(text, pattern):
+    n, m = len(text), len(pattern)
+    return sum(1 for i in range(n - m + 1) if list(text[i : i + m]) == list(pattern))
+
+
+class TestBWT:
+    def test_paper_bwt(self):
+        sa = suffix_array(TRAJECTORY_STRING)
+        bwt = bwt_from_suffix_array(TRAJECTORY_STRING, sa)
+        assert bwt.tolist() == EXPECTED_BWT
+
+    def test_empty(self):
+        assert bwt_from_suffix_array([], np.empty(0, np.int64)).size == 0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            bwt_from_suffix_array([1, 2], np.array([0]))
+
+    def test_bwt_is_permutation_of_text(self):
+        sa = suffix_array(TRAJECTORY_STRING)
+        bwt = bwt_from_suffix_array(TRAJECTORY_STRING, sa)
+        assert sorted(bwt.tolist()) == sorted(TRAJECTORY_STRING)
+
+
+class TestSymbolCounts:
+    def test_paper_counts(self):
+        counts = symbol_counts(TRAJECTORY_STRING, 7)
+        # C['B'] = 8: four $ and four A precede B lexicographically.
+        assert counts[2] == 8
+        assert counts[0] == 0
+        assert counts[-1] == len(TRAJECTORY_STRING)
+
+    def test_occurrences_via_adjacent_difference(self):
+        counts = symbol_counts(TRAJECTORY_STRING, 7)
+        occurrences = np.diff(counts)
+        # $:4 A:4 B:3 C:1 D:1 E:3 F:1
+        assert occurrences.tolist() == [4, 4, 3, 1, 1, 3, 1]
+
+    def test_symbol_out_of_range(self):
+        with pytest.raises(ValueError):
+            symbol_counts([0, 9], alphabet_size=5)
+
+
+class TestFMIndex:
+    @pytest.fixture(scope="class")
+    def fm(self):
+        return FMIndex(TRAJECTORY_STRING, alphabet_size=7)
+
+    def test_paper_isa_range_single_segment(self, fm):
+        assert fm.isa_range([1]) == ISA_RANGE_A
+
+    def test_paper_isa_range_two_segments(self, fm):
+        assert fm.isa_range([1, 2]) == ISA_RANGE_AB
+
+    def test_full_paths(self, fm):
+        assert fm.count([1, 2, 5]) == 2  # <A,B,E>: tr0 and tr3
+        assert fm.count([1, 3, 4, 5]) == 1  # <A,C,D,E>: tr1
+        assert fm.count([1, 2, 6]) == 1  # <A,B,F>: tr2
+
+    def test_missing_path(self, fm):
+        assert fm.isa_range([5, 1]) == (0, 0)  # no E -> A transition
+        assert not fm.contains([5, 1])
+
+    def test_unknown_symbol(self, fm):
+        assert fm.isa_range([42]) == (0, 0)
+
+    def test_empty_path_rejected(self, fm):
+        with pytest.raises(ValueError):
+            fm.isa_range([])
+
+    def test_isa_attribute_is_inverse_permutation(self, fm):
+        isa = fm.isa
+        assert sorted(isa.tolist()) == list(range(len(TRAJECTORY_STRING)))
+
+    def test_isa_of_traversals_lies_in_path_range(self, fm):
+        # Every A-traversal position (0, 4, 9, 13) has ISA within R(<A>).
+        st_, ed = fm.isa_range([1])
+        for position in (0, 4, 9, 13):
+            assert st_ <= fm.isa[position] < ed
+
+    def test_negative_symbols_rejected(self):
+        with pytest.raises(ValueError):
+            FMIndex([1, -1])
+
+    def test_empty_text(self):
+        fm = FMIndex([], alphabet_size=4)
+        assert fm.isa_range([2]) == (0, 0)
+
+    def test_size_in_bytes_positive(self, fm):
+        assert fm.size_in_bytes() > 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.integers(min_value=1, max_value=5), min_size=0, max_size=80),
+    st.lists(st.integers(min_value=1, max_value=5), min_size=1, max_size=4),
+)
+def test_property_fm_count_matches_naive(body, pattern):
+    # Trajectory-string contract: terminated text, terminator-free patterns.
+    text = body + [0]
+    fm = FMIndex(text, alphabet_size=6)
+    assert fm.count(pattern) == naive_count(text, pattern)
+
+
+def test_cyclic_artifact_without_terminator_contract():
+    # BWT indexes are cyclic: without the trajectory-string contract a
+    # pattern may wrap around the end of the text.  Documented behaviour.
+    fm = FMIndex([0], alphabet_size=1)
+    assert fm.count([0, 0]) == 1  # cyclic wrap match
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=60))
+def test_property_single_symbol_count(text):
+    fm = FMIndex(text, alphabet_size=4)
+    for symbol in range(4):
+        assert fm.count([symbol]) == text.count(symbol)

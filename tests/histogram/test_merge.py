@@ -1,0 +1,54 @@
+"""Tests for histogram merging (pooling)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.histogram import Histogram
+
+
+class TestMerge:
+    def test_disjoint_ranges(self):
+        a = Histogram.from_dict({1: 2}, 1.0)
+        b = Histogram.from_dict({5: 3}, 1.0)
+        assert a.merge(b).as_dict() == {1: 2, 5: 3}
+
+    def test_overlapping_ranges(self):
+        a = Histogram.from_dict({1: 2, 2: 1}, 1.0)
+        b = Histogram.from_dict({2: 4, 3: 1}, 1.0)
+        assert a.merge(b).as_dict() == {1: 2, 2: 5, 3: 1}
+
+    def test_commutative(self):
+        a = Histogram.from_dict({0: 1, 7: 2}, 1.0)
+        b = Histogram.from_dict({3: 4}, 1.0)
+        assert a.merge(b) == b.merge(a)
+
+    def test_merge_with_empty(self):
+        a = Histogram.from_dict({1: 2}, 1.0)
+        empty = Histogram.from_values([], 1.0)
+        assert a.merge(empty) == a
+        assert empty.merge(a) == a
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError):
+            Histogram.from_dict({1: 1}, 1.0).merge(
+                Histogram.from_dict({1: 1}, 2.0)
+            )
+
+    def test_total_is_sum(self):
+        a = Histogram.from_dict({1: 2, 9: 3}, 1.0)
+        b = Histogram.from_dict({4: 5}, 1.0)
+        assert a.merge(b).total == a.total + b.total
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.integers(0, 50), max_size=30),
+    st.lists(st.integers(0, 50), max_size=30),
+)
+def test_property_merge_equals_concatenation(xs, ys):
+    merged = Histogram.from_values([float(x) for x in xs], 1.0).merge(
+        Histogram.from_values([float(y) for y in ys], 1.0)
+    )
+    direct = Histogram.from_values([float(v) for v in xs + ys], 1.0)
+    assert merged == direct

@@ -1,0 +1,141 @@
+"""Tests for sMAPE, weighted error, log-likelihood, and q-error."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.histogram import Histogram
+from repro.metrics import (
+    average_log_likelihood,
+    mean_q_error_log10,
+    q_error,
+    q_error_log10,
+    smape,
+    symmetric_ape,
+    weighted_error_terms,
+)
+
+
+class TestSMAPE:
+    def test_perfect_estimate(self):
+        assert symmetric_ape(100.0, 100.0) == 0.0
+
+    def test_symmetry(self):
+        assert symmetric_ape(50.0, 100.0) == symmetric_ape(100.0, 50.0)
+
+    def test_known_value(self):
+        # |150-100| / (0.5*(150+100)) = 50/125 = 40%.
+        assert symmetric_ape(150.0, 100.0) == pytest.approx(40.0)
+
+    def test_bounded_by_200(self):
+        assert symmetric_ape(1e9, 1e-9) < 200.0 + 1e-6
+
+    def test_mean_over_query_set(self):
+        assert smape([100, 150], [100, 100]) == pytest.approx(20.0)
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValueError):
+            smape([], [])
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            smape([1.0], [1.0, 2.0])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            symmetric_ape(0.0, 0.0)
+
+
+class TestWeightedError:
+    def test_weights_by_length(self):
+        # Long accurate sub-path + short bad sub-path: error dominated by
+        # the long one.
+        error = weighted_error_terms(
+            sub_means=[100.0, 50.0],
+            sub_truths=[100.0, 100.0],
+            sub_lengths_m=[9000.0, 1000.0],
+        )
+        assert error == pytest.approx(0.9 * 0.0 + 0.1 * symmetric_ape(50, 100))
+
+    def test_single_subquery_equals_smape(self):
+        error = weighted_error_terms([150.0], [100.0], [5000.0])
+        assert error == pytest.approx(symmetric_ape(150.0, 100.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            weighted_error_terms([], [], [])
+        with pytest.raises(ValueError):
+            weighted_error_terms([1.0], [1.0], [0.0])
+        with pytest.raises(ValueError):
+            weighted_error_terms([1.0, 2.0], [1.0], [1.0])
+
+
+class TestQError:
+    def test_exact_estimate(self):
+        assert q_error(10, 10) == 1.0
+        assert q_error_log10(10, 10) == 0.0
+
+    def test_order_of_magnitude(self):
+        assert q_error_log10(100, 10) == pytest.approx(1.0)
+        assert q_error_log10(10, 100) == pytest.approx(1.0)
+
+    def test_zero_handling(self):
+        # Clamped to 1 on both sides (Stefanoni et al.).
+        assert q_error(0, 0) == 1.0
+        assert q_error(0, 50) == 50.0
+        assert q_error(50, 0) == 50.0
+
+    def test_mean(self):
+        assert mean_q_error_log10([10, 100], [10, 10]) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mean_q_error_log10([], [])
+        with pytest.raises(ValueError):
+            mean_q_error_log10([1], [1, 2])
+
+
+class TestAverageLogLikelihood:
+    def test_peaked_histogram_beats_flat(self):
+        peaked = Histogram.from_dict({10: 100}, bucket_width=10.0)
+        flat = Histogram.from_dict(
+            {i: 1 for i in range(5, 16)}, bucket_width=10.0
+        )
+        truth = [105.0]
+        assert average_log_likelihood(truth, [peaked]) > (
+            average_log_likelihood(truth, [flat])
+        )
+
+    def test_wrong_histogram_punished(self):
+        right = Histogram.from_dict({10: 10}, bucket_width=10.0)
+        wrong = Histogram.from_dict({50: 10}, bucket_width=10.0)
+        truth = [105.0]
+        assert average_log_likelihood(truth, [right]) > (
+            average_log_likelihood(truth, [wrong])
+        )
+
+    def test_finite_even_for_missing_mass(self):
+        wrong = Histogram.from_dict({50: 10}, bucket_width=10.0)
+        value = average_log_likelihood([10.0], [wrong])
+        assert math.isfinite(value)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            average_log_likelihood([], [])
+        with pytest.raises(ValueError):
+            average_log_likelihood([1.0], [])
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.floats(0.1, 1e6), st.floats(0.1, 1e6))
+def test_property_q_error_at_least_one(estimate, actual):
+    assert q_error(estimate, actual) >= 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.floats(0.1, 1e6), st.floats(0.1, 1e6))
+def test_property_smape_bounds(estimate, truth):
+    value = symmetric_ape(estimate, truth)
+    assert 0.0 <= value <= 200.0

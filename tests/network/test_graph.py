@@ -1,0 +1,138 @@
+"""Tests for the road-network graph, including the paper's Table 1."""
+
+import pytest
+
+from repro.errors import NetworkError, UnknownEdgeError
+from repro.network import Edge, RoadCategory, RoadNetwork, ZoneType
+
+
+def build_paper_network() -> RoadNetwork:
+    """The example network of Figure 1 / Table 1.
+
+    Topology (vertices chosen to make <A,B,E>, <A,C,D,E>, <A,B,F> paths):
+    A: 1->2, B: 2->3, C: 2->4, D: 4->3, E: 3->5, F: 3->6.
+    """
+    network = RoadNetwork()
+    for vertex in range(1, 7):
+        network.add_vertex(vertex, (float(vertex), 0.0))
+    rows = [
+        (1, 1, 2, RoadCategory.MOTORWAY, ZoneType.RURAL, 900.0, 110.0),
+        (2, 2, 3, RoadCategory.PRIMARY, ZoneType.CITY, 120.0, 50.0),
+        (3, 2, 4, RoadCategory.SECONDARY, ZoneType.CITY, 40.0, 30.0),
+        (4, 4, 3, RoadCategory.SECONDARY, ZoneType.CITY, 80.0, 30.0),
+        (5, 3, 5, RoadCategory.PRIMARY, ZoneType.CITY, 100.0, 50.0),
+        (6, 3, 6, RoadCategory.PRIMARY, ZoneType.RURAL, 800.0, 80.0),
+    ]
+    for edge_id, s, t, cat, zone, length, speed in rows:
+        network.add_edge(
+            Edge(edge_id, s, t, cat, zone, length, speed)
+        )
+    return network
+
+
+@pytest.fixture
+def paper_network():
+    return build_paper_network()
+
+
+class TestTable1:
+    """estimateTT values from Table 1 (to the paper's 0.1 s rounding)."""
+
+    @pytest.mark.parametrize(
+        "edge_id,expected",
+        [(1, 29.5), (2, 8.6), (3, 4.8), (4, 9.6), (5, 7.2), (6, 36.0)],
+    )
+    def test_estimate_tt(self, paper_network, edge_id, expected):
+        assert paper_network.estimate_tt(edge_id) == pytest.approx(
+            expected, abs=0.05
+        )
+
+
+class TestGraphBasics:
+    def test_counts(self, paper_network):
+        assert paper_network.n_vertices == 6
+        assert paper_network.n_edges == 6
+
+    def test_unknown_edge(self, paper_network):
+        with pytest.raises(UnknownEdgeError):
+            paper_network.edge(99)
+
+    def test_has_edge(self, paper_network):
+        assert paper_network.has_edge(1)
+        assert not paper_network.has_edge(42)
+
+    def test_out_in_edges(self, paper_network):
+        assert set(paper_network.out_edges(2)) == {2, 3}
+        assert set(paper_network.in_edges(3)) == {2, 4}
+
+    def test_alphabet_size(self, paper_network):
+        assert paper_network.alphabet_size == 7
+
+    def test_duplicate_edge_id_rejected(self, paper_network):
+        with pytest.raises(NetworkError):
+            paper_network.add_edge(
+                Edge(1, 1, 2, RoadCategory.PRIMARY, ZoneType.CITY, 5.0, 50.0)
+            )
+
+    def test_edge_requires_vertices(self):
+        network = RoadNetwork()
+        network.add_vertex(1, (0, 0))
+        with pytest.raises(NetworkError):
+            network.add_edge(
+                Edge(1, 1, 2, RoadCategory.PRIMARY, ZoneType.CITY, 5.0, 50.0)
+            )
+
+    def test_edge_id_zero_reserved(self):
+        with pytest.raises(NetworkError):
+            Edge(0, 1, 2, RoadCategory.PRIMARY, ZoneType.CITY, 5.0, 50.0)
+
+    def test_nonpositive_length_rejected(self):
+        with pytest.raises(NetworkError):
+            Edge(1, 1, 2, RoadCategory.PRIMARY, ZoneType.CITY, 0.0, 50.0)
+
+
+class TestSpeedFallback:
+    def test_median_of_category(self):
+        network = RoadNetwork()
+        for vertex in range(6):
+            network.add_vertex(vertex, (vertex, 0))
+        network.add_edge(Edge(1, 0, 1, RoadCategory.PRIMARY, ZoneType.CITY, 100, 40.0))
+        network.add_edge(Edge(2, 1, 2, RoadCategory.PRIMARY, ZoneType.CITY, 100, 80.0))
+        network.add_edge(Edge(3, 2, 3, RoadCategory.PRIMARY, ZoneType.CITY, 100, 60.0))
+        network.add_edge(Edge(4, 3, 4, RoadCategory.PRIMARY, ZoneType.CITY, 100, None))
+        assert network.speed_limit(4) == pytest.approx(60.0)
+
+    def test_typical_fallback_when_category_unknown(self):
+        network = RoadNetwork()
+        network.add_vertex(0, (0, 0))
+        network.add_vertex(1, (1, 0))
+        network.add_edge(
+            Edge(1, 0, 1, RoadCategory.MOTORWAY, ZoneType.RURAL, 900, None)
+        )
+        assert network.speed_limit(1) == pytest.approx(110.0)
+
+    def test_cache_invalidation_on_add(self):
+        network = RoadNetwork()
+        for vertex in range(4):
+            network.add_vertex(vertex, (vertex, 0))
+        network.add_edge(Edge(1, 0, 1, RoadCategory.PRIMARY, ZoneType.CITY, 100, None))
+        assert network.speed_limit(1) == pytest.approx(80.0)  # typical
+        network.add_edge(Edge(2, 1, 2, RoadCategory.PRIMARY, ZoneType.CITY, 100, 40.0))
+        assert network.speed_limit(1) == pytest.approx(40.0)  # median now
+
+
+class TestPaths:
+    def test_is_path(self, paper_network):
+        assert paper_network.is_path([1, 2, 5])  # A,B,E
+        assert paper_network.is_path([1, 3, 4, 5])  # A,C,D,E
+        assert not paper_network.is_path([1, 5])  # A then E: disconnected
+        assert not paper_network.is_path([])
+
+    def test_path_length(self, paper_network):
+        assert paper_network.path_length_m([1, 2, 5]) == pytest.approx(1120.0)
+
+    def test_path_estimate_tt(self, paper_network):
+        expected = 29.45 + 8.64 + 7.2
+        assert paper_network.path_estimate_tt([1, 2, 5]) == pytest.approx(
+            expected, abs=0.1
+        )

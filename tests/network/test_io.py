@@ -1,0 +1,100 @@
+"""Tests for network/trajectory persistence."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.network import (
+    generate_network,
+    load_network,
+    load_trajectories,
+    save_network,
+    save_trajectories,
+)
+from repro.trajectories import (
+    Trajectory,
+    TrajectoryPoint,
+    TrajectorySet,
+    generate_dataset,
+)
+
+
+class TestNetworkRoundTrip:
+    def test_synthetic_network_roundtrip(self, tmp_path):
+        synthetic = generate_network("tiny", seed=0)
+        path = tmp_path / "network.json"
+        save_network(synthetic.network, path)
+        loaded = load_network(path)
+        assert loaded.n_vertices == synthetic.network.n_vertices
+        assert loaded.n_edges == synthetic.network.n_edges
+        for edge in synthetic.network.edges():
+            twin = loaded.edge(edge.edge_id)
+            assert twin.source == edge.source
+            assert twin.target == edge.target
+            assert twin.category == edge.category
+            assert twin.zone == edge.zone
+            assert twin.length_m == pytest.approx(edge.length_m)
+            assert twin.speed_limit_kmh == edge.speed_limit_kmh
+
+    def test_estimate_tt_preserved(self, tmp_path):
+        synthetic = generate_network("tiny", seed=0)
+        path = tmp_path / "network.json"
+        save_network(synthetic.network, path)
+        loaded = load_network(path)
+        for edge_id in list(synthetic.network.edge_ids())[:30]:
+            assert loaded.estimate_tt(edge_id) == pytest.approx(
+                synthetic.network.estimate_tt(edge_id)
+            )
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(NetworkError):
+            load_network(tmp_path / "absent.json")
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(NetworkError):
+            load_network(path)
+
+
+class TestTrajectoryRoundTrip:
+    def test_roundtrip(self, tmp_path):
+        trajectories = TrajectorySet(
+            [
+                Trajectory(
+                    0,
+                    7,
+                    [TrajectoryPoint(1, 0, 3.0), TrajectoryPoint(2, 3, 4.5)],
+                ),
+                Trajectory(1, 9, [TrajectoryPoint(5, 100, 2.0)]),
+            ]
+        )
+        path = tmp_path / "trajectories.txt"
+        save_trajectories(trajectories, path)
+        loaded = load_trajectories(path)
+        assert len(loaded) == 2
+        assert loaded.by_id(0).points == trajectories.by_id(0).points
+        assert loaded.by_id(1).user_id == 9
+
+    def test_generated_dataset_roundtrip(self, tmp_path):
+        dataset = generate_dataset("tiny", seed=1)
+        path = tmp_path / "all.txt"
+        sample = TrajectorySet(list(dataset.trajectories)[:50])
+        save_trajectories(sample, path)
+        loaded = load_trajectories(path)
+        assert len(loaded) == 50
+        loaded.validate()
+        for original in sample:
+            twin = loaded.by_id(original.traj_id)
+            assert twin.path == original.path
+            assert twin.duration() == pytest.approx(original.duration())
+
+    def test_empty_set(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        save_trajectories(TrajectorySet(), path)
+        assert len(load_trajectories(path)) == 0
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0,1,notavalidtriple\n")
+        with pytest.raises(NetworkError):
+            load_trajectories(path)

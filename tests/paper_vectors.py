@@ -1,0 +1,61 @@
+"""Shared test vectors from the paper's running example (Sections 2 and 4).
+
+The example road network of Figure 1 has six directed edges A..F; Table 1
+gives their attributes.  The example trajectory set is:
+
+    tr0 : (0, u1) -> <(A,0,3), (B,3,4), (E,7,4)>
+    tr1 : (1, u2) -> <(A,2,4), (C,6,2), (D,8,4), (E,12,5)>
+    tr2 : (2, u2) -> <(A,4,3), (B,7,3), (F,10,6)>
+    tr3 : (3, u1) -> <(A,6,3), (B,9,3), (E,12,4)>
+
+yielding the trajectory string T = ABE$ACDE$ABF$ABE$ with BWT
+EFEE$$$$AAAACBDBB (Figure 3) and ISA ranges R(<A>) = [4, 8) and
+R(<A,B>) = [4, 7).
+"""
+
+from __future__ import annotations
+
+# Symbol mapping: $ = 0 (terminator), A..F = 1..6.
+DOLLAR, A, B, C, D, E, F = 0, 1, 2, 3, 4, 5, 6
+
+SYMBOL_NAMES = {0: "$", 1: "A", 2: "B", 3: "C", 4: "D", 5: "E", 6: "F"}
+
+#: T = ABE$ACDE$ABF$ABE$
+TRAJECTORY_STRING = [A, B, E, DOLLAR, A, C, D, E, DOLLAR, A, B, F, DOLLAR, A, B, E, DOLLAR]
+
+#: Expected Burrows-Wheeler transform: EFEE$$$$AAAACBDBB (Figure 3).
+EXPECTED_BWT = [E, F, E, E, DOLLAR, DOLLAR, DOLLAR, DOLLAR, A, A, A, A, C, B, D, B, B]
+
+#: Paper ISA ranges.
+ISA_RANGE_A = (4, 8)
+ISA_RANGE_AB = (4, 7)
+
+#: Trajectories: (trajectory_id, user_id, [(edge, entry_time, travel_time)]).
+TRAJECTORIES = [
+    (0, 1, [(A, 0, 3.0), (B, 3, 4.0), (E, 7, 4.0)]),
+    (1, 2, [(A, 2, 4.0), (C, 6, 2.0), (D, 8, 4.0), (E, 12, 5.0)]),
+    (2, 2, [(A, 4, 3.0), (B, 7, 3.0), (F, 10, 6.0)]),
+    (3, 1, [(A, 6, 3.0), (B, 9, 3.0), (E, 12, 4.0)]),
+]
+
+#: Table 1: edge -> (category, zone, speed limit km/h, length m, estimateTT s).
+TABLE_1 = {
+    A: ("motorway", "rural", 110, 900, 29.5),
+    B: ("primary", "city", 50, 120, 8.6),
+    C: ("secondary", "city", 30, 40, 4.8),
+    D: ("secondary", "city", 30, 80, 9.6),
+    E: ("primary", "city", 50, 100, 7.2),
+    F: ("primary", "rural", 80, 800, 36.0),
+}
+
+#: Worked query example (Section 2.3): Q = spq(<A,B,E>, [0,15), u=u1, 2)
+#: returns {tr0, tr3} and H = {[10,11): 1, [11,12): 1}.  The split into
+#: Q1 = spq(<A,B>, [0,15), {}, 3) and Q2 = spq(<E>, [0,15), {}, 3) gives
+#: H1 = {[6,7): 2, [7,8): 1}, H2 = {[4,5): 2, [5,6): 1} and the convolution
+#: H1 * H2 = {[10,11): 4, [11,12): 4, [12,13): 1}.
+WORKED_QUERY_PATH = [A, B, E]
+WORKED_QUERY_RESULT_IDS = {0, 3}
+WORKED_H = {10: 1, 11: 1}
+WORKED_H1 = {6: 2, 7: 1}
+WORKED_H2 = {4: 2, 5: 1}
+WORKED_CONVOLUTION = {10: 4, 11: 4, 12: 1}

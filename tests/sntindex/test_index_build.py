@@ -1,0 +1,142 @@
+"""Structural invariants of the built SNT-index."""
+
+import numpy as np
+import pytest
+
+from repro import SNTIndex, generate_dataset
+from repro.config import SECONDS_PER_DAY
+
+
+@pytest.fixture(scope="module")
+def world():
+    dataset = generate_dataset("tiny", seed=0)
+    index = SNTIndex.build(
+        dataset.trajectories, dataset.network.alphabet_size
+    )
+    return dataset, index
+
+
+@pytest.fixture(scope="module")
+def partitioned(world):
+    dataset, _ = world
+    return dataset, SNTIndex.build(
+        dataset.trajectories,
+        dataset.network.alphabet_size,
+        partition_days=14,
+    )
+
+
+class TestForestInvariants:
+    def test_every_traversal_indexed(self, world):
+        dataset, index = world
+        per_edge = {}
+        for trajectory in dataset.trajectories:
+            for point in trajectory.points:
+                per_edge[point.edge] = per_edge.get(point.edge, 0) + 1
+        assert index.forest.total_records() == sum(per_edge.values())
+        for edge, count in per_edge.items():
+            assert len(index.forest.get(edge)) == count
+
+    def test_leaf_isa_within_single_edge_range(self, world):
+        """Every leaf's ISA value lies inside R(<edge>) of its partition."""
+        dataset, index = world
+        for edge in list(index.forest.edges())[:50]:
+            st, ed = index.partitions[0].isa_range([edge])
+            columns = index.forest.get(edge).columns
+            assert np.all(columns.isa >= st)
+            assert np.all(columns.isa < ed)
+
+    def test_leaf_aggregates_consistent(self, world):
+        """a - TT of a leaf equals the sum of its predecessors' TTs."""
+        dataset, index = world
+        trajectory = dataset.trajectories[17]
+        cumulative = trajectory.cumulative_durations()
+        for position, point in enumerate(trajectory.points):
+            columns = index.forest.get(point.edge).columns
+            rows = np.nonzero(
+                (columns.d == trajectory.traj_id)
+                & (columns.seq == position)
+            )[0]
+            assert rows.size == 1
+            row = rows[0]
+            assert columns.tt[row] == pytest.approx(point.tt)
+            assert columns.a[row] == pytest.approx(cumulative[position])
+            assert columns.t[row] == point.t
+
+    def test_columns_sorted_by_time(self, world):
+        _, index = world
+        for edge in list(index.forest.edges())[:50]:
+            t = index.forest.get(edge).columns.t
+            assert np.all(np.diff(t) >= 0)
+
+    def test_user_container_complete(self, world):
+        dataset, index = world
+        for trajectory in dataset.trajectories:
+            assert index.user_of(trajectory.traj_id) == trajectory.user_id
+
+
+class TestPartitionAssignment:
+    def test_partitions_cover_all_trajectories(self, partitioned):
+        dataset, index = partitioned
+        assert sum(p.n_trajectories for p in index.partitions) == len(
+            dataset.trajectories
+        )
+        assert sum(p.n_traversals for p in index.partitions) == (
+            dataset.trajectories.total_traversals()
+        )
+
+    def test_partition_time_ranges_disjoint(self, partitioned):
+        _, index = partitioned
+        for a, b in zip(index.partitions, index.partitions[1:]):
+            assert a.t_hi <= b.t_lo or a.t_lo >= b.t_hi or a.w != b.w
+
+    def test_leaves_carry_partition_ids(self, partitioned):
+        dataset, index = partitioned
+        window = 14 * SECONDS_PER_DAY
+        # Check a sample of leaves: partition id matches the trajectory's
+        # start-time bucket.
+        by_id = {tr.traj_id: tr for tr in dataset.trajectories}
+        checked = 0
+        for edge in list(index.forest.edges())[:20]:
+            columns = index.forest.get(edge).columns
+            for row in range(0, len(columns), 37):
+                trajectory = by_id[int(columns.d[row])]
+                bucket = (trajectory.start_time - index.t_min) // window
+                # w is the dense rank of the bucket; ws are ordered.
+                partition = index.partitions[int(columns.w[row])]
+                assert partition.t_lo <= trajectory.start_time < partition.t_hi
+                checked += 1
+        assert checked > 50
+
+    def test_tod_store_partition_totals(self, partitioned):
+        dataset, index = partitioned
+        # Per-edge totals across partitions equal the edge's record count.
+        for edge in list(index.forest.edges())[:30]:
+            total = sum(
+                index.tod_store.total(edge, partition=p.w)
+                for p in index.partitions
+            )
+            assert total == len(index.forest.get(edge))
+
+
+class TestIsaRanges:
+    def test_ranges_sum_to_full_count(self, world, partitioned):
+        dataset, full_index = world
+        _, part_index = partitioned
+        for trajectory in list(dataset.trajectories)[:40]:
+            path = trajectory.path[:3]
+            full = full_index.path_traversal_count(path)
+            part = part_index.path_traversal_count(path)
+            assert full == part
+
+    def test_contains_path_consistency(self, partitioned):
+        dataset, index = partitioned
+        for trajectory in list(dataset.trajectories)[:40]:
+            assert index.contains_path(trajectory.path)
+
+    def test_build_stats_populated(self, world):
+        dataset, index = world
+        stats = index.build_stats
+        assert stats.setup_seconds > 0
+        assert stats.n_trajectories == len(dataset.trajectories)
+        assert stats.n_partitions == 1

@@ -1,0 +1,153 @@
+"""End-to-end reproduction of the paper's running example (Sections 2-4).
+
+Builds the SNT-index over the four example trajectories and checks every
+number the paper states: the BWT, the ISA ranges, the query results, the
+histograms, and their convolution.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    FixedInterval,
+    Histogram,
+    SNTIndex,
+    StrictPathQuery,
+    get_travel_times,
+)
+from repro.trajectories import Trajectory, TrajectoryPoint, TrajectorySet
+
+from tests.paper_vectors import (
+    ISA_RANGE_A,
+    ISA_RANGE_AB,
+    TRAJECTORIES,
+    WORKED_CONVOLUTION,
+    WORKED_H,
+    WORKED_H1,
+    WORKED_H2,
+    WORKED_QUERY_PATH,
+)
+
+A, B, C, D, E, F = 1, 2, 3, 4, 5, 6
+
+
+@pytest.fixture(scope="module")
+def index():
+    trajectories = TrajectorySet(
+        [
+            Trajectory(d, u, [TrajectoryPoint(*p) for p in seq])
+            for d, u, seq in TRAJECTORIES
+        ]
+    )
+    return SNTIndex.build(trajectories, alphabet_size=7)
+
+
+class TestSpatialPart:
+    def test_isa_range_A(self, index):
+        assert index.isa_ranges([A]) == [(0, *ISA_RANGE_A)]
+
+    def test_isa_range_AB(self, index):
+        assert index.isa_ranges([A, B]) == [(0, *ISA_RANGE_AB)]
+
+    def test_path_traversal_counts(self, index):
+        assert index.path_traversal_count([A]) == 4
+        assert index.path_traversal_count([A, B]) == 3
+        assert index.path_traversal_count([A, B, E]) == 2
+        assert index.path_traversal_count([A, C, D, E]) == 1
+
+    def test_contains_path(self, index):
+        assert index.contains_path([A, B, E])
+        assert not index.contains_path([E, A])
+
+    def test_user_container(self, index):
+        assert index.user_of(0) == 1
+        assert index.user_of(1) == 2
+        assert index.user_of(2) == 2
+        assert index.user_of(3) == 1
+
+
+class TestWorkedQuery:
+    """Q = spq(<A,B,E>, [0,15), u = u1, 2) -> {tr0, tr3} (Section 2.3)."""
+
+    def test_full_query(self, index):
+        query = StrictPathQuery(
+            path=WORKED_QUERY_PATH,
+            interval=FixedInterval(0, 15),
+            user=1,
+            beta=2,
+        )
+        result = get_travel_times(index, query)
+        assert sorted(result.values.tolist()) == [10.0, 11.0]
+        histogram = Histogram.from_values(result.values, 1.0)
+        assert histogram.as_dict() == WORKED_H
+
+    def test_sub_query_Q1(self, index):
+        query = StrictPathQuery(
+            path=(A, B), interval=FixedInterval(0, 15), beta=3
+        )
+        values = get_travel_times(index, query).values
+        assert Histogram.from_values(values, 1.0).as_dict() == WORKED_H1
+
+    def test_sub_query_Q2(self, index):
+        query = StrictPathQuery(
+            path=(E,), interval=FixedInterval(0, 15), beta=3
+        )
+        values = get_travel_times(index, query).values
+        assert Histogram.from_values(values, 1.0).as_dict() == WORKED_H2
+
+    def test_convolution(self, index):
+        h1 = Histogram.from_values(
+            get_travel_times(
+                index,
+                StrictPathQuery(path=(A, B), interval=FixedInterval(0, 15), beta=3),
+            ).values,
+            1.0,
+        )
+        h2 = Histogram.from_values(
+            get_travel_times(
+                index,
+                StrictPathQuery(path=(E,), interval=FixedInterval(0, 15), beta=3),
+            ).values,
+            1.0,
+        )
+        assert (h1 * h2).as_dict() == WORKED_CONVOLUTION
+
+    def test_durations_from_paper(self, index):
+        # Dur(tr0, <A,B,E>) = 11 and Dur(tr3, <A,B,E>) = 10.
+        query = StrictPathQuery(
+            path=WORKED_QUERY_PATH, interval=FixedInterval(0, 15)
+        )
+        values = sorted(get_travel_times(index, query).values.tolist())
+        assert values == [10.0, 11.0]
+
+    def test_time_interval_filters(self, index):
+        # Only tr0 enters A before t = 2.
+        query = StrictPathQuery(
+            path=WORKED_QUERY_PATH, interval=FixedInterval(0, 2)
+        )
+        assert get_travel_times(index, query).values.tolist() == [11.0]
+
+    def test_user_filter_u2(self, index):
+        query = StrictPathQuery(
+            path=(A, B), interval=FixedInterval(0, 15), user=2
+        )
+        # Only tr2 is from u2 and traverses <A,B>: duration 3 + 3.
+        assert get_travel_times(index, query).values.tolist() == [6.0]
+
+    def test_beta_cut_takes_earliest(self, index):
+        query = StrictPathQuery(
+            path=(A,), interval=FixedInterval(0, 15), beta=2
+        )
+        # Earliest two A-traversals: tr0 (t=0, TT=3) and tr1 (t=2, TT=4).
+        assert sorted(get_travel_times(index, query).values.tolist()) == [
+            3.0,
+            4.0,
+        ]
+
+    def test_no_match_returns_empty(self, index):
+        query = StrictPathQuery(
+            path=(E, A), interval=FixedInterval(0, 15)
+        )
+        result = get_travel_times(index, query)
+        assert result.is_empty
+        assert not result.from_fallback

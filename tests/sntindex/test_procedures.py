@@ -1,0 +1,262 @@
+"""Tests for buildMap/probeMap/getTravelTimes semantics and edge cases."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    FixedInterval,
+    PeriodicInterval,
+    SNTIndex,
+    StrictPathQuery,
+    count_matches,
+    get_travel_times,
+)
+from repro.config import SECONDS_PER_DAY
+from repro.errors import IndexError_
+from repro.trajectories import Trajectory, TrajectoryPoint, TrajectorySet
+
+
+def make_index(rows, alphabet_size=10):
+    trajectories = TrajectorySet(
+        [
+            Trajectory(d, u, [TrajectoryPoint(*p) for p in seq])
+            for d, u, seq in rows
+        ]
+    )
+    return SNTIndex.build(trajectories, alphabet_size=alphabet_size)
+
+
+class TestCircularPathGuard:
+    """The seq number guards against circular trajectories (Section 4.1.3)."""
+
+    def test_loop_trajectory_counted_per_occurrence(self):
+        # Path 1 -> 2 -> 1 -> 2: the sub-path <1,2> occurs twice.
+        index = make_index(
+            [(0, 1, [(1, 0, 2.0), (2, 2, 3.0), (1, 5, 4.0), (2, 9, 5.0)])]
+        )
+        query = StrictPathQuery(path=(1, 2), interval=FixedInterval(0, 100))
+        values = sorted(get_travel_times(index, query).values.tolist())
+        assert values == [5.0, 9.0]  # 2+3 and 4+5, distinct occurrences
+
+    def test_loop_does_not_cross_match(self):
+        # <1,2,1> occurs once; probing must not pair first 1 with last 2.
+        index = make_index(
+            [(0, 1, [(1, 0, 2.0), (2, 2, 3.0), (1, 5, 4.0)])]
+        )
+        query = StrictPathQuery(path=(1, 2, 1), interval=FixedInterval(0, 100))
+        assert get_travel_times(index, query).values.tolist() == [9.0]
+
+
+class TestFallback:
+    def test_single_segment_fallback(self):
+        index = make_index([(0, 1, [(1, 0, 2.0), (2, 2, 3.0)])])
+        # Edge 5 exists in the network but carries no data.
+        query = StrictPathQuery(path=(5,), interval=FixedInterval(0, 100))
+        result = get_travel_times(index, query, fallback_tt=lambda e: 42.5)
+        assert result.from_fallback
+        assert result.values.tolist() == [42.5]
+        assert result.n_matched == 0
+
+    def test_no_fallback_for_multi_segment(self):
+        index = make_index([(0, 1, [(1, 0, 2.0), (2, 2, 3.0)])])
+        query = StrictPathQuery(path=(5, 6), interval=FixedInterval(0, 100))
+        result = get_travel_times(index, query, fallback_tt=lambda e: 42.5)
+        assert result.is_empty
+        assert not result.from_fallback
+
+    def test_no_fallback_when_data_exists(self):
+        index = make_index([(0, 1, [(1, 0, 2.0)])])
+        query = StrictPathQuery(path=(1,), interval=FixedInterval(0, 100))
+        result = get_travel_times(index, query, fallback_tt=lambda e: 42.5)
+        assert not result.from_fallback
+        assert result.values.tolist() == [2.0]
+
+
+class TestPeriodicBetaSemantics:
+    def make(self):
+        # Two traversals of edge 1 at 08:00 on two days.
+        eight = 8 * 3600
+        return make_index(
+            [
+                (0, 1, [(1, eight, 3.0), (2, eight + 3, 4.0)]),
+                (1, 2, [(1, SECONDS_PER_DAY + eight, 5.0), (2, SECONDS_PER_DAY + eight + 5, 6.0)]),
+            ]
+        )
+
+    def test_periodic_below_beta_is_insufficient(self):
+        index = self.make()
+        query = StrictPathQuery(
+            path=(1, 2),
+            interval=PeriodicInterval.around(8 * 3600, 900),
+            beta=5,
+        )
+        result = get_travel_times(index, query)
+        assert result.insufficient
+        assert result.is_empty
+        assert result.n_matched == 2
+
+    def test_fixed_below_beta_still_returns(self):
+        index = self.make()
+        query = StrictPathQuery(
+            path=(1, 2), interval=FixedInterval(0, 10 * SECONDS_PER_DAY), beta=5
+        )
+        result = get_travel_times(index, query)
+        assert not result.insufficient
+        assert sorted(result.values.tolist()) == [7.0, 11.0]
+
+    def test_periodic_at_beta_succeeds(self):
+        index = self.make()
+        query = StrictPathQuery(
+            path=(1, 2),
+            interval=PeriodicInterval.around(8 * 3600, 900),
+            beta=2,
+        )
+        result = get_travel_times(index, query)
+        assert sorted(result.values.tolist()) == [7.0, 11.0]
+
+
+class TestExcludeIds:
+    def test_excluded_trajectory_invisible(self):
+        index = make_index(
+            [
+                (0, 1, [(1, 0, 2.0), (2, 2, 3.0)]),
+                (1, 1, [(1, 10, 4.0), (2, 14, 5.0)]),
+            ]
+        )
+        query = StrictPathQuery(path=(1, 2), interval=FixedInterval(0, 100))
+        result = get_travel_times(index, query, exclude_ids=(0,))
+        assert result.values.tolist() == [9.0]
+
+
+class TestCountMatches:
+    def test_count_full(self):
+        index = make_index(
+            [
+                (0, 1, [(1, 0, 2.0), (2, 2, 3.0)]),
+                (1, 2, [(1, 10, 4.0), (2, 14, 5.0)]),
+                (2, 1, [(1, 20, 1.0), (3, 21, 1.0)]),
+            ]
+        )
+        assert count_matches(index, (1, 2), FixedInterval(0, 100)) == 2
+        assert count_matches(index, (1,), FixedInterval(0, 100)) == 3
+        assert count_matches(index, (1,), FixedInterval(0, 100), user=1) == 2
+        assert count_matches(index, (1,), FixedInterval(0, 5)) == 1
+
+    def test_count_with_limit(self):
+        index = make_index(
+            [(d, 1, [(1, d * 10, 2.0)]) for d in range(10)]
+        )
+        assert count_matches(
+            index, (1,), FixedInterval(0, 1000), limit=3
+        ) == 3
+
+    def test_count_missing_path(self):
+        index = make_index([(0, 1, [(1, 0, 2.0)])])
+        assert count_matches(index, (7,), FixedInterval(0, 100)) == 0
+
+
+class TestTemporalPartitioning:
+    """Partitioned and FULL indexes must answer identically."""
+
+    def make_set(self):
+        rows = []
+        rng = np.random.default_rng(4)
+        for d in range(40):
+            day = int(rng.integers(0, 60))
+            start = day * SECONDS_PER_DAY + int(rng.integers(0, 80_000))
+            edges = [1, 2, 3] if d % 2 == 0 else [2, 3, 4]
+            t = start
+            points = []
+            for e in edges:
+                tt = float(rng.integers(2, 20))
+                points.append((e, t, tt))
+                t += int(tt)
+            rows.append((d, d % 5, points))
+        return rows
+
+    @pytest.mark.parametrize("partition_days", [7, 30, None])
+    def test_equivalence(self, partition_days):
+        rows = self.make_set()
+        full = make_index(rows)
+        part = SNTIndex.build(
+            TrajectorySet(
+                [
+                    Trajectory(d, u, [TrajectoryPoint(*p) for p in seq])
+                    for d, u, seq in rows
+                ]
+            ),
+            alphabet_size=10,
+            partition_days=partition_days,
+        )
+        for path in [(1, 2), (2, 3), (2, 3, 4), (1, 2, 3), (4,)]:
+            for interval in [
+                FixedInterval(0, 100 * SECONDS_PER_DAY),
+                FixedInterval(0, 20 * SECONDS_PER_DAY),
+                PeriodicInterval.around(10 * 3600, 7200),
+            ]:
+                query = StrictPathQuery(path=path, interval=interval)
+                got = sorted(
+                    get_travel_times(part, query).values.tolist()
+                )
+                want = sorted(
+                    get_travel_times(full, query).values.tolist()
+                )
+                assert got == want, (path, interval, partition_days)
+
+    def test_partition_count(self):
+        rows = self.make_set()
+        part = SNTIndex.build(
+            TrajectorySet(
+                [
+                    Trajectory(d, u, [TrajectoryPoint(*p) for p in seq])
+                    for d, u, seq in rows
+                ]
+            ),
+            alphabet_size=10,
+            partition_days=7,
+        )
+        assert part.n_partitions > 1
+        full = make_index(rows)
+        assert full.n_partitions == 1
+
+    def test_bad_partition_days(self):
+        rows = self.make_set()
+        with pytest.raises(IndexError_):
+            SNTIndex.build(
+                TrajectorySet(
+                    [
+                        Trajectory(d, u, [TrajectoryPoint(*p) for p in seq])
+                        for d, u, seq in rows
+                    ]
+                ),
+                alphabet_size=10,
+                partition_days=0,
+            )
+
+
+class TestBuildValidation:
+    def test_empty_set_rejected(self):
+        with pytest.raises(IndexError_):
+            SNTIndex.build(TrajectorySet(), alphabet_size=5)
+
+    def test_component_sizes_reported(self):
+        index = make_index([(0, 1, [(1, 0, 2.0), (2, 2, 3.0)])])
+        sizes = index.component_sizes()
+        assert set(sizes) == {"WT", "C", "user", "Forest", "tod_histograms"}
+        assert all(v >= 0 for v in sizes.values())
+
+    def test_btree_kind(self):
+        index = SNTIndex.build(
+            TrajectorySet(
+                [Trajectory(0, 1, [TrajectoryPoint(1, 0, 2.0)])]
+            ),
+            alphabet_size=5,
+            kind="btree",
+        )
+        query = StrictPathQuery(path=(1,), interval=FixedInterval(0, 100))
+        assert get_travel_times(index, query).values.tolist() == [2.0]
+
+    def test_user_of_unknown_id(self):
+        index = make_index([(0, 1, [(1, 0, 2.0)])])
+        with pytest.raises(IndexError_):
+            index.user_of(99)

@@ -1,0 +1,131 @@
+"""Property-based equivalence: SNT-index vs. the naive linear-scan oracle.
+
+Hypothesis generates random micro trajectory sets and random strict path
+queries; the index must return exactly the oracle's travel times under
+every combination of temporal predicate, user filter, beta, exclusion and
+temporal partitioning.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    FixedInterval,
+    PeriodicInterval,
+    SNTIndex,
+    StrictPathQuery,
+    naive_match_count,
+    naive_travel_times,
+)
+from repro.config import SECONDS_PER_DAY
+from repro.sntindex import count_matches, get_travel_times
+from repro.trajectories import Trajectory, TrajectoryPoint, TrajectorySet
+
+N_EDGES = 6
+
+
+@st.composite
+def trajectory_sets(draw):
+    """Random sets of 1-12 short trajectories over a 6-edge alphabet."""
+    n = draw(st.integers(1, 12))
+    trajectories = []
+    for traj_id in range(n):
+        length = draw(st.integers(1, 5))
+        edges = [draw(st.integers(1, N_EDGES)) for _ in range(length)]
+        start = draw(st.integers(0, 3 * SECONDS_PER_DAY))
+        tts = [draw(st.integers(1, 50)) for _ in range(length)]
+        points, t = [], start
+        for edge, tt in zip(edges, tts):
+            points.append(TrajectoryPoint(edge, t, float(tt)))
+            t += tt
+        trajectories.append(
+            Trajectory(traj_id, draw(st.integers(1, 3)), points)
+        )
+    return TrajectorySet(trajectories)
+
+
+@st.composite
+def queries(draw):
+    length = draw(st.integers(1, 3))
+    path = tuple(draw(st.integers(1, N_EDGES)) for _ in range(length))
+    if draw(st.booleans()):
+        interval = FixedInterval(
+            draw(st.integers(0, SECONDS_PER_DAY)),
+            draw(st.integers(SECONDS_PER_DAY + 1, 5 * SECONDS_PER_DAY)),
+        )
+    else:
+        interval = PeriodicInterval(
+            start_tod=draw(st.integers(0, SECONDS_PER_DAY - 1)),
+            duration=draw(st.integers(60, SECONDS_PER_DAY)),
+        )
+    user = draw(st.sampled_from([None, 1, 2, 3]))
+    beta = draw(st.sampled_from([None, 1, 2, 5]))
+    return StrictPathQuery(path=path, interval=interval, user=user, beta=beta)
+
+
+@settings(max_examples=120, deadline=None)
+@given(trajectory_sets(), queries())
+def test_property_index_matches_oracle(trajectories, query):
+    index = SNTIndex.build(trajectories, alphabet_size=N_EDGES + 1)
+    got = sorted(get_travel_times(index, query).values.tolist())
+    want = sorted(naive_travel_times(trajectories, query).tolist())
+    assert got == want
+
+
+@settings(max_examples=60, deadline=None)
+@given(trajectory_sets(), queries(), st.sampled_from([1, 2, 7]))
+def test_property_partitioned_index_matches_oracle(
+    trajectories, query, partition_days
+):
+    index = SNTIndex.build(
+        trajectories,
+        alphabet_size=N_EDGES + 1,
+        partition_days=partition_days,
+    )
+    got = sorted(get_travel_times(index, query).values.tolist())
+    want = sorted(naive_travel_times(trajectories, query).tolist())
+    assert got == want
+
+
+@settings(max_examples=60, deadline=None)
+@given(trajectory_sets(), queries())
+def test_property_count_matches_oracle(trajectories, query):
+    index = SNTIndex.build(trajectories, alphabet_size=N_EDGES + 1)
+    got = count_matches(index, query.path, query.interval, user=query.user)
+    want = naive_match_count(
+        trajectories, query.path, query.interval, user=query.user
+    )
+    assert got == want
+
+
+@settings(max_examples=40, deadline=None)
+@given(trajectory_sets(), queries(), st.integers(0, 11))
+def test_property_exclusion_matches_oracle(trajectories, query, excluded):
+    index = SNTIndex.build(trajectories, alphabet_size=N_EDGES + 1)
+    got = sorted(
+        get_travel_times(
+            index, query, exclude_ids=(excluded,)
+        ).values.tolist()
+    )
+    want = sorted(
+        naive_travel_times(
+            trajectories, query, exclude_ids=(excluded,)
+        ).tolist()
+    )
+    assert got == want
+
+
+@settings(max_examples=40, deadline=None)
+@given(trajectory_sets())
+def test_property_btree_and_css_agree(trajectories):
+    css = SNTIndex.build(trajectories, alphabet_size=N_EDGES + 1, kind="css")
+    btree = SNTIndex.build(
+        trajectories, alphabet_size=N_EDGES + 1, kind="btree"
+    )
+    query = StrictPathQuery(
+        path=(1,), interval=PeriodicInterval(start_tod=0, duration=43_200)
+    )
+    assert sorted(get_travel_times(css, query).values.tolist()) == sorted(
+        get_travel_times(btree, query).values.tolist()
+    )

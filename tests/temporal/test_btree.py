@@ -1,0 +1,126 @@
+"""Tests for the B+-tree multimap."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.temporal.btree import BPlusTree
+
+
+def test_empty_tree():
+    tree = BPlusTree()
+    assert len(tree) == 0
+    assert list(tree.items()) == []
+    assert tree.range_values(0, 100) == []
+    assert tree.min_key() is None
+    assert tree.max_key() is None
+
+
+def test_single_insert():
+    tree = BPlusTree()
+    tree.insert(5, 50)
+    assert list(tree.items()) == [(5, 50)]
+    assert tree.min_key() == 5
+    assert tree.max_key() == 5
+
+
+def test_duplicate_keys_preserve_insertion_order():
+    tree = BPlusTree(order=4)
+    for value in range(10):
+        tree.insert(7, value)
+    assert [v for _, v in tree.items()] == list(range(10))
+
+
+def test_range_scan_half_open():
+    tree = BPlusTree(order=4)
+    for key in range(20):
+        tree.insert(key, key * 10)
+    assert tree.range_values(5, 9) == [50, 60, 70, 80]
+    assert tree.range_values(5, 5) == []
+    assert tree.range_values(19, 100) == [190]
+    assert tree.range_values(-5, 0) == []
+
+
+def test_range_count():
+    tree = BPlusTree(order=4)
+    for key in [1, 1, 1, 2, 5, 5, 9]:
+        tree.insert(key, 0)
+    assert tree.range_count(1, 2) == 3
+    assert tree.range_count(1, 6) == 6
+    assert tree.range_count(3, 5) == 0
+
+
+def test_splits_keep_invariants():
+    tree = BPlusTree(order=4)
+    for key in range(500):
+        tree.insert((key * 37) % 101, key)
+    tree.validate()
+    assert len(tree) == 500
+    assert tree.height > 1
+
+
+def test_bulk_load_matches_inserts():
+    pairs = [(k % 13, k) for k in range(100)]
+    tree = BPlusTree.bulk_load(pairs, order=8)
+    tree.validate()
+    assert len(tree) == 100
+    keys = [k for k, _ in tree.items()]
+    assert keys == sorted(keys)
+
+
+def test_order_too_small_rejected():
+    with pytest.raises(ValueError):
+        BPlusTree(order=3)
+
+
+def test_descending_inserts():
+    tree = BPlusTree(order=4)
+    for key in range(100, 0, -1):
+        tree.insert(key, key)
+    tree.validate()
+    assert [k for k, _ in tree.items()] == list(range(1, 101))
+
+
+def test_height_grows_logarithmically():
+    tree = BPlusTree(order=8)
+    for key in range(1000):
+        tree.insert(key, key)
+    # ~log_4(1000) levels; generous bound.
+    assert tree.height <= 7
+
+
+def test_size_in_bytes_grows():
+    small = BPlusTree()
+    big = BPlusTree()
+    for key in range(10):
+        small.insert(key, key)
+    for key in range(1000):
+        big.insert(key, key)
+    assert big.size_in_bytes() > small.size_in_bytes()
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 50), st.integers(0, 1000)), max_size=200))
+def test_property_items_sorted_and_complete(pairs):
+    tree = BPlusTree(order=6)
+    for key, value in pairs:
+        tree.insert(key, value)
+    tree.validate()
+    items = list(tree.items())
+    assert len(items) == len(pairs)
+    assert [k for k, _ in items] == sorted(k for k, _ in pairs)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.lists(st.integers(0, 100), max_size=150),
+    st.integers(0, 100),
+    st.integers(0, 100),
+)
+def test_property_range_scan_matches_model(keys, lo, hi):
+    tree = BPlusTree(order=5)
+    for key in keys:
+        tree.insert(key, key)
+    expected = sorted(k for k in keys if lo <= k < hi)
+    assert [k for k, _ in tree.range_scan(lo, hi)] == expected
+    assert tree.range_count(lo, hi) == len(expected)

@@ -1,0 +1,63 @@
+"""Stateful (model-based) testing of the B+-tree against a sorted-list
+model: arbitrary interleavings of inserts and range scans must always
+agree."""
+
+import bisect
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+from hypothesis import strategies as st
+
+from repro.temporal.btree import BPlusTree
+
+
+class BTreeMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.tree = BPlusTree(order=4)  # small order: frequent splits
+        self.model = []  # sorted list of (key, value) by key, stable
+
+    @rule(key=st.integers(0, 60), value=st.integers(0, 10_000))
+    def insert(self, key, value):
+        self.tree.insert(key, value)
+        position = bisect.bisect_right([k for k, _ in self.model], key)
+        self.model.insert(position, (key, value))
+
+    @rule(lo=st.integers(-5, 70), hi=st.integers(-5, 70))
+    def range_scan_matches(self, lo, hi):
+        got = list(self.tree.range_scan(lo, hi))
+        want = [(k, v) for k, v in self.model if lo <= k < hi]
+        assert got == want
+
+    @rule(lo=st.integers(-5, 70), hi=st.integers(-5, 70))
+    def range_count_matches(self, lo, hi):
+        assert self.tree.range_count(lo, hi) == sum(
+            1 for k, _ in self.model if lo <= k < hi
+        )
+
+    @invariant()
+    def size_matches(self):
+        assert len(self.tree) == len(self.model)
+
+    @invariant()
+    def items_sorted_and_complete(self):
+        items = list(self.tree.items())
+        assert items == self.model
+
+    @invariant()
+    def structure_valid(self):
+        self.tree.validate()
+
+    @invariant()
+    def min_max_match(self):
+        if self.model:
+            assert self.tree.min_key() == self.model[0][0]
+            assert self.tree.max_key() == self.model[-1][0]
+        else:
+            assert self.tree.min_key() is None
+
+
+BTreeMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)
+TestBTreeStateful = BTreeMachine.TestCase

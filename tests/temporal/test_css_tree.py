@@ -1,0 +1,135 @@
+"""Tests for the CSS-tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.temporal.css_tree import CSSTree
+
+
+def test_empty():
+    tree = CSSTree(np.empty(0, np.int64))
+    assert len(tree) == 0
+    assert tree.lower_bound(5) == 0
+    assert tree.range_count(0, 10) == 0
+    assert tree.min_key() is None
+    assert tree.max_key() is None
+
+
+def test_lower_bound_simple():
+    tree = CSSTree(np.array([1, 3, 3, 7, 9]))
+    assert tree.lower_bound(0) == 0
+    assert tree.lower_bound(1) == 0
+    assert tree.lower_bound(2) == 1
+    assert tree.lower_bound(3) == 1
+    assert tree.lower_bound(4) == 3
+    assert tree.lower_bound(9) == 4
+    assert tree.lower_bound(10) == 5
+
+
+def test_duplicates_across_node_boundaries():
+    # 100 equal keys guarantee duplicates span many nodes.
+    tree = CSSTree(np.array([5] * 100 + [9] * 50), node_keys=4)
+    assert tree.lower_bound(5) == 0
+    assert tree.lower_bound(6) == 100
+    assert tree.lower_bound(9) == 100
+    assert tree.range_count(5, 6) == 100
+    assert tree.range_count(9, 10) == 50
+
+
+def test_directory_built_for_large_arrays():
+    tree = CSSTree(np.arange(10_000), node_keys=16)
+    assert tree.height >= 2
+    tree.validate()
+
+
+def test_unsorted_keys_rejected():
+    with pytest.raises(ValueError):
+        CSSTree(np.array([3, 1, 2]))
+
+
+def test_node_keys_too_small():
+    with pytest.raises(ValueError):
+        CSSTree(np.array([1]), node_keys=1)
+
+
+def test_range_count_matches_slices():
+    keys = np.sort(np.array([4, 8, 8, 8, 15, 16, 23, 42, 42]))
+    tree = CSSTree(keys)
+    assert tree.range_count(8, 16) == 4
+    assert tree.range_count(0, 100) == 9
+    assert tree.range_count(42, 43) == 2
+    assert tree.range_count(50, 40) == 0
+
+
+def test_bounds_fast_matches_descent():
+    rng = np.random.default_rng(11)
+    keys = np.sort(rng.integers(0, 500, size=1000))
+    tree = CSSTree(keys, node_keys=8)
+    for probe in range(-5, 510, 7):
+        assert tree.lower_bound(probe) == int(
+            np.searchsorted(keys, probe, side="left")
+        )
+        lo, hi = tree.bounds_fast(probe, probe + 13)
+        assert (lo, hi) == tree.range_bounds(probe, probe + 13)
+
+
+def test_append_batch():
+    tree = CSSTree(np.array([1, 5, 9]), node_keys=4)
+    tree.append_batch(np.array([9, 12, 20]))
+    tree.validate()
+    assert len(tree) == 6
+    assert tree.lower_bound(9) == 2
+    assert tree.range_count(9, 21) == 4
+
+
+def test_append_batch_empty_noop():
+    tree = CSSTree(np.array([1, 2]))
+    tree.append_batch(np.empty(0, np.int64))
+    assert len(tree) == 2
+
+
+def test_append_out_of_order_rejected():
+    tree = CSSTree(np.array([5, 10]))
+    with pytest.raises(ValueError):
+        tree.append_batch(np.array([3]))
+    with pytest.raises(ValueError):
+        tree.append_batch(np.array([12, 11]))
+
+
+def test_append_to_empty():
+    tree = CSSTree(np.empty(0, np.int64))
+    tree.append_batch(np.array([2, 4, 6]))
+    assert tree.range_count(2, 7) == 3
+
+
+def test_size_in_bytes_close_to_raw_keys():
+    tree = CSSTree(np.arange(10_000), node_keys=16)
+    raw = 8 * 10_000
+    assert raw <= tree.size_in_bytes() <= raw * 1.1  # pointer-less directory
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(st.integers(0, 200), max_size=400),
+    st.integers(-10, 210),
+    st.sampled_from([2, 3, 4, 16]),
+)
+def test_property_lower_bound_matches_searchsorted(keys, probe, node_keys):
+    arr = np.sort(np.asarray(keys, dtype=np.int64))
+    tree = CSSTree(arr, node_keys=node_keys)
+    assert tree.lower_bound(probe) == int(np.searchsorted(arr, probe, "left"))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.integers(0, 100), max_size=300),
+    st.integers(0, 100),
+    st.integers(0, 100),
+)
+def test_property_range_count_exact(keys, lo, hi):
+    arr = np.sort(np.asarray(keys, dtype=np.int64))
+    tree = CSSTree(arr, node_keys=4)
+    expected = sum(1 for k in keys if lo <= k < hi)
+    assert tree.range_count(lo, hi) == expected

@@ -1,0 +1,183 @@
+"""Tests for leaf records and the temporal forest."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import SECONDS_PER_DAY
+from repro.temporal import EdgeTemporalIndex, TemporalForest, TraversalColumns
+
+
+def make_columns(ts, tts=None):
+    ts = np.asarray(ts, dtype=np.int64)
+    n = ts.size
+    if tts is None:
+        tts = np.full(n, 5.0)
+    return TraversalColumns.from_arrays(
+        t=ts,
+        isa=np.arange(n),
+        d=np.arange(n) % 7,
+        tt=tts,
+        a=np.cumsum(tts),
+        seq=np.zeros(n, np.int32),
+    )
+
+
+class TestTraversalColumns:
+    def test_from_arrays_sorts_by_time(self):
+        columns = make_columns([30, 10, 20])
+        assert columns.t.tolist() == [10, 20, 30]
+        # isa column permuted consistently
+        assert columns.isa.tolist() == [1, 2, 0]
+
+    def test_record_view(self):
+        columns = make_columns([10, 20])
+        record = columns.record(0)
+        assert record.t == 10
+        assert record.tt == 5.0
+        assert record.w == 0
+
+    def test_iteration(self):
+        columns = make_columns([10, 20, 30])
+        assert len(list(columns)) == 3
+
+    def test_validate_catches_nonpositive_tt(self):
+        columns = make_columns([10, 20], tts=np.array([1.0, 0.0]))
+        with pytest.raises(ValueError):
+            columns.validate()
+
+    def test_validate_catches_length_mismatch(self):
+        columns = make_columns([10, 20])
+        columns.isa = np.arange(3)
+        with pytest.raises(ValueError):
+            columns.validate()
+
+    def test_empty(self):
+        columns = TraversalColumns.empty()
+        assert len(columns) == 0
+        columns.validate()
+
+    def test_size_model_partition_flag(self):
+        columns = make_columns([1, 2, 3])
+        assert columns.size_in_bytes(True) == columns.size_in_bytes(False) + 6
+
+
+class TestEdgeTemporalIndex:
+    @pytest.fixture(params=["css", "btree"])
+    def kind(self, request):
+        return request.param
+
+    def test_rows_fixed(self, kind):
+        index = EdgeTemporalIndex(make_columns([10, 20, 30, 40]), kind=kind)
+        assert index.rows_fixed(15, 35).tolist() == [1, 2]
+        assert index.rows_fixed(0, 100).tolist() == [0, 1, 2, 3]
+        assert index.rows_fixed(41, 100).tolist() == []
+        assert index.rows_fixed(30, 30).tolist() == []
+
+    def test_rows_fixed_empty_index(self, kind):
+        index = EdgeTemporalIndex(TraversalColumns.empty(), kind=kind)
+        assert index.rows_fixed(0, 100).size == 0
+
+    def test_count_fixed(self, kind):
+        index = EdgeTemporalIndex(make_columns([10, 10, 20, 30]), kind=kind)
+        assert index.count_fixed(10, 21) == 3
+
+    def test_rows_periodic_basic(self, kind):
+        # Two traversals at 08:00 on days 0 and 1; one at 20:00 on day 0.
+        eight, twenty = 8 * 3600, 20 * 3600
+        ts = [eight, twenty, SECONDS_PER_DAY + eight]
+        index = EdgeTemporalIndex(make_columns(ts), kind=kind)
+        rows = index.rows_periodic(eight - 900, 1800)
+        assert rows.tolist() == [0, 2]
+
+    def test_rows_periodic_midnight_wrap(self, kind):
+        # Window 23:30-00:30 wraps past midnight.  Columns are stored
+        # sorted by t: noon (row 0), 23:31 (row 1), next-day 00:10 (row 2).
+        ts = [
+            23 * 3600 + 1800 + 60,  # day 0, 23:31
+            SECONDS_PER_DAY + 600,  # day 1, 00:10
+            12 * 3600,  # day 0 noon: outside
+        ]
+        index = EdgeTemporalIndex(make_columns(ts), kind=kind)
+        rows = index.rows_periodic(23 * 3600 + 1800, 3600)
+        assert sorted(rows.tolist()) == [1, 2]
+
+    def test_rows_periodic_full_day(self, kind):
+        index = EdgeTemporalIndex(make_columns([5, 500, 50_000]), kind=kind)
+        assert index.rows_periodic(0, SECONDS_PER_DAY).tolist() == [0, 1, 2]
+        assert index.rows_periodic(1234, 2 * SECONDS_PER_DAY).tolist() == [0, 1, 2]
+
+    def test_rows_periodic_zero_duration(self, kind):
+        index = EdgeTemporalIndex(make_columns([5]), kind=kind)
+        assert index.rows_periodic(0, 0).size == 0
+
+    def test_rows_ascending_by_time(self, kind):
+        rng = np.random.default_rng(3)
+        ts = rng.integers(0, 10 * SECONDS_PER_DAY, size=200)
+        index = EdgeTemporalIndex(make_columns(ts), kind=kind)
+        rows = index.rows_periodic(3600, 7200)
+        times = index.columns.t[rows]
+        assert np.all(np.diff(times) >= 0)
+
+    def test_supports_fast_count(self):
+        columns = make_columns([1])
+        assert EdgeTemporalIndex(columns, kind="css").supports_fast_count
+        assert not EdgeTemporalIndex(columns, kind="btree").supports_fast_count
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            EdgeTemporalIndex(make_columns([1]), kind="hash")
+
+
+def test_css_and_btree_agree_on_periodic_scans():
+    rng = np.random.default_rng(17)
+    ts = np.sort(rng.integers(0, 30 * SECONDS_PER_DAY, size=500))
+    columns = make_columns(ts)
+    css = EdgeTemporalIndex(columns, kind="css")
+    btree = EdgeTemporalIndex(columns, kind="btree")
+    for start, duration in [(0, 3600), (8 * 3600, 1800), (23 * 3600, 7200)]:
+        css_rows = set(css.rows_periodic(start, duration).tolist())
+        bt_rows = set(btree.rows_periodic(start, duration).tolist())
+        assert css_rows == bt_rows
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.integers(0, 5 * SECONDS_PER_DAY), min_size=1, max_size=80),
+    st.integers(0, SECONDS_PER_DAY - 1),
+    st.integers(1, SECONDS_PER_DAY),
+)
+def test_property_periodic_scan_matches_model(ts, start_tod, duration):
+    columns = make_columns(np.sort(np.asarray(ts)))
+    index = EdgeTemporalIndex(columns, kind="css")
+    rows = set(index.rows_periodic(start_tod, duration).tolist())
+    expected = {
+        i
+        for i, t in enumerate(columns.t.tolist())
+        if (t - start_tod) % SECONDS_PER_DAY < duration
+    }
+    assert rows == expected
+
+
+class TestTemporalForest:
+    def test_build_and_lookup(self):
+        forest = TemporalForest.build(
+            {1: make_columns([10, 20]), 5: make_columns([30])}, kind="css"
+        )
+        assert len(forest) == 2
+        assert 1 in forest and 5 in forest and 3 not in forest
+        assert forest.get(3) is None
+        assert forest.total_records() == 3
+
+    def test_edges_iteration(self):
+        forest = TemporalForest.build({2: make_columns([1])})
+        assert list(forest.edges()) == [2]
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            TemporalForest(kind="lsm")
+
+    def test_size_in_bytes_positive(self):
+        forest = TemporalForest.build({1: make_columns(list(range(50)))})
+        assert forest.size_in_bytes() > 0

@@ -1,0 +1,106 @@
+"""Tests for the speed-limit and segment-level baselines."""
+
+import pytest
+
+from repro import FixedInterval, SNTIndex
+from repro.baselines import SegmentLevelBaseline, SpeedLimitBaseline
+from repro.config import SECONDS_PER_DAY
+from repro.trajectories import Trajectory, TrajectoryPoint, TrajectorySet
+
+from tests.network.test_graph import build_paper_network
+
+A, B, C, D, E, F = 1, 2, 3, 4, 5, 6
+
+
+@pytest.fixture(scope="module")
+def network():
+    return build_paper_network()
+
+
+@pytest.fixture(scope="module")
+def index():
+    trajectories = TrajectorySet(
+        [
+            Trajectory(0, 1, [TrajectoryPoint(A, 0, 3.0), TrajectoryPoint(B, 3, 4.0)]),
+            Trajectory(1, 2, [TrajectoryPoint(A, 100, 5.0), TrajectoryPoint(B, 105, 6.0)]),
+            Trajectory(
+                2,
+                1,
+                [
+                    TrajectoryPoint(A, 10 * 3600, 4.0),
+                    TrajectoryPoint(B, 10 * 3600 + 4, 5.0),
+                ],
+            ),
+        ]
+    )
+    return SNTIndex.build(trajectories, alphabet_size=7)
+
+
+class TestSpeedLimitBaseline:
+    def test_path_estimate(self, network):
+        baseline = SpeedLimitBaseline(network)
+        # Table 1: A = 29.45 s, B = 8.64 s.
+        assert baseline.estimate([A, B]) == pytest.approx(38.1, abs=0.1)
+
+    def test_single_edge(self, network):
+        baseline = SpeedLimitBaseline(network)
+        assert baseline.estimate([E]) == pytest.approx(7.2, abs=0.05)
+
+
+class TestSegmentLevelBaseline:
+    def test_pooled_means(self, network, index):
+        baseline = SegmentLevelBaseline(index, network, bucket_width_s=1.0)
+        # Means of per-segment data: A in {3,5,4}, B in {4,6,5}; histogram
+        # means use bucket midpoints (+0.5).
+        assert baseline.estimate([A, B]) == pytest.approx(4.5 + 5.5, abs=0.01)
+
+    def test_histogram_convolution_has_unit_mass(self, network, index):
+        baseline = SegmentLevelBaseline(index, network, bucket_width_s=1.0)
+        histogram = baseline.path_histogram([A, B], timestamp=0)
+        assert histogram.total == pytest.approx(1.0)
+        assert histogram.min_value >= 7.0  # min 3+4
+
+    def test_fallback_to_speed_limit_for_unseen_edge(self, network, index):
+        baseline = SegmentLevelBaseline(index, network, bucket_width_s=1.0)
+        # Edge F was never traversed: estimateTT(F) = 36 s.
+        assert baseline.estimate([F]) == pytest.approx(36.5, abs=0.1)
+
+    def test_tod_conditioning_distinguishes_windows(self, network, index):
+        baseline = SegmentLevelBaseline(
+            index, network, bucket_width_s=1.0, tod_window_s=900
+        )
+        early = baseline.segment_histogram(A, timestamp=0)
+        late = baseline.segment_histogram(A, timestamp=10 * 3600)
+        assert early.as_dict() != late.as_dict()
+        # Early window: TT 3 and 5; late window: TT 4.
+        assert late.as_dict() == {4: 1}
+
+    def test_tod_window_fallback_to_pooled(self, network, index):
+        baseline = SegmentLevelBaseline(
+            index, network, bucket_width_s=1.0, tod_window_s=900
+        )
+        # 05:00 has no data for A: falls back to pooled A data, not the
+        # speed limit.
+        histogram = baseline.segment_histogram(A, timestamp=5 * 3600)
+        assert histogram.total == pytest.approx(3.0)
+
+    def test_n_histograms(self, network, index):
+        pooled = SegmentLevelBaseline(index, network, bucket_width_s=1.0)
+        conditioned = SegmentLevelBaseline(
+            index, network, bucket_width_s=1.0, tod_window_s=900
+        )
+        assert pooled.n_histograms == 2  # A and B
+        assert conditioned.n_histograms >= pooled.n_histograms
+
+    def test_bad_tod_window(self, network, index):
+        with pytest.raises(ValueError):
+            SegmentLevelBaseline(index, network, tod_window_s=0)
+        with pytest.raises(ValueError):
+            SegmentLevelBaseline(
+                index, network, tod_window_s=2 * SECONDS_PER_DAY
+            )
+
+    def test_empty_path_rejected(self, network, index):
+        baseline = SegmentLevelBaseline(index, network)
+        with pytest.raises(ValueError):
+            baseline.path_histogram([], timestamp=0)

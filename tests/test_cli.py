@@ -1,0 +1,110 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def world_dir(tmp_path_factory):
+    path = tmp_path_factory.mktemp("world")
+    code = main(["generate", "--scale", "tiny", "--seed", "0",
+                 "--out", str(path)])
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_files_written(self, world_dir):
+        assert (world_dir / "network.json").exists()
+        assert (world_dir / "trajectories.txt").exists()
+
+    def test_output_mentions_counts(self, world_dir, capsys):
+        main(["generate", "--scale", "tiny", "--seed", "1",
+              "--out", str(world_dir.parent / "second")])
+        out = capsys.readouterr().out
+        assert "edges" in out and "trajectories" in out
+
+
+class TestInfo:
+    def test_info_reports_stats(self, world_dir, capsys):
+        assert main(["info", "--world", str(world_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "network:" in out
+        assert "trajectories:" in out
+        assert "days" in out
+
+
+class TestQuery:
+    def path_from_world(self, world_dir, length=3):
+        from repro.network import load_trajectories
+
+        trajectories = load_trajectories(world_dir / "trajectories.txt")
+        trajectory = max(trajectories, key=len)
+        return ",".join(str(e) for e in trajectory.path[:length])
+
+    def test_fixed_interval_query(self, world_dir, capsys):
+        path = self.path_from_world(world_dir)
+        assert main(["query", "--world", str(world_dir),
+                     "--path", path]) == 0
+        out = capsys.readouterr().out
+        assert "estimated mean" in out
+        assert "sub-queries" in out
+
+    def test_periodic_query(self, world_dir, capsys):
+        path = self.path_from_world(world_dir)
+        assert main(["query", "--world", str(world_dir), "--path", path,
+                     "--tod", "08:00", "--window-min", "30",
+                     "--beta", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "estimated mean" in out
+
+    def test_unknown_edge_rejected(self, world_dir):
+        with pytest.raises(SystemExit):
+            main(["query", "--world", str(world_dir), "--path", "99999"])
+
+    def test_bad_path_format(self, world_dir):
+        with pytest.raises(SystemExit):
+            main(["query", "--world", str(world_dir), "--path", "a,b"])
+
+    def test_non_contiguous_path_rejected(self, world_dir):
+        from repro.network import load_network
+
+        network = load_network(world_dir / "network.json")
+        edges = list(network.edge_ids())
+        # Find two edges that do not connect.
+        first = network.edge(edges[0])
+        second = next(
+            e for e in edges
+            if network.edge(e).source != first.target and e != edges[0]
+        )
+        with pytest.raises(SystemExit):
+            main(["query", "--world", str(world_dir),
+                  "--path", f"{edges[0]},{second}"])
+
+    def test_bad_tod(self, world_dir):
+        path = self.path_from_world(world_dir)
+        with pytest.raises(SystemExit):
+            main(["query", "--world", str(world_dir), "--path", path,
+                  "--tod", "25:99x"])
+
+    def test_user_filter_query(self, world_dir, capsys):
+        from repro.network import load_trajectories
+
+        trajectories = load_trajectories(world_dir / "trajectories.txt")
+        trajectory = max(trajectories, key=len)
+        path = ",".join(str(e) for e in trajectory.path[:2])
+        assert main(["query", "--world", str(world_dir), "--path", path,
+                     "--user", str(trajectory.user_id),
+                     "--tod", "08:00", "--beta", "2"]) == 0
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_partitioner_rejected(self, world_dir):
+        with pytest.raises(SystemExit):
+            main(["query", "--world", str(world_dir), "--path", "1",
+                  "--partitioner", "pi_fancy"])

@@ -1,0 +1,202 @@
+"""Tests for the experiment harness (workload, figure runners)."""
+
+import pytest
+
+from repro.experiments import (
+    QUERY_TYPES,
+    accuracy_sweep,
+    baseline_numbers,
+    build_workload,
+    estimator_report,
+    format_series,
+    format_table,
+    mib,
+    partitioning_report,
+    run_accuracy_config,
+)
+from repro.experiments.workload import derive_query_set
+from repro.config import get_scale
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload("tiny", seed=0)
+
+
+class TestWorkload:
+    def test_queries_from_second_half(self, workload):
+        start, end = workload.dataset.trajectories.time_span()
+        median = (start + end) // 2
+        for spec in workload.queries:
+            assert spec.start_time > median
+
+    def test_queries_have_min_length(self, workload):
+        for spec in workload.queries:
+            assert len(spec.path) >= 8
+
+    def test_ground_truth_consistent(self, workload):
+        for spec in workload.queries:
+            trajectory = workload.dataset.trajectories.by_id(spec.traj_id)
+            assert spec.true_duration == trajectory.duration()
+            assert spec.true_subpath_duration(0, len(spec.path)) == (
+                pytest.approx(spec.true_duration)
+            )
+            assert spec.true_subpath_duration(0, 1) == trajectory.points[0].tt
+
+    def test_query_types_materialise(self, workload):
+        spec = workload.queries[0]
+        for query_type in QUERY_TYPES:
+            query = spec.to_query(query_type, 900, workload.t_max, beta=10)
+            assert query.path == spec.path
+        with pytest.raises(ValueError):
+            spec.to_query("nearest_neighbor", 900, workload.t_max, 10)
+
+    def test_user_query_carries_user(self, workload):
+        spec = workload.queries[0]
+        assert spec.to_query("user", 900, workload.t_max, 10).user == spec.user_id
+        assert spec.to_query("temporal", 900, workload.t_max, 10).user is None
+
+    def test_derive_rejects_impossible_min_length(self, workload):
+        with pytest.raises(ValueError):
+            derive_query_set(
+                workload.dataset,
+                seed=0,
+                scale=get_scale("tiny"),
+                min_path_length=10_000,
+            )
+
+    def test_deterministic(self, workload):
+        again = build_workload("tiny", seed=0)
+        assert [q.traj_id for q in again.queries] == [
+            q.traj_id for q in workload.queries
+        ]
+
+
+class TestAccuracyRunner:
+    def test_single_config(self, workload):
+        result = run_accuracy_config(
+            workload, "temporal", "pi_Z", "regular", beta=10, max_queries=10
+        )
+        assert 0 <= result.smape <= 200
+        assert 0 <= result.weighted_error <= 200
+        assert result.mean_subpath_length >= 1.0
+        assert result.ms_per_query > 0
+        assert result.n_queries == 10
+
+    def test_sweep_covers_grid(self, workload):
+        results = accuracy_sweep(
+            workload,
+            "spq",
+            betas=(10,),
+            partitioners=("pi_Z", "pi_N"),
+            splitters=("regular",),
+            max_queries=5,
+        )
+        assert len(results) == 2
+        keys = {r.key() for r in results}
+        assert ("spq", "pi_Z", "regular", 10) in keys
+
+    def test_estimator_mode_config(self, workload):
+        result = run_accuracy_config(
+            workload,
+            "temporal",
+            "pi_Z",
+            "regular",
+            beta=10,
+            estimator_mode="CSS-Acc",
+            max_queries=5,
+        )
+        assert result.smape > 0
+
+
+class TestBaselines:
+    def test_ordering_matches_paper(self, workload):
+        """Speed limits must be far worse than data-driven estimates."""
+        numbers = baseline_numbers(workload)
+        assert (
+            numbers["speed_limit_smape"] > numbers["segment_level_smape"]
+        )
+
+    def test_path_based_beats_segment_level(self, workload):
+        numbers = baseline_numbers(workload)
+        result = run_accuracy_config(
+            workload, "temporal", "pi_Z", "regular", beta=10
+        )
+        assert result.smape < numbers["segment_level_smape"]
+
+
+class TestPartitioningReport:
+    def test_report_shapes(self, workload):
+        rows = partitioning_report(
+            workload,
+            partition_days_list=(7, None),
+            tod_bucket_minutes=(10,),
+            include_btree=False,
+        )
+        assert len(rows) == 2
+        weekly, full = rows
+        assert weekly["n_partitions"] > full["n_partitions"]
+        # C grows linearly with the number of partitions.
+        assert (
+            weekly["component_bytes"]["C"]
+            > full["component_bytes"]["C"]
+        )
+        # The wavelet-tree total grows with partition count.
+        assert (
+            weekly["component_bytes"]["WT"]
+            >= full["component_bytes"]["WT"]
+        )
+        # ToD histogram store grows with partitions.
+        assert weekly["tod_store_bytes"][10] > full["tod_store_bytes"][10]
+
+    def test_btree_forest_larger(self, workload):
+        rows = partitioning_report(
+            workload,
+            partition_days_list=(None,),
+            tod_bucket_minutes=(10,),
+            include_btree=True,
+        )
+        css = next(r for r in rows if r["kind"] == "css")
+        btree = next(r for r in rows if r["kind"] == "btree")
+        assert (
+            btree["component_bytes"]["Forest"]
+            > css["component_bytes"]["Forest"]
+        )
+
+
+class TestEstimatorReport:
+    def test_mode_ordering(self, workload):
+        report = estimator_report(workload, max_queries=10)
+        isa = report["ISA"]["mean_q_error_log10"]
+        fast = report["CSS-Fast"]["mean_q_error_log10"]
+        acc = report["CSS-Acc"]["mean_q_error_log10"]
+        # Paper Figure 11a: ISA worst, Acc best.
+        assert isa > fast > acc
+
+    def test_css_at_least_as_good_as_bt(self, workload):
+        report = estimator_report(workload, max_queries=10)
+        assert (
+            report["CSS-Fast"]["mean_q_error_log10"]
+            <= report["BT-Fast"]["mean_q_error_log10"] + 1e-9
+        )
+        assert (
+            report["CSS-Acc"]["mean_q_error_log10"]
+            <= report["BT-Acc"]["mean_q_error_log10"] + 1e-9
+        )
+
+
+class TestReporting:
+    def test_format_table(self):
+        text = format_table(
+            ["a", "b"], [[1, 2.5], ["x", "y"]], title="T"
+        )
+        assert "T" in text and "2.50" in text and "x" in text
+
+    def test_format_series(self):
+        text = format_series(
+            "Fig", "beta", [10, 20], {"pi_Z": [1.0, 2.0]},
+        )
+        assert "pi_Z" in text and "beta" in text
+
+    def test_mib(self):
+        assert mib(1024 * 1024) == 1.0

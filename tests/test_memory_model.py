@@ -1,0 +1,85 @@
+"""Tests for the C++-layout memory model and paper-scale projection."""
+
+import pytest
+
+from repro.experiments import (
+    PAPER_SHAPE,
+    CorpusShape,
+    cpp_layout_model,
+    mib,
+    project_to_paper_scale,
+)
+
+
+class TestLayoutModel:
+    def setup_method(self):
+        self.shape = CorpusShape(
+            n_edges=1000,
+            n_traversals=500_000,
+            n_trajectories=40_000,
+            entropy_bits=8.0,
+        )
+
+    def test_components_present(self):
+        model = cpp_layout_model(self.shape)
+        assert set(model) == {"WT", "C", "user", "Forest"}
+        assert all(v > 0 for v in model.values())
+
+    def test_counters_linear_in_partitions(self):
+        one = cpp_layout_model(self.shape, n_partitions=1)["C"]
+        ten = cpp_layout_model(self.shape, n_partitions=10)["C"]
+        assert ten == pytest.approx(10 * one)
+
+    def test_wavelet_grows_with_partitions(self):
+        one = cpp_layout_model(self.shape, n_partitions=1)["WT"]
+        many = cpp_layout_model(self.shape, n_partitions=50)["WT"]
+        assert many > one
+
+    def test_user_and_forest_stable_across_partitions(self):
+        one = cpp_layout_model(self.shape, n_partitions=1)
+        many = cpp_layout_model(self.shape, n_partitions=50)
+        assert many["user"] == one["user"]
+        # Forest only gains the 2-byte partition id per leaf.
+        expected = one["Forest"] + 2 * self.shape.n_traversals
+        assert many["Forest"] == pytest.approx(expected)
+
+    def test_btree_forest_larger_than_css(self):
+        css = cpp_layout_model(self.shape, tree_kind="css")["Forest"]
+        btree = cpp_layout_model(self.shape, tree_kind="btree")["Forest"]
+        assert btree > css
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cpp_layout_model(self.shape, n_partitions=0)
+        with pytest.raises(ValueError):
+            cpp_layout_model(self.shape, tree_kind="lsm")
+
+
+class TestPaperProjection:
+    """The projection must land in Figure 10a's reported ballpark."""
+
+    def test_full_counters_close_to_paper(self):
+        # Paper: "less than 6 MB" per partition counter at 1.46M edges.
+        projected = project_to_paper_scale(n_partitions=1)
+        assert 5 <= mib(projected["C"]) <= 30
+
+    def test_weekly_counters_hundreds_of_mib(self):
+        # Paper: counters grow to "nearly 600 MB" at 138 partitions.
+        projected = project_to_paper_scale(n_partitions=138)
+        assert 400 <= mib(projected["C"]) <= 3000
+
+    def test_wavelet_tree_magnitudes(self):
+        # Paper: ~280 MB at FULL growing to over 4 GB at weekly grain.
+        full = project_to_paper_scale(n_partitions=1)
+        weekly = project_to_paper_scale(n_partitions=138)
+        assert 100 <= mib(full["WT"]) <= 600
+        assert mib(weekly["WT"]) >= 2000
+
+    def test_paper_shape_constants(self):
+        assert PAPER_SHAPE.n_edges == 1_460_000
+        assert PAPER_SHAPE.n_traversals == 79_000_000
+
+    def test_custom_shape_passthrough(self):
+        tiny = CorpusShape(10, 100, 5, 3.0)
+        projected = project_to_paper_scale(shape=tiny)
+        assert projected["user"] == 8 * 5

@@ -1,0 +1,44 @@
+"""Tests for the throughput experiment."""
+
+import pytest
+
+from repro.experiments import build_workload, measure_throughput
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload("tiny", seed=0)
+
+
+def test_single_worker(workload):
+    (result,) = measure_throughput(
+        workload, worker_counts=(1,), n_queries=8
+    )
+    assert result.n_workers == 1
+    assert result.n_queries == 8
+    assert result.queries_per_second > 0
+
+
+def test_all_queries_processed_across_workers(workload):
+    results = measure_throughput(
+        workload, worker_counts=(1, 3), n_queries=10
+    )
+    assert [r.n_queries for r in results] == [10, 10]
+
+
+def test_concurrent_readers_do_not_corrupt_results(workload):
+    """Same answers single- and multi-threaded (index is immutable)."""
+    from repro import QueryEngine
+
+    engine = QueryEngine(workload.index, workload.network, partitioner="pi_Z")
+    spec = workload.queries[0]
+    query = spec.to_query("temporal", 900, workload.t_max, 10)
+    before = engine.trip_query(query, exclude_ids=(spec.traj_id,))
+    measure_throughput(workload, worker_counts=(4,), n_queries=10)
+    after = engine.trip_query(query, exclude_ids=(spec.traj_id,))
+    assert before.histogram == after.histogram
+
+
+def test_invalid_worker_count(workload):
+    with pytest.raises(ValueError):
+        measure_throughput(workload, worker_counts=(1, -2))

@@ -1,0 +1,222 @@
+"""Tests for congestion, the workload generator, and the GPS pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.config import SECONDS_PER_DAY, get_scale
+from repro.network import RoadCategory, ZoneType, generate_network
+from repro.trajectories import (
+    MapMatcher,
+    congestion_multiplier,
+    generate_dataset,
+    is_weekend,
+    simulate_gps,
+    split_on_gaps,
+    trajectories_from_gps,
+)
+from repro.trajectories.gps import GPSPoint
+from repro.trajectories.preprocess import matched_edges_to_points
+
+
+class TestCongestion:
+    def test_rush_hour_peaks(self):
+        free = congestion_multiplier(
+            3 * 3600, RoadCategory.RESIDENTIAL, ZoneType.CITY
+        )
+        rush = congestion_multiplier(
+            8 * 3600, RoadCategory.RESIDENTIAL, ZoneType.CITY
+        )
+        assert free == pytest.approx(1.0, abs=0.02)
+        assert rush > 1.4
+
+    def test_city_congests_more_than_rural(self):
+        t = 8 * 3600
+        city = congestion_multiplier(t, RoadCategory.SECONDARY, ZoneType.CITY)
+        rural = congestion_multiplier(t, RoadCategory.SECONDARY, ZoneType.RURAL)
+        assert city > rural
+
+    def test_weekend_is_flat_at_rush_hour(self):
+        saturday = 5 * SECONDS_PER_DAY + 8 * 3600
+        multiplier = congestion_multiplier(
+            saturday, RoadCategory.SECONDARY, ZoneType.CITY
+        )
+        assert multiplier < 1.15
+
+    def test_is_weekend(self):
+        assert not is_weekend(0)  # Monday
+        assert is_weekend(5 * SECONDS_PER_DAY + 10)
+        assert is_weekend(6 * SECONDS_PER_DAY + 10)
+        assert not is_weekend(7 * SECONDS_PER_DAY + 10)
+
+    def test_multiplier_at_least_one(self):
+        for hour in range(24):
+            for zone in ZoneType:
+                multiplier = congestion_multiplier(
+                    hour * 3600, RoadCategory.PRIMARY, zone
+                )
+                assert multiplier >= 1.0
+
+
+class TestGeneratedDataset:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return generate_dataset("tiny", seed=0)
+
+    def test_all_trajectories_valid(self, dataset):
+        dataset.trajectories.validate()
+
+    def test_paths_are_connected(self, dataset):
+        network = dataset.network
+        for trajectory in list(dataset.trajectories)[:200]:
+            assert network.is_path(list(trajectory.path))
+
+    def test_entry_times_consistent_with_durations(self, dataset):
+        for trajectory in list(dataset.trajectories)[:100]:
+            for a, b in zip(trajectory.points, trajectory.points[1:]):
+                assert b.t == a.t + int(a.tt)
+
+    def test_rush_hour_slower_than_offpeak(self, dataset):
+        # Average speed of morning-rush trips is lower than mid-morning.
+        def mean_speed(lo_h, hi_h):
+            speeds = []
+            for tr in dataset.trajectories:
+                tod = tr.start_time % SECONDS_PER_DAY
+                if lo_h * 3600 <= tod < hi_h * 3600 and not is_weekend(tr.start_time):
+                    meters = dataset.network.path_length_m(list(tr.path))
+                    speeds.append(meters / tr.duration())
+            return np.mean(speeds)
+
+        assert mean_speed(7.5, 8.5) < mean_speed(10.5, 12.0)
+
+    def test_user_ids_within_driver_population(self, dataset):
+        users = {tr.user_id for tr in dataset.trajectories}
+        assert users <= {d.user_id for d in dataset.drivers}
+
+    def test_deterministic(self):
+        a = generate_dataset("tiny", seed=3)
+        b = generate_dataset("tiny", seed=3)
+        assert len(a.trajectories) == len(b.trajectories)
+        assert a.trajectories[5].path == b.trajectories[5].path
+        assert a.trajectories[5].points == b.trajectories[5].points
+
+    def test_span_roughly_matches_scale(self, dataset):
+        scale = get_scale("tiny")
+        start, end = dataset.trajectories.time_span()
+        assert (end - start) / SECONDS_PER_DAY <= scale.n_days + 1
+        assert (end - start) / SECONDS_PER_DAY >= scale.n_days * 0.5
+
+
+class TestGPS:
+    def test_simulate_rate_and_noise(self):
+        synthetic = generate_network("tiny", seed=0)
+        dataset = generate_dataset("tiny", seed=0, synthetic=synthetic)
+        trajectory = dataset.trajectories[0]
+        fixes = simulate_gps(
+            synthetic.network, trajectory.points, rate_hz=1.0, noise_std_m=0.0
+        )
+        # Roughly one fix per second of travel.
+        assert len(fixes) == pytest.approx(trajectory.duration(), rel=0.2)
+        times = [f.t for f in fixes]
+        assert times == sorted(times)
+
+    def test_bad_rate(self):
+        synthetic = generate_network("tiny", seed=0)
+        with pytest.raises(ValueError):
+            simulate_gps(synthetic.network, [], rate_hz=0.0)
+
+    def test_split_on_gaps(self):
+        fixes = [GPSPoint(t, 0, 0) for t in [0, 1, 2, 400, 401, 900]]
+        trips = split_on_gaps(fixes, gap_s=180)
+        assert [len(t) for t in trips] == [3, 2, 1]
+
+    def test_split_empty(self):
+        assert split_on_gaps([], gap_s=180) == []
+
+    def test_split_bad_gap(self):
+        with pytest.raises(ValueError):
+            split_on_gaps([], gap_s=0)
+
+
+class TestMapMatching:
+    @pytest.fixture(scope="class")
+    def world(self):
+        synthetic = generate_network("tiny", seed=0)
+        dataset = generate_dataset("tiny", seed=0, synthetic=synthetic)
+        return synthetic, dataset
+
+    def test_recovers_planted_path(self, world):
+        synthetic, dataset = world
+        rng = np.random.default_rng(5)
+        # Pick a reasonably long trajectory.
+        trajectory = max(dataset.trajectories, key=len)
+        fixes = simulate_gps(
+            synthetic.network,
+            trajectory.points,
+            rate_hz=1.0,
+            noise_std_m=3.0,
+            rng=rng,
+        )
+        matcher = MapMatcher(synthetic.network)
+        edges, retained = matcher.match_trace(fixes)
+        assert len(retained) == len(edges) > 0
+        truth = set(trajectory.path)
+        correct = sum(1 for e in edges if e in truth)
+        assert correct / len(edges) >= 0.9
+
+    def test_empty_trace(self, world):
+        synthetic, _ = world
+        matcher = MapMatcher(synthetic.network)
+        assert matcher.match([]) == []
+
+    def test_fix_far_from_network_skipped(self, world):
+        synthetic, _ = world
+        matcher = MapMatcher(synthetic.network)
+        edges, retained = matcher.match_trace(
+            [GPSPoint(0.0, 1e8, 1e8)]
+        )
+        assert edges == [] and retained == []
+
+    def test_bad_parameters(self, world):
+        synthetic, _ = world
+        with pytest.raises(ValueError):
+            MapMatcher(synthetic.network, sigma_m=0.0)
+
+
+class TestPreprocess:
+    def test_matched_edges_to_points_grouping(self):
+        fixes = [GPSPoint(float(t), 0, 0) for t in range(8)]
+        edges = [1, 1, 1, 2, 2, 3, 3, 3]
+        points = matched_edges_to_points(edges, fixes)
+        assert [p.edge for p in points] == [1, 2, 3]
+        assert points[0].t == 0 and points[0].tt == 3.0
+        assert points[1].t == 3 and points[1].tt == 2.0
+        assert points[2].t == 5 and points[2].tt == 3.0
+
+    def test_boundary_trimming(self):
+        fixes = [GPSPoint(float(t), 0, 0) for t in range(6)]
+        edges = [9, 1, 1, 2, 2, 7]  # single-fix boundary edges dropped
+        points = matched_edges_to_points(edges, fixes)
+        assert [p.edge for p in points] == [1, 2]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            matched_edges_to_points([1], [])
+
+    def test_full_pipeline_recovers_trajectories(self):
+        synthetic = generate_network("tiny", seed=0)
+        dataset = generate_dataset("tiny", seed=0, synthetic=synthetic)
+        rng = np.random.default_rng(9)
+        trajectory = max(dataset.trajectories, key=len)
+        fixes = simulate_gps(
+            synthetic.network, trajectory.points, noise_std_m=3.0, rng=rng
+        )
+        result = trajectories_from_gps(
+            synthetic.network, [(trajectory.user_id, fixes)]
+        )
+        assert len(result) >= 1
+        matched = result[0]
+        # Most of the true path is recovered in order.
+        truth = set(trajectory.path)
+        hits = sum(1 for e in matched.path if e in truth)
+        assert hits / len(matched.path) >= 0.85
+        matched.validate()

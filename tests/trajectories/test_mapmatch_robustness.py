@@ -1,0 +1,117 @@
+"""Robustness scenarios for the HMM map matcher."""
+
+import numpy as np
+import pytest
+
+from repro.network import Edge, RoadCategory, RoadNetwork, ZoneType
+from repro.trajectories import MapMatcher, simulate_gps
+from repro.trajectories.gps import GPSPoint
+from repro.trajectories.model import TrajectoryPoint
+
+
+def two_street_network():
+    """Two parallel eastbound streets 100 m apart, with a connector."""
+    network = RoadNetwork()
+    # North street: vertices 0-1-2; south street: 3-4-5; connector 1-4.
+    coordinates = {
+        0: (0, 100), 1: (200, 100), 2: (400, 100),
+        3: (0, 0), 4: (200, 0), 5: (400, 0),
+    }
+    for vertex, position in coordinates.items():
+        network.add_vertex(vertex, position)
+    rows = [
+        (1, 0, 1), (2, 1, 2),  # north eastbound
+        (3, 3, 4), (4, 4, 5),  # south eastbound
+        (5, 1, 4), (6, 4, 1),  # connector both ways
+    ]
+    for edge_id, s, t in rows:
+        network.add_edge(
+            Edge(edge_id, s, t, RoadCategory.RESIDENTIAL, ZoneType.CITY,
+                 max(1.0, abs(coordinates[t][0] - coordinates[s][0])
+                     + abs(coordinates[t][1] - coordinates[s][1])),
+                 50.0)
+        )
+    return network
+
+
+class TestParallelStreets:
+    def test_stays_on_correct_street(self):
+        network = two_street_network()
+        rng = np.random.default_rng(0)
+        # Drive the north street.
+        points = [
+            TrajectoryPoint(1, 0, 20.0),
+            TrajectoryPoint(2, 20, 20.0),
+        ]
+        fixes = simulate_gps(network, points, noise_std_m=4.0, rng=rng)
+        matcher = MapMatcher(network)
+        edges, _ = matcher.match_trace(fixes)
+        assert edges, "matcher must produce a result"
+        north = sum(1 for e in edges if e in (1, 2))
+        assert north / len(edges) >= 0.9
+
+    def test_detour_via_connector_recovered(self):
+        network = two_street_network()
+        rng = np.random.default_rng(1)
+        # North, then connector south, then south street.
+        points = [
+            TrajectoryPoint(1, 0, 20.0),
+            TrajectoryPoint(5, 20, 12.0),
+            TrajectoryPoint(4, 32, 20.0),
+        ]
+        fixes = simulate_gps(network, points, noise_std_m=3.0, rng=rng)
+        matcher = MapMatcher(network)
+        edges, _ = matcher.match_trace(fixes)
+        assert set(edges) >= {1, 4}, "start and end streets recovered"
+        hits = sum(1 for e in edges if e in (1, 5, 4))
+        assert hits / len(edges) >= 0.85
+
+
+class TestSamplingRates:
+    def test_sparse_sampling_still_matches(self):
+        network = two_street_network()
+        rng = np.random.default_rng(2)
+        points = [
+            TrajectoryPoint(1, 0, 20.0),
+            TrajectoryPoint(2, 20, 20.0),
+        ]
+        # 0.2 Hz: a fix every 5 seconds.
+        fixes = simulate_gps(
+            network, points, rate_hz=0.2, noise_std_m=3.0, rng=rng
+        )
+        assert len(fixes) <= 10
+        matcher = MapMatcher(network)
+        edges, _ = matcher.match_trace(fixes)
+        assert edges
+        assert all(e in (1, 2) for e in edges)
+
+    def test_single_fix(self):
+        network = two_street_network()
+        matcher = MapMatcher(network)
+        edges, retained = matcher.match_trace(
+            [GPSPoint(0.0, 100.0, 101.0)]
+        )
+        assert len(edges) == 1
+        assert edges[0] == 1  # nearest: north street
+
+
+class TestOutliers:
+    def test_outlier_fix_does_not_derail(self):
+        network = two_street_network()
+        rng = np.random.default_rng(3)
+        points = [
+            TrajectoryPoint(1, 0, 20.0),
+            TrajectoryPoint(2, 20, 20.0),
+        ]
+        fixes = list(
+            simulate_gps(network, points, noise_std_m=2.0, rng=rng)
+        )
+        # Inject one far-off outlier mid-trace (out of candidate range:
+        # it is dropped, not matched).
+        middle = len(fixes) // 2
+        fixes[middle] = GPSPoint(fixes[middle].t, 10_000.0, 10_000.0)
+        matcher = MapMatcher(network)
+        edges, retained = matcher.match_trace(fixes)
+        assert len(retained) == len(fixes) - 1
+        correct = sum(1 for e in edges if e in (1, 2))
+        assert correct / len(edges) >= 0.9

@@ -1,0 +1,125 @@
+"""Tests for the NCT trajectory model."""
+
+import pytest
+
+from repro.errors import TrajectoryError
+from repro.trajectories import Trajectory, TrajectoryPoint, TrajectorySet
+
+from tests.paper_vectors import TRAJECTORIES
+
+
+def make_paper_set() -> TrajectorySet:
+    return TrajectorySet(
+        [
+            Trajectory(
+                traj_id=d,
+                user_id=u,
+                points=[TrajectoryPoint(e, t, tt) for e, t, tt in seq],
+            )
+            for d, u, seq in TRAJECTORIES
+        ]
+    )
+
+
+class TestTrajectory:
+    def setup_method(self):
+        self.trajectories = make_paper_set()
+
+    def test_path(self):
+        assert self.trajectories.by_id(0).path == (1, 2, 5)  # A,B,E
+        assert self.trajectories.by_id(1).path == (1, 3, 4, 5)  # A,C,D,E
+
+    def test_start_time(self):
+        assert self.trajectories.by_id(2).start_time == 4
+
+    def test_duration_full(self):
+        # Dur(tr0, <A,B,E>) = 11, Dur(tr3, <A,B,E>) = 10 (Section 2.3).
+        assert self.trajectories.by_id(0).duration() == 11.0
+        assert self.trajectories.by_id(3).duration() == 10.0
+
+    def test_duration_of_path(self):
+        tr0 = self.trajectories.by_id(0)
+        assert tr0.duration_of_path([1, 2, 5]) == 11.0
+        assert tr0.duration_of_path([1, 2]) == 7.0
+        assert tr0.duration_of_path([2, 5]) == 8.0
+        assert tr0.duration_of_path([5]) == 4.0
+
+    def test_duration_of_path_absent(self):
+        tr0 = self.trajectories.by_id(0)
+        assert tr0.duration_of_path([1, 3]) is None  # A,C not in tr0
+        assert tr0.duration_of_path([1, 5]) is None  # not contiguous
+        assert tr0.duration_of_path([]) is None
+
+    def test_duration_of_subpath_bounds(self):
+        tr0 = self.trajectories.by_id(0)
+        with pytest.raises(TrajectoryError):
+            tr0.duration_of_subpath(0, 4)
+        with pytest.raises(TrajectoryError):
+            tr0.duration_of_subpath(2, 2)
+
+    def test_cumulative_durations(self):
+        tr1 = self.trajectories.by_id(1)
+        assert tr1.cumulative_durations() == [4.0, 6.0, 10.0, 15.0]
+
+    def test_validate_ok(self):
+        self.trajectories.validate()
+
+    def test_validate_nonmonotonic_time(self):
+        bad = Trajectory(
+            99, 1, [TrajectoryPoint(1, 5, 2.0), TrajectoryPoint(2, 5, 2.0)]
+        )
+        with pytest.raises(TrajectoryError):
+            bad.validate()
+
+    def test_validate_nonpositive_tt(self):
+        bad = Trajectory(99, 1, [TrajectoryPoint(1, 5, 0.0)])
+        with pytest.raises(TrajectoryError):
+            bad.validate()
+
+    def test_empty_trajectory_invalid(self):
+        with pytest.raises(TrajectoryError):
+            Trajectory(99, 1, []).validate()
+        with pytest.raises(TrajectoryError):
+            _ = Trajectory(99, 1, []).start_time
+
+
+class TestTrajectorySet:
+    def test_lookup(self):
+        trajectories = make_paper_set()
+        assert len(trajectories) == 4
+        assert trajectories.has_id(2)
+        assert not trajectories.has_id(9)
+        with pytest.raises(TrajectoryError):
+            trajectories.by_id(9)
+
+    def test_user_map(self):
+        trajectories = make_paper_set()
+        assert trajectories.user_of(0) == 1
+        assert trajectories.user_of(1) == 2
+        assert trajectories.users() == {0: 1, 1: 2, 2: 2, 3: 1}
+
+    def test_duplicate_id_rejected(self):
+        trajectories = make_paper_set()
+        with pytest.raises(TrajectoryError):
+            trajectories.add(
+                Trajectory(0, 1, [TrajectoryPoint(1, 0, 1.0)])
+            )
+        with pytest.raises(TrajectoryError):
+            TrajectorySet(
+                [
+                    Trajectory(5, 1, [TrajectoryPoint(1, 0, 1.0)]),
+                    Trajectory(5, 1, [TrajectoryPoint(1, 0, 1.0)]),
+                ]
+            )
+
+    def test_total_traversals(self):
+        assert make_paper_set().total_traversals() == 13
+
+    def test_time_span(self):
+        start, end = make_paper_set().time_span()
+        assert start == 0
+        assert end == 18  # tr1/tr3 enter E at 12, +5/+4 seconds, +1
+
+    def test_empty_set_time_span(self):
+        with pytest.raises(TrajectoryError):
+            TrajectorySet().time_span()
