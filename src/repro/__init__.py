@@ -54,6 +54,7 @@ from .network import (
     generate_network,
     shortest_path,
 )
+from .service import CacheStats, SubQueryCache, TravelTimeService
 from .sntindex import SNTIndex, TravelTimeResult, count_matches, get_travel_times
 from .trajectories import (
     GeneratedDataset,
@@ -113,4 +114,8 @@ __all__ = [
     "PARTITIONER_NAMES",
     "naive_travel_times",
     "naive_match_count",
+    # serving layer
+    "TravelTimeService",
+    "SubQueryCache",
+    "CacheStats",
 ]

@@ -8,8 +8,15 @@ Commands
 ``info``
     Print statistics of a stored world.
 ``query``
-    Build the SNT-index over a stored world and answer one strict path
-    query, printing the travel-time histogram.
+    Build (or load) the SNT-index over a stored world and answer one
+    strict path query, printing the travel-time histogram.
+``index``
+    Build the SNT-index over a stored world and save it to disk, so
+    later ``query``/``batch`` runs skip the build.
+``batch``
+    Answer a file (or inline list) of strict path queries through the
+    :class:`~repro.service.TravelTimeService` — shared sub-query cache,
+    optional thread-pool fan-out.
 
 Example
 -------
@@ -17,19 +24,25 @@ Example
 
     python -m repro generate --scale tiny --seed 0 --out world/
     python -m repro info --world world/
-    python -m repro query --world world/ --path 1,2,3 --tod 08:00 \\
-        --window-min 15 --beta 10
+    python -m repro index --world world/ --out world/index/
+    python -m repro query --world world/ --index world/index/ \\
+        --path 1,2,3 --tod 08:00 --window-min 15 --beta 10
+    python -m repro batch --world world/ --index world/index/ \\
+        --paths "1,2,3;4,5,6" --workers 4
 """
 
 from __future__ import annotations
 
 import argparse
+import hashlib
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional
 
 from .core.engine import QueryEngine
 from .core.intervals import FixedInterval, PeriodicInterval
+from .errors import ReproError
 from .core.partitioning import PARTITIONER_NAMES
 from .core.spq import StrictPathQuery
 from .network.generator import generate_network
@@ -39,6 +52,7 @@ from .network.io import (
     save_network,
     save_trajectories,
 )
+from .service import SubQueryCache, TravelTimeService
 from .sntindex.index import SNTIndex
 from .trajectories.generator import generate_dataset
 
@@ -73,6 +87,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument("--world", required=True)
     query.add_argument(
+        "--index",
+        default=None,
+        help="saved index directory (skips the in-process build)",
+    )
+    query.add_argument(
         "--path",
         required=True,
         help="comma-separated edge ids, e.g. 1,2,3",
@@ -89,6 +108,64 @@ def build_parser() -> argparse.ArgumentParser:
         "--partitioner", default="pi_Z", choices=PARTITIONER_NAMES
     )
     query.add_argument(
+        "--splitter", default="regular", choices=("regular", "longest_prefix")
+    )
+
+    index = commands.add_parser(
+        "index", help="build the SNT-index over a stored world and save it"
+    )
+    index.add_argument("--world", required=True)
+    index.add_argument("--out", required=True, help="output directory")
+    index.add_argument("--partition-days", type=int, default=None)
+    index.add_argument("--kind", default="css", choices=("css", "btree"))
+
+    batch = commands.add_parser(
+        "batch",
+        help="answer a batch of strict path queries via the service",
+    )
+    batch.add_argument("--world", required=True)
+    batch.add_argument(
+        "--index",
+        default=None,
+        help="saved index directory (skips the in-process build)",
+    )
+    source = batch.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--paths",
+        default=None,
+        help="semicolon-separated paths of comma-separated edge ids, "
+        "e.g. '1,2,3;4,5,6'",
+    )
+    source.add_argument(
+        "--paths-file",
+        default=None,
+        help="file with one query per line: 'EDGE,EDGE,... [HH:MM]'; "
+        "blank lines and #-comments are skipped",
+    )
+    batch.add_argument(
+        "--tod",
+        default=None,
+        help="default time of day HH:MM (lines may override; omit: full "
+        "history)",
+    )
+    batch.add_argument("--window-min", type=int, default=15)
+    batch.add_argument("--beta", type=int, default=None)
+    batch.add_argument("--workers", type=int, default=1)
+    batch.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="answer the batch N times (demonstrates the warm cache)",
+    )
+    batch.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the shared sub-query cache",
+    )
+    batch.add_argument(
+        "--partitioner", default="pi_Z", choices=PARTITIONER_NAMES
+    )
+    batch.add_argument(
         "--splitter", default="regular", choices=("regular", "longest_prefix")
     )
     return parser
@@ -138,26 +215,110 @@ def _parse_tod(text: str) -> int:
     return tod
 
 
-def _cmd_query(args) -> int:
-    network, trajectories = _load_world(args.world)
-    index = SNTIndex.build(trajectories, network.alphabet_size)
+def _parse_path(text: str, network) -> tuple:
     try:
-        path = tuple(int(token) for token in args.path.split(","))
+        path = tuple(int(token) for token in text.split(","))
     except ValueError:
-        raise SystemExit(f"invalid --path {args.path!r}")
+        raise SystemExit(f"invalid path {text!r}")
     for edge in path:
         if not network.has_edge(edge):
             raise SystemExit(f"edge {edge} is not part of the network")
     if not network.is_path(list(path)):
-        raise SystemExit(f"--path {args.path!r} is not traversable")
+        raise SystemExit(f"path {text!r} is not traversable")
+    return path
 
-    if args.tod is not None:
-        interval = PeriodicInterval(
-            start_tod=_parse_tod(args.tod) - args.window_min * 30,
-            duration=args.window_min * 60,
+
+WORLD_DIGEST_KEY = "world_trajectories_sha256"
+
+
+def _world_digest(world: str) -> str:
+    """SHA-256 of the world's trajectory file (streamed, never parsed)."""
+    try:
+        with open(Path(world) / TRAJECTORY_FILE, "rb") as handle:
+            return hashlib.file_digest(handle, "sha256").hexdigest()
+    except OSError as error:
+        raise SystemExit(f"cannot read world trajectories: {error}")
+
+
+def _obtain_index(args, network) -> SNTIndex:
+    """Load the saved index when ``--index`` is given, else build one.
+
+    Saved indexes carry a digest of the world they were built from
+    (recorded by the ``index`` command), so the wrong-world mistake is
+    caught without parsing the trajectory file — the point of the
+    rebuild-free cold start.  Library-made saves without the digest
+    fall back to a parsed fingerprint.
+    """
+    from .sntindex.persistence import read_meta
+
+    if getattr(args, "index", None) is not None:
+        meta = read_meta(args.index)
+        recorded = (meta.get("extra") or {}).get(WORLD_DIGEST_KEY)
+        # Index-vs-network pairing (alphabet size) is enforced by
+        # QueryEngine itself; the CLI only adds the trajectory-side
+        # fingerprints the engine cannot see.
+        if recorded is not None:
+            if recorded != _world_digest(args.world):
+                raise SystemExit(
+                    f"saved index at {args.index} was built over a "
+                    "different world (trajectory digest mismatch)"
+                )
+            return SNTIndex.load(args.index)
+        trajectories = load_trajectories(
+            Path(args.world) / TRAJECTORY_FILE
         )
-    else:
-        interval = FixedInterval(0, index.t_max)
+        index = SNTIndex.load(args.index)
+        t_min, t_max = trajectories.time_span()
+        if (
+            index.build_stats.n_trajectories != len(trajectories)
+            or (index.t_min, index.t_max) != (t_min, t_max)
+        ):
+            raise SystemExit(
+                f"saved index at {args.index} does not match this world "
+                f"(trajectories {index.build_stats.n_trajectories} vs "
+                f"{len(trajectories)}); was it built over a different "
+                "world?"
+            )
+        return index
+    trajectories = load_trajectories(Path(args.world) / TRAJECTORY_FILE)
+    return SNTIndex.build(trajectories, network.alphabet_size)
+
+
+def _interval_for(tod: Optional[str], window_min: int, t_max: int):
+    if tod is not None:
+        return PeriodicInterval(
+            start_tod=_parse_tod(tod) - window_min * 30,
+            duration=window_min * 60,
+        )
+    return FixedInterval(0, t_max)
+
+
+def _cmd_index(args) -> int:
+    network, trajectories = _load_world(args.world)
+    index = SNTIndex.build(
+        trajectories,
+        network.alphabet_size,
+        partition_days=args.partition_days,
+        kind=args.kind,
+    )
+    target = index.save(
+        args.out, extra={WORLD_DIGEST_KEY: _world_digest(args.world)}
+    )
+    sizes = index.component_sizes()
+    print(
+        f"built index over {len(trajectories)} trajectories in "
+        f"{index.build_stats.setup_seconds:.1f}s "
+        f"({index.n_partitions} partition(s), kind={args.kind}) -> {target}"
+    )
+    print(f"component bytes: {sizes}")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    network = load_network(Path(args.world) / NETWORK_FILE)
+    index = _obtain_index(args, network)
+    path = _parse_path(args.path, network)
+    interval = _interval_for(args.tod, args.window_min, index.t_max)
 
     engine = QueryEngine(
         index,
@@ -188,6 +349,92 @@ def _cmd_query(args) -> int:
     return 0
 
 
+def _read_batch_specs(args) -> List[tuple]:
+    """Parse the batch source into ``(path_text, tod_text)`` pairs."""
+    specs: List[tuple] = []
+    if args.paths is not None:
+        for chunk in args.paths.split(";"):
+            chunk = chunk.strip()
+            if chunk:
+                specs.append((chunk, args.tod))
+    else:
+        try:
+            lines = Path(args.paths_file).read_text().splitlines()
+        except OSError as error:
+            raise SystemExit(f"cannot read --paths-file: {error}")
+        for line in lines:
+            line = line.split("#", 1)[0].strip()
+            if not line:
+                continue
+            tokens = line.split()
+            if len(tokens) > 2:
+                raise SystemExit(
+                    f"bad query line {line!r}; expected 'PATH [HH:MM]'"
+                )
+            specs.append(
+                (tokens[0], tokens[1] if len(tokens) == 2 else args.tod)
+            )
+    if not specs:
+        raise SystemExit("batch contains no queries")
+    return specs
+
+
+def _cmd_batch(args) -> int:
+    if args.workers < 1:
+        raise SystemExit("--workers must be positive")
+    if args.repeat < 1:
+        raise SystemExit("--repeat must be positive")
+    network = load_network(Path(args.world) / NETWORK_FILE)
+    index = _obtain_index(args, network)
+    specs = _read_batch_specs(args)
+
+    queries = [
+        StrictPathQuery(
+            path=_parse_path(path_text, network),
+            interval=_interval_for(tod, args.window_min, index.t_max),
+            beta=args.beta,
+        )
+        for path_text, tod in specs
+    ]
+
+    service = TravelTimeService(
+        index,
+        network,
+        cache=None if args.no_cache else SubQueryCache(),
+        n_workers=args.workers,
+        partitioner=args.partitioner,
+        splitter=args.splitter,
+    )
+    started = time.perf_counter()
+    for _ in range(args.repeat):
+        results = service.trip_query_many(queries)
+    elapsed = time.perf_counter() - started
+
+    for (path_text, _), result in zip(specs, results):
+        histogram = result.histogram
+        summary = (
+            f"median {histogram.quantile(0.5):7.1f}s  "
+            f"p90 {histogram.quantile(0.9):7.1f}s"
+            if not histogram.is_empty()
+            else "empty histogram"
+        )
+        print(
+            f"{path_text:24s} mean {result.estimated_mean:7.1f}s  {summary}  "
+            f"({len(result.outcomes)} sub-queries, "
+            f"{result.n_index_scans} scans, {result.n_cache_hits} hits)"
+        )
+    n_answered = len(queries) * args.repeat
+    qps = n_answered / elapsed if elapsed > 0 else 0.0
+    print(
+        f"answered {n_answered} queries in {elapsed * 1000:.1f} ms "
+        f"({qps:.0f} q/s, workers={args.workers})"
+    )
+    stats = service.cache_stats()
+    if stats is not None:
+        print(f"cache: {stats.summary()}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -195,9 +442,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         "generate": _cmd_generate,
         "info": _cmd_info,
         "query": _cmd_query,
+        "index": _cmd_index,
+        "batch": _cmd_batch,
     }
     try:
         return handlers[args.command](args)
+    except ReproError as error:
+        # Library errors (bad saved index, malformed queries, ...) are
+        # user input problems, not crashes: one line, exit 1.
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     except BrokenPipeError:
         # Downstream pager/head closed the pipe; standard CLI etiquette.
         try:

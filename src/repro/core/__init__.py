@@ -1,6 +1,6 @@
 """Core query processing: SPQs, partitioning, splitting, estimation, engine."""
 
-from .engine import QueryEngine, SubQueryOutcome, TripQueryResult
+from .engine import PerTripCache, QueryEngine, SubQueryOutcome, TripQueryResult
 from .estimator import ESTIMATOR_MODES, CardinalityEstimator
 from .intervals import FixedInterval, PeriodicInterval, TimeInterval, is_periodic
 from .naive import naive_match_count, naive_travel_times
@@ -24,6 +24,7 @@ __all__ = [
     "CardinalityEstimator",
     "ESTIMATOR_MODES",
     "QueryEngine",
+    "PerTripCache",
     "TripQueryResult",
     "SubQueryOutcome",
     "naive_travel_times",

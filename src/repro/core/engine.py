@@ -36,7 +36,47 @@ from .partitioning import get_partitioner
 from .splitting import longest_prefix_splitter, modify_subquery, regular_split
 from .spq import StrictPathQuery
 
-__all__ = ["SubQueryOutcome", "TripQueryResult", "QueryEngine"]
+__all__ = [
+    "SubQueryOutcome",
+    "TripQueryResult",
+    "QueryEngine",
+    "PerTripCache",
+]
+
+
+class PerTripCache:
+    """Default sub-query cache: one FM-index backward search per distinct
+    sub-path per trip (estimator, retrieval, and interval-widening retries
+    share it), discarded when the trip completes.
+
+    This is the behaviour the engine always had; it implements the same
+    protocol as :class:`repro.service.SubQueryCache` but caches ranges
+    only — retrieval results and histograms are never shared, because
+    within one trip a sub-query is retrieved at most once per interval.
+    """
+
+    __slots__ = ("_ranges",)
+
+    def __init__(self):
+        self._ranges: dict = {}
+
+    def get_ranges(self, path):
+        return self._ranges.get(path)
+
+    def put_ranges(self, path, ranges):
+        self._ranges[path] = ranges
+
+    def get_result(self, key):
+        return None
+
+    def put_result(self, key, result):
+        pass
+
+    def get_histogram(self, key):
+        return None
+
+    def put_histogram(self, key, histogram):
+        pass
 
 
 @dataclass
@@ -69,6 +109,13 @@ class TripQueryResult:
     #: Sub-queries skipped by the cardinality estimator before any scan.
     n_estimator_skips: int
     elapsed_s: float
+    #: Sub-query retrievals answered from a shared cache instead of an
+    #: index scan; always 0 with the default per-trip cache.  The scan
+    #: count of an uncached run equals ``n_index_scans + n_cache_hits``,
+    #: except under concurrent fan-out, where two threads missing the
+    #: same key simultaneously may each scan it once (answers are still
+    #: identical; the sum can only over-count scans, never miss work).
+    n_cache_hits: int = 0
 
     @property
     def estimated_mean(self) -> float:
@@ -101,6 +148,7 @@ class QueryEngine:
         max_relaxations: int = 10_000,
         shift_and_enlarge: bool = True,
         beta_policy=None,
+        cache=None,
     ):
         """
         Parameters
@@ -128,9 +176,25 @@ class QueryEngine:
             Optional per-sub-query cardinality policy (paper Section 7
             future work; see :mod:`repro.core.policies`).  Applied to the
             initial partitioning.
+        cache:
+            Optional sub-query cache shared across trips (e.g.
+            :class:`repro.service.SubQueryCache`).  ``None`` keeps the
+            historical behaviour: a fresh :class:`PerTripCache` per
+            ``trip_query`` call.  A shared cache must be thread-safe when
+            the engine is used from multiple threads.
         """
         if splitter not in ("regular", "longest_prefix"):
             raise QueryError(f"unknown splitter {splitter!r}")
+        # A mismatched pair answers silently wrong: edges beyond the
+        # index's alphabet get empty ISA ranges and fall through to the
+        # other network's estimateTT fallback.
+        network_alphabet = getattr(network, "alphabet_size", None)
+        if network_alphabet is not None and network_alphabet != index.alphabet_size:
+            raise QueryError(
+                f"index alphabet size {index.alphabet_size} does not match "
+                f"the network's {network_alphabet}; index and network must "
+                "come from the same world"
+            )
         self.index = index
         self.network = network
         self.partitioner_name = partitioner
@@ -142,6 +206,17 @@ class QueryEngine:
         self._max_relaxations = max_relaxations
         self.shift_and_enlarge = shift_and_enlarge
         self.beta_policy = beta_policy
+        self.cache = cache
+        self._bind_cache(cache)
+
+    def _bind_cache(self, cache) -> None:
+        """Pin a shared cache to this engine's index and network (keys
+        carry no data identity — and cached fallback results embed the
+        network's ``estimateTT`` — so cross-data sharing must be
+        rejected)."""
+        bind = getattr(cache, "bind_index", None)
+        if bind is not None:
+            bind(self.index, self.network)
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -151,10 +226,24 @@ class QueryEngine:
         self,
         query: StrictPathQuery,
         exclude_ids: Sequence[int] = (),
+        cache=None,
     ) -> TripQueryResult:
-        """Procedure 6: partition, retrieve, relax, convolve."""
+        """Procedure 6: partition, retrieve, relax, convolve.
+
+        ``cache`` overrides the engine-level cache for this call; by
+        default a fresh :class:`PerTripCache` is used, preserving the
+        single-trip semantics.  A shared cache returns bit-identical
+        histograms — cached retrievals re-enter the procedure at the
+        exact point the index scan would have, so only ``n_index_scans``
+        (and ``n_cache_hits``) differ.
+        """
         started = time.perf_counter()
         split_fn = self._make_split_fn(exclude_ids)
+        if cache is None:
+            cache = self.cache if self.cache is not None else PerTripCache()
+        else:
+            self._bind_cache(cache)
+        exclude_key = tuple(sorted({int(i) for i in exclude_ids}))
 
         segments = self._partition(query.path, self.network)
         queue = deque()
@@ -179,17 +268,15 @@ class QueryEngine:
         enlarge_s = 0.0  # R_i: sum of earlier histogram ranges
         n_scans = 0
         n_skips = 0
+        n_hits = 0
         relaxations = 0
-        # One FM-index backward search per distinct sub-path per trip:
-        # estimator, retrieval, and interval-widening retries share it.
-        ranges_cache: dict = {}
 
         while queue:
             sub = queue.popleft()
-            ranges = ranges_cache.get(sub.path)
+            ranges = cache.get_ranges(sub.path)
             if ranges is None:
                 ranges = self.index.isa_ranges(sub.path)
-                ranges_cache[sub.path] = ranges
+                cache.put_ranges(sub.path, ranges)
 
             # Shift-and-enlarge (Procedure 6 line 4), once per chain.
             if (
@@ -223,14 +310,28 @@ class QueryEngine:
                 )
                 continue
 
-            result = get_travel_times(
-                self.index,
-                sub,
-                fallback_tt=self.network.estimate_tt,
-                exclude_ids=exclude_ids,
-                isa_ranges=ranges,
+            # Every input Procedure 5 reads is part of the key, so a hit
+            # is indistinguishable from a scan (bar the timing).
+            result_key = (
+                sub.path,
+                sub.interval,
+                sub.user,
+                sub.beta,
+                exclude_key,
             )
-            n_scans += 1
+            result = cache.get_result(result_key)
+            if result is not None:
+                n_hits += 1
+            else:
+                result = get_travel_times(
+                    self.index,
+                    sub,
+                    fallback_tt=self.network.estimate_tt,
+                    exclude_ids=exclude_ids,
+                    isa_ranges=ranges,
+                )
+                n_scans += 1
+                cache.put_result(result_key, result)
             if result.is_empty:
                 relaxations += 1
                 if relaxations > self._max_relaxations:
@@ -244,9 +345,13 @@ class QueryEngine:
                 )
                 continue
 
-            histogram = Histogram.from_values(
-                result.values, self.bucket_width_s
-            )
+            histogram_key = (result_key, self.bucket_width_s)
+            histogram = cache.get_histogram(histogram_key)
+            if histogram is None:
+                histogram = Histogram.from_values(
+                    result.values, self.bucket_width_s
+                )
+                cache.put_histogram(histogram_key, histogram)
             outcomes.append(
                 SubQueryOutcome(
                     query=sub,
@@ -265,6 +370,7 @@ class QueryEngine:
             n_index_scans=n_scans,
             n_estimator_skips=n_skips,
             elapsed_s=time.perf_counter() - started,
+            n_cache_hits=n_hits,
         )
 
     # ------------------------------------------------------------------ #

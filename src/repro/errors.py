@@ -34,6 +34,35 @@ class IndexError_(ReproError):
     """
 
 
+class UnknownTrajectoryError(IndexError_):
+    """Raised when a trajectory id is outside the indexed id space."""
+
+    def __init__(self, traj_id: int):
+        super().__init__(f"unknown trajectory id {traj_id!r}")
+        self.traj_id = traj_id
+
+
+class MissingUserError(IndexError_):
+    """Raised for an in-range trajectory id that no trajectory used.
+
+    The user container ``U`` is a dense array over ``[0, max id]``; ids
+    never assigned by any indexed trajectory are gaps (stored as ``-1``)
+    rather than unknown ids.
+    """
+
+    def __init__(self, traj_id: int):
+        super().__init__(
+            f"trajectory id {traj_id!r} has no indexed trajectory "
+            "(gap in the user container)"
+        )
+        self.traj_id = traj_id
+
+
+class PersistenceError(IndexError_):
+    """Raised when loading a saved index fails (missing files, bad
+    format version, corrupt payload)."""
+
+
 class QueryError(ReproError):
     """Raised for malformed strict path queries."""
 

@@ -16,7 +16,12 @@ from .memory import (
     project_to_paper_scale,
 )
 from .reporting import format_series, format_table, mib
-from .throughput import ThroughputResult, measure_throughput
+from .throughput import (
+    BatchServiceResult,
+    ThroughputResult,
+    measure_batch_service,
+    measure_throughput,
+)
 from .workload import (
     QUERY_TYPES,
     QuerySpec,
@@ -47,4 +52,6 @@ __all__ = [
     "project_to_paper_scale",
     "ThroughputResult",
     "measure_throughput",
+    "BatchServiceResult",
+    "measure_batch_service",
 ]

@@ -16,14 +16,19 @@ scaling is expected — the honest quantification is the point.
 from __future__ import annotations
 
 import time
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 from ..core.engine import QueryEngine
+from ..service import SubQueryCache, TravelTimeService
 from .workload import Workload
 
-__all__ = ["ThroughputResult", "measure_throughput"]
+__all__ = [
+    "ThroughputResult",
+    "measure_throughput",
+    "BatchServiceResult",
+    "measure_batch_service",
+]
 
 
 @dataclass(frozen=True)
@@ -48,48 +53,156 @@ def measure_throughput(
 ) -> List[ThroughputResult]:
     """Run the same query batch under different worker-pool sizes.
 
-    Every worker gets its own :class:`QueryEngine` (engines are cheap,
-    stateless wrappers); all share the one immutable index.
+    Execution goes through :meth:`TravelTimeService.trip_query_many`
+    (uncached, so every run measures real index work); the service owns
+    the thread-pool fan-out over the shared immutable index.
     """
     if any(w < 1 for w in worker_counts):
         raise ValueError("worker counts must be positive")
     specs = workload.queries[:n_queries]
-    jobs = [
-        (spec.to_query("temporal", 900, workload.t_max, beta), spec.traj_id)
-        for spec in specs
+    queries = [
+        spec.to_query("temporal", 900, workload.t_max, beta) for spec in specs
     ]
+    exclude_ids = [(spec.traj_id,) for spec in specs]
 
     results = []
     for n_workers in worker_counts:
-        engines = [
-            QueryEngine(
-                workload.index, workload.network, partitioner=partitioner
-            )
-            for _ in range(n_workers)
-        ]
-
-        def run_shard(shard_index: int) -> int:
-            engine = engines[shard_index]
-            count = 0
-            for job_index in range(shard_index, len(jobs), n_workers):
-                query, traj_id = jobs[job_index]
-                engine.trip_query(query, exclude_ids=(traj_id,))
-                count += 1
-            return count
-
+        service = TravelTimeService(
+            workload.index,
+            workload.network,
+            cache=None,
+            partitioner=partitioner,
+        )
         started = time.perf_counter()
-        if n_workers == 1:
-            completed = run_shard(0)
-        else:
-            with ThreadPoolExecutor(max_workers=n_workers) as pool:
-                completed = sum(pool.map(run_shard, range(n_workers)))
+        answered = service.trip_query_many(
+            queries, exclude_ids=exclude_ids, n_workers=n_workers
+        )
         elapsed = time.perf_counter() - started
-        assert completed == len(jobs)
+        assert len(answered) == len(queries)
         results.append(
             ThroughputResult(
                 n_workers=n_workers,
-                n_queries=len(jobs),
+                n_queries=len(queries),
                 elapsed_s=elapsed,
             )
         )
     return results
+
+
+@dataclass(frozen=True)
+class BatchServiceResult:
+    """One execution mode of the batch-service comparison."""
+
+    mode: str
+    n_queries: int
+    elapsed_s: float
+    n_index_scans: int
+    n_cache_hits: int
+
+    @property
+    def queries_per_second(self) -> float:
+        return self.n_queries / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+
+def measure_batch_service(
+    workload: Workload,
+    n_queries: int = 20,
+    repeat: int = 3,
+    beta: int = 20,
+    partitioner: str = "pi_Z",
+    n_workers: int = 4,
+) -> Tuple[List[BatchServiceResult], bool]:
+    """Single vs. batched vs. cached QPS on a repeated-path workload.
+
+    The workload repeats every query ``repeat`` times — the shape the
+    shared cache is built for (commuters re-asking the same trips).
+    Modes:
+
+    * ``sequential`` — one ``QueryEngine.trip_query`` call per trip
+      (per-trip cache only), the paper's Procedure 6 baseline;
+    * ``batched`` — ``trip_query_many`` with ``n_workers`` threads, no
+      shared cache (pure fan-out);
+    * ``cached-cold`` — ``trip_query_many`` on one thread with an empty
+      shared :class:`SubQueryCache` (repeats hit within the pass);
+    * ``cached-warm`` — the same batch again on the warm cache.
+
+    Returns the per-mode results plus a flag confirming all modes
+    produced identical histograms and point estimates.
+    """
+    if repeat < 1 or n_queries < 1:
+        raise ValueError("n_queries and repeat must be positive")
+    specs = workload.queries[:n_queries]
+    base_queries = [
+        spec.to_query("temporal", 900, workload.t_max, beta) for spec in specs
+    ]
+    queries = base_queries * repeat
+    exclude_ids = [(spec.traj_id,) for spec in specs] * repeat
+
+    def tally(mode: str, answered, elapsed: float) -> BatchServiceResult:
+        return BatchServiceResult(
+            mode=mode,
+            n_queries=len(answered),
+            elapsed_s=elapsed,
+            n_index_scans=sum(r.n_index_scans for r in answered),
+            n_cache_hits=sum(r.n_cache_hits for r in answered),
+        )
+
+    results: List[BatchServiceResult] = []
+    answers = {}
+
+    engine = QueryEngine(
+        workload.index, workload.network, partitioner=partitioner
+    )
+    started = time.perf_counter()
+    answers["sequential"] = [
+        engine.trip_query(query, exclude_ids=excluded)
+        for query, excluded in zip(queries, exclude_ids)
+    ]
+    results.append(
+        tally("sequential", answers["sequential"], time.perf_counter() - started)
+    )
+
+    fanout = TravelTimeService(
+        workload.index, workload.network, cache=None, partitioner=partitioner
+    )
+    started = time.perf_counter()
+    answers["batched"] = fanout.trip_query_many(
+        queries, exclude_ids=exclude_ids, n_workers=n_workers
+    )
+    results.append(
+        tally("batched", answers["batched"], time.perf_counter() - started)
+    )
+
+    cached = TravelTimeService(
+        workload.index,
+        workload.network,
+        cache=SubQueryCache(),
+        partitioner=partitioner,
+    )
+    started = time.perf_counter()
+    answers["cached-cold"] = cached.trip_query_many(
+        queries, exclude_ids=exclude_ids
+    )
+    results.append(
+        tally(
+            "cached-cold", answers["cached-cold"], time.perf_counter() - started
+        )
+    )
+    started = time.perf_counter()
+    answers["cached-warm"] = cached.trip_query_many(
+        queries, exclude_ids=exclude_ids
+    )
+    results.append(
+        tally(
+            "cached-warm", answers["cached-warm"], time.perf_counter() - started
+        )
+    )
+
+    reference = answers["sequential"]
+    identical = all(
+        result.histogram == expected.histogram
+        and result.estimated_mean == expected.estimated_mean
+        for mode in ("batched", "cached-cold", "cached-warm")
+        for result, expected in zip(answers[mode], reference)
+    )
+    return results, identical

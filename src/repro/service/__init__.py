@@ -1,0 +1,12 @@
+"""Serving layer: batched queries, shared caches, index persistence."""
+
+from .cache import CacheStats, LRUCache, SectionStats, SubQueryCache
+from .service import TravelTimeService
+
+__all__ = [
+    "TravelTimeService",
+    "SubQueryCache",
+    "LRUCache",
+    "CacheStats",
+    "SectionStats",
+]

@@ -1,0 +1,176 @@
+"""Batched travel-time query service (ROADMAP serving layer).
+
+:class:`TravelTimeService` wraps one immutable :class:`SNTIndex` plus a
+:class:`QueryEngine` configuration and answers *batches* of trip queries:
+
+* a cross-query :class:`SubQueryCache` shares FM-index backward searches,
+  retrieval results, and histograms between trips (commuter workloads
+  repeat sub-paths heavily);
+* optional thread-pool fan-out runs independent trips concurrently while
+  returning results in submission order (the index is immutable, numpy
+  kernels release the GIL);
+* :meth:`TravelTimeService.from_saved` cold-starts from a persisted index
+  (:meth:`SNTIndex.save`), skipping the suffix-array build entirely.
+
+Cached and fan-out execution is *bit-identical* to sequential
+``QueryEngine.trip_query``: a cache hit re-enters Procedure 6 exactly
+where the index scan would have, so only the ``n_index_scans`` /
+``n_cache_hits`` accounting differs.  For single-threaded cached runs
+their sum equals the uncached scan count exactly; under concurrent
+fan-out two threads may race to first-answer the same sub-query and
+each scan it once, so the sum can over-count scans (never miss work,
+and never change answers).  The ``tests/service`` suite enforces the
+equivalence across partitioners, splitters, and estimator
+configurations.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from ..core.engine import QueryEngine, TripQueryResult
+from ..core.spq import StrictPathQuery
+from ..network.graph import RoadNetwork
+from ..sntindex.index import SNTIndex
+from .cache import CacheStats, SubQueryCache
+
+__all__ = ["TravelTimeService"]
+
+
+class TravelTimeService:
+    """Travel-time histogram retrieval for query batches.
+
+    Parameters
+    ----------
+    index, network:
+        The SNT-index and its road network (as for ``QueryEngine``).
+    cache:
+        ``"default"`` builds a bounded :class:`SubQueryCache`; ``None``
+        disables cross-query caching (every trip uses the engine's
+        per-trip cache); or pass a pre-configured :class:`SubQueryCache`
+        to control the LRU bounds or share one cache between services
+        *over the same index and network* — the cache binds permanently
+        to the first (index, network) pair it serves and rejects any
+        other.
+    n_workers:
+        Default thread-pool width for :meth:`trip_query_many`.  ``1``
+        keeps execution on the calling thread.
+    **engine_kwargs:
+        Forwarded to :class:`repro.core.engine.QueryEngine` (partitioner,
+        splitter, ladder, bucket_width_s, estimator, ...).
+    """
+
+    def __init__(
+        self,
+        index: SNTIndex,
+        network: RoadNetwork,
+        cache: Union[SubQueryCache, None, str] = "default",
+        n_workers: int = 1,
+        **engine_kwargs,
+    ):
+        if n_workers < 1:
+            raise ValueError("n_workers must be positive")
+        if cache == "default":
+            cache = SubQueryCache()
+        elif isinstance(cache, str):
+            raise ValueError(
+                f"cache must be a SubQueryCache, None, or 'default'; "
+                f"got {cache!r}"
+            )
+        self.cache: Optional[SubQueryCache] = cache
+        self.n_workers = n_workers
+        self.engine = QueryEngine(index, network, cache=cache, **engine_kwargs)
+
+    @property
+    def index(self) -> SNTIndex:
+        return self.engine.index
+
+    @property
+    def network(self) -> RoadNetwork:
+        return self.engine.network
+
+    @classmethod
+    def from_saved(
+        cls,
+        index_path: Union[str, Path],
+        network: RoadNetwork,
+        **kwargs,
+    ) -> "TravelTimeService":
+        """Cold-start a service from a persisted index directory."""
+        return cls(SNTIndex.load(index_path), network, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def trip_query(
+        self,
+        query: StrictPathQuery,
+        exclude_ids: Sequence[int] = (),
+    ) -> TripQueryResult:
+        """Answer one trip through the shared cache."""
+        return self.engine.trip_query(query, exclude_ids=exclude_ids)
+
+    def trip_query_many(
+        self,
+        queries: Sequence[StrictPathQuery],
+        exclude_ids: Optional[Sequence[Sequence[int]]] = None,
+        n_workers: Optional[int] = None,
+    ) -> List[TripQueryResult]:
+        """Answer a batch of independent trips.
+
+        Parameters
+        ----------
+        queries:
+            The trip queries, answered independently.
+        exclude_ids:
+            Optional per-query excluded trajectory ids (parallel to
+            ``queries``); used by evaluation workloads to keep each query
+            trajectory out of its own answer.
+        n_workers:
+            Overrides the service-level pool width for this batch.
+
+        Returns
+        -------
+        Results in submission order, regardless of worker count — the
+        batch API is deterministic so callers can zip results back onto
+        their requests.
+        """
+        if exclude_ids is None:
+            exclude_ids = [()] * len(queries)
+        if len(exclude_ids) != len(queries):
+            raise ValueError(
+                f"got {len(queries)} queries but {len(exclude_ids)} "
+                "exclude_ids entries"
+            )
+        workers = self.n_workers if n_workers is None else n_workers
+        if workers < 1:
+            raise ValueError("n_workers must be positive")
+        workers = min(workers, max(1, len(queries)))
+
+        def answer(position: int) -> TripQueryResult:
+            return self.engine.trip_query(
+                queries[position], exclude_ids=exclude_ids[position]
+            )
+
+        if workers == 1:
+            return [answer(i) for i in range(len(queries))]
+        # trip_query touches no engine state and the shared cache is
+        # locked, so one engine serves every worker; map() preserves
+        # submission order.
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(answer, range(len(queries))))
+
+    # ------------------------------------------------------------------ #
+    # Cache management
+    # ------------------------------------------------------------------ #
+
+    def cache_stats(self) -> Optional[CacheStats]:
+        """Shared-cache statistics, or ``None`` when caching is off."""
+        return self.cache.stats() if self.cache is not None else None
+
+    def clear_cache(self) -> None:
+        if self.cache is not None:
+            self.cache.clear()

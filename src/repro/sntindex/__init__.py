@@ -2,6 +2,7 @@
 
 from .index import BuildStats, SNTIndex
 from .partition import IndexPartition, build_partition
+from .persistence import FORMAT_VERSION, load_index, read_meta, save_index
 from .procedures import TravelTimeResult, count_matches, get_travel_times
 
 __all__ = [
@@ -9,6 +10,10 @@ __all__ = [
     "BuildStats",
     "IndexPartition",
     "build_partition",
+    "FORMAT_VERSION",
+    "save_index",
+    "load_index",
+    "read_meta",
     "TravelTimeResult",
     "get_travel_times",
     "count_matches",

@@ -15,17 +15,19 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..config import SECONDS_PER_DAY
-from ..errors import IndexError_
+from ..errors import IndexError_, MissingUserError, UnknownTrajectoryError
 from ..histogram.tod import TimeOfDayHistogramStore
 from ..temporal.forest import EdgeTemporalIndex, TemporalForest
 from ..temporal.records import TraversalColumns
 from ..trajectories.model import TrajectorySet
 from .partition import IndexPartition, build_partition
+from .persistence import load_index, save_index
 
 __all__ = ["SNTIndex", "BuildStats"]
 
@@ -224,9 +226,23 @@ class SNTIndex:
         return self.forest.get(edge)
 
     def user_of(self, traj_id: int) -> int:
+        """User of trajectory ``d`` from the associative container ``U``.
+
+        Raises :class:`UnknownTrajectoryError` for ids outside the dense
+        id space and :class:`MissingUserError` for in-range gaps (``U``
+        spans ``[0, max id]`` but not every id was assigned); both derive
+        from :class:`IndexError_`.
+        """
         if not 0 <= traj_id < self.users.size:
-            raise IndexError_(f"unknown trajectory id {traj_id}")
-        return int(self.users[traj_id])
+            raise UnknownTrajectoryError(traj_id)
+        user = int(self.users[traj_id])
+        if user < 0:
+            raise MissingUserError(traj_id)
+        return user
+
+    def has_trajectory(self, traj_id: int) -> bool:
+        """Whether ``traj_id`` names an indexed trajectory (no gap)."""
+        return 0 <= traj_id < self.users.size and self.users[traj_id] >= 0
 
     def build_tod_store(self, bucket_width_s: int) -> TimeOfDayHistogramStore:
         """Build a fresh time-of-day histogram store at another grain.
@@ -242,6 +258,33 @@ class SNTIndex:
                     int(edge), columns.t[columns.w == w], partition=int(w)
                 )
         return store
+
+    # ------------------------------------------------------------------ #
+    # Persistence (service cold start without re-running ``build()``)
+    # ------------------------------------------------------------------ #
+
+    def save(
+        self, path: Union[str, Path], extra: Optional[dict] = None
+    ) -> Path:
+        """Serialise the index to directory ``path``.
+
+        ``extra`` is optional JSON-serialisable provenance stored in the
+        meta file (ignored by :meth:`load`).  See
+        :mod:`repro.sntindex.persistence` for the on-disk layout and the
+        format version tag.
+        """
+        return save_index(self, path, extra=extra)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "SNTIndex":
+        """Load an index saved with :meth:`save`; no rebuild happens.
+
+        .. warning::
+            The partition payload is unpickled — only load directories
+            you wrote yourself; a malicious index directory can execute
+            arbitrary code.
+        """
+        return load_index(path)
 
     # ------------------------------------------------------------------ #
     # Size accounting (real structures; Fig. 10 uses experiments.memory)

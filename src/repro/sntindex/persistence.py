@@ -1,0 +1,367 @@
+"""On-disk format for the SNT-index (``SNTIndex.save`` / ``load``).
+
+A service process should start serving without re-running ``build()`` —
+suffix-array construction dominates build time and the index is immutable
+afterwards, so it is built once and shipped as a directory:
+
+``meta.json``
+    Format tag + version, scalar index attributes, and the build stats.
+``arrays.npz``
+    The bulk numpy payload: the user container ``U``, the temporal-forest
+    leaf columns (concatenated across edges with an offset table), and
+    the time-of-day histogram store.
+``partitions.pkl``
+    The per-partition FM-indexes (wavelet trees over the BWT), pickled.
+    These are deep object graphs of numpy arrays and dicts; pickling them
+    verbatim is both compact and exact, and avoids re-running the
+    suffix-array construction that dominates build time.
+
+.. warning::
+    Because the partitions are pickled, **loading executes whatever the
+    pickle says** — only load index directories you (or your build
+    pipeline) wrote.  A saved index is a build artifact, not a safe
+    interchange format; treat foreign index directories like foreign
+    code.
+
+The forest and ToD store are *reconstructed* from the column arrays on
+load (``TemporalForest.build`` is deterministic over sorted columns), so
+the on-disk format stays independent of the tree internals — a CSS-tree
+directory is cheap to rebuild, and the same file loads as ``"btree"``
+data written by a ``"css"`` build would not arise (the kind is saved).
+
+``FORMAT_VERSION`` gates compatibility: loaders refuse newer or older
+majors outright rather than guessing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import shutil
+import zipfile
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, Optional, Union
+
+import numpy as np
+
+from ..errors import PersistenceError
+from ..histogram.tod import TimeOfDayHistogramStore
+from ..temporal.forest import TemporalForest
+from ..temporal.records import TraversalColumns
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .index import SNTIndex
+
+__all__ = [
+    "FORMAT_VERSION",
+    "FORMAT_NAME",
+    "save_index",
+    "load_index",
+    "read_meta",
+]
+
+#: Bump on any incompatible change to the directory layout or array set.
+FORMAT_VERSION = 1
+FORMAT_NAME = "snt-index"
+
+META_FILE = "meta.json"
+ARRAYS_FILE = "arrays.npz"
+PARTITIONS_FILE = "partitions.pkl"
+
+_COLUMNS = ("t", "isa", "d", "tt", "a", "seq", "w")
+
+
+def save_index(
+    index: "SNTIndex", path: Union[str, Path], extra: Optional[dict] = None
+) -> Path:
+    """Write ``index`` to directory ``path`` (created if needed).
+
+    ``extra`` is an optional JSON-serialisable dict stored verbatim under
+    the ``extra`` meta key — provenance the caller wants to travel with
+    the index (the CLI records a digest of the source world there).
+    Loaders ignore it.
+
+    The payload is staged in a sibling temp directory and swapped in at
+    the end, so an interrupted re-save never leaves a directory mixing
+    old and new files (which would pass every load check and answer
+    queries wrongly); the reader finds either the old index, the new
+    one, or — in the narrow swap window — none.
+    """
+    final = Path(path)
+    if final.exists():
+        # The swap deletes whatever sits at the target; only a prior
+        # saved index (or an empty directory) is fair game — a mistaken
+        # --out must not destroy user data.
+        if not final.is_dir():
+            raise PersistenceError(
+                f"cannot save index to {final}: exists and is not a "
+                "directory"
+            )
+        if any(final.iterdir()) and not (final / META_FILE).is_file():
+            raise PersistenceError(
+                f"refusing to overwrite {final}: directory exists and is "
+                "not a saved SNT-index"
+            )
+    final.parent.mkdir(parents=True, exist_ok=True)
+    # Sweep staging/graveyard leftovers of *crashed* saves only: a
+    # pid-suffixed dir whose owner is still alive belongs to a
+    # concurrent saver and must not be touched.  A dead saver's
+    # graveyard may hold the only surviving copy of the index (crash
+    # between the two swap renames) — restore it, never delete it,
+    # when no index is installed.
+    for pattern in (f".{final.name}.tmp-*", f".{final.name}.old-*"):
+        for stale in final.parent.glob(pattern):
+            pid_text = stale.name.rsplit("-", 1)[-1]
+            if pid_text.isdigit() and _pid_alive(int(pid_text)):
+                continue
+            if ".old-" in stale.name and not final.exists():
+                try:
+                    os.rename(stale, final)
+                    continue
+                except OSError:
+                    pass
+            shutil.rmtree(stale, ignore_errors=True)
+    target = final.parent / f".{final.name}.tmp-{os.getpid()}"
+    if target.exists():  # our own leftover; the sweep skips live pids
+        shutil.rmtree(target)
+    target.mkdir()
+    try:
+        _write_payload(index, target, extra)
+    except BaseException:
+        shutil.rmtree(target, ignore_errors=True)
+        raise
+
+    graveyard = None
+    try:
+        if final.exists():
+            graveyard = final.parent / f".{final.name}.old-{os.getpid()}"
+            if graveyard.exists():
+                shutil.rmtree(graveyard)
+            os.rename(final, graveyard)
+        os.rename(target, final)
+    except OSError as error:
+        # Most likely two savers racing for the same target: the loser's
+        # rename finds the directory already moved.  Put the old index
+        # back if the failure left none installed.
+        shutil.rmtree(target, ignore_errors=True)
+        if (
+            graveyard is not None
+            and graveyard.exists()
+            and not final.exists()
+        ):
+            try:
+                os.rename(graveyard, final)
+            except OSError:
+                pass  # the sweep of a later save will restore it
+        raise PersistenceError(
+            f"could not install saved index at {final} (concurrent save "
+            f"to the same path?): {error}"
+        ) from error
+    if graveyard is not None:
+        # The new index is installed; a failed graveyard cleanup is not
+        # a failed save (the next save's sweep collects it).
+        shutil.rmtree(graveyard, ignore_errors=True)
+    return final
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe for staging-dir owners."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # alive, owned by another user
+    except OSError:
+        return True  # unknown: err on the side of not deleting
+    return True
+
+
+def _write_payload(
+    index: "SNTIndex", target: Path, extra: Optional[dict] = None
+) -> None:
+    """Write meta/arrays/partitions into (staging) directory ``target``."""
+
+    edges = sorted(index.forest.edges())
+    chunks: Dict[str, list] = {name: [] for name in _COLUMNS}
+    offsets = np.zeros(len(edges) + 1, dtype=np.int64)
+    for i, edge in enumerate(edges):
+        columns = index.forest.get(edge).columns
+        offsets[i + 1] = offsets[i] + len(columns)
+        for name in _COLUMNS:
+            chunks[name].append(getattr(columns, name))
+
+    arrays = {
+        "users": index.users,
+        "edge_ids": np.asarray(edges, dtype=np.int64),
+        "edge_offsets": offsets,
+    }
+    for name in _COLUMNS:
+        arrays[f"col_{name}"] = (
+            np.concatenate(chunks[name])
+            if chunks[name]
+            else np.empty(0)
+        )
+    tod_keys, tod_counts = index.tod_store.as_arrays()
+    arrays["tod_keys"] = tod_keys
+    arrays["tod_counts"] = tod_counts
+    np.savez_compressed(target / ARRAYS_FILE, **arrays)
+
+    with open(target / PARTITIONS_FILE, "wb") as handle:
+        pickle.dump(index.partitions, handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+    stats = index.build_stats
+    meta = {
+        "format": FORMAT_NAME,
+        "format_version": FORMAT_VERSION,
+        "kind": index.kind,
+        "partition_days": index.partition_days,
+        "t_min": index.t_min,
+        "t_max": index.t_max,
+        "alphabet_size": index.alphabet_size,
+        "tod_bucket_s": index.tod_store.bucket_width_s,
+        "build_stats": {
+            "setup_seconds": stats.setup_seconds,
+            "n_partitions": stats.n_partitions,
+            "n_trajectories": stats.n_trajectories,
+            "n_traversals": stats.n_traversals,
+        },
+        "extra": dict(extra or {}),
+    }
+    with open(target / META_FILE, "w") as handle:
+        json.dump(meta, handle, indent=2)
+
+
+def read_meta(path: Union[str, Path]) -> dict:
+    """Read and format-check ``meta.json`` of a saved index.
+
+    Cheap (no payload I/O): callers can inspect provenance — the
+    ``extra`` dict, build stats, scalar attributes — without loading
+    the index.
+    """
+    source = Path(path)
+    meta_path = source / META_FILE
+    if not meta_path.is_file():
+        raise PersistenceError(f"{source} is not a saved SNT-index "
+                               f"({META_FILE} missing)")
+    try:
+        meta = json.loads(meta_path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise PersistenceError(f"corrupt {META_FILE}: {error}") from error
+    if meta.get("format") != FORMAT_NAME:
+        raise PersistenceError(
+            f"{source} holds format {meta.get('format')!r}, "
+            f"expected {FORMAT_NAME!r}"
+        )
+    version = meta.get("format_version")
+    if version != FORMAT_VERSION:
+        raise PersistenceError(
+            f"saved index has format version {version!r}; this build "
+            f"reads version {FORMAT_VERSION} only"
+        )
+    return meta
+
+
+def load_index(path: Union[str, Path]) -> "SNTIndex":
+    """Load an index previously written by :func:`save_index`."""
+    from .index import BuildStats, SNTIndex
+
+    source = Path(path)
+    meta = read_meta(source)
+
+    required_meta = (
+        "kind", "partition_days", "t_min", "t_max", "alphabet_size",
+        "tod_bucket_s", "build_stats",
+    )
+    missing_meta = [name for name in required_meta if name not in meta]
+    if missing_meta:
+        raise PersistenceError(
+            f"{META_FILE} is missing fields {missing_meta}"
+        )
+
+    try:
+        with np.load(source / ARRAYS_FILE) as payload:
+            arrays = {name: payload[name] for name in payload.files}
+        with open(source / PARTITIONS_FILE, "rb") as handle:
+            partitions = pickle.load(handle)
+    except (
+        OSError,
+        EOFError,
+        zipfile.BadZipFile,
+        pickle.PickleError,
+        ValueError,
+        KeyError,
+    ) as error:
+        raise PersistenceError(
+            f"failed to read saved index payload from {source}: {error}"
+        ) from error
+
+    required_arrays = ["users", "edge_ids", "edge_offsets", "tod_keys",
+                       "tod_counts"]
+    required_arrays += [f"col_{name}" for name in _COLUMNS]
+    missing = [name for name in required_arrays if name not in arrays]
+    if missing:
+        raise PersistenceError(
+            f"{ARRAYS_FILE} is missing arrays {missing}"
+        )
+
+    edges = arrays["edge_ids"]
+    offsets = arrays["edge_offsets"]
+    # Slicing with bad offsets would silently clamp to empty columns, so
+    # the offset table must be proven consistent, not trusted.
+    if (
+        offsets.size != edges.size + 1
+        or (offsets.size and offsets[0] != 0)
+        or np.any(np.diff(offsets) < 0)
+        or (offsets.size and offsets[-1] != arrays["col_t"].size)
+    ):
+        raise PersistenceError(
+            f"corrupt {ARRAYS_FILE}: edge_offsets are inconsistent with "
+            "the column arrays"
+        )
+    try:
+        per_edge: Dict[int, TraversalColumns] = {}
+        for i, edge in enumerate(edges):
+            lo, hi = int(offsets[i]), int(offsets[i + 1])
+            per_edge[int(edge)] = TraversalColumns.from_arrays(
+                t=arrays["col_t"][lo:hi],
+                isa=arrays["col_isa"][lo:hi],
+                d=arrays["col_d"][lo:hi],
+                tt=arrays["col_tt"][lo:hi],
+                a=arrays["col_a"][lo:hi],
+                seq=arrays["col_seq"][lo:hi],
+                w=arrays["col_w"][lo:hi],
+            )
+        forest = TemporalForest.build(per_edge, kind=meta["kind"])
+        tod_store = TimeOfDayHistogramStore.from_arrays(
+            meta["tod_bucket_s"], arrays["tod_keys"], arrays["tod_counts"]
+        )
+    except (ValueError, IndexError, KeyError, TypeError) as error:
+        raise PersistenceError(
+            f"failed to reconstruct index from {source}: {error}"
+        ) from error
+
+    stats_meta = meta["build_stats"]
+    stats_fields = (
+        "setup_seconds", "n_partitions", "n_trajectories", "n_traversals"
+    )
+    if any(field not in stats_meta for field in stats_fields):
+        raise PersistenceError(f"{META_FILE} has incomplete build_stats")
+    return SNTIndex(
+        partitions=partitions,
+        forest=forest,
+        users=arrays["users"],
+        tod_store=tod_store,
+        t_min=int(meta["t_min"]),
+        t_max=int(meta["t_max"]),
+        alphabet_size=int(meta["alphabet_size"]),
+        kind=meta["kind"],
+        partition_days=meta["partition_days"],
+        build_stats=BuildStats(
+            setup_seconds=float(stats_meta["setup_seconds"]),
+            n_partitions=int(stats_meta["n_partitions"]),
+            n_trajectories=int(stats_meta["n_trajectories"]),
+            n_traversals=int(stats_meta["n_traversals"]),
+        ),
+    )

@@ -1,0 +1,113 @@
+"""Unit tests for the service-layer LRU caches."""
+
+import threading
+
+import pytest
+
+from repro.service import LRUCache, SubQueryCache
+
+
+class TestLRUCache:
+    def test_get_put_roundtrip(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("missing") is None
+
+    def test_eviction_is_least_recently_used(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a"; "b" is now oldest
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+
+    def test_put_refreshes_existing_key(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # overwrite refreshes recency
+        cache.put("c", 3)
+        assert cache.get("a") == 10
+        assert cache.get("b") is None
+
+    def test_unbounded_cache_never_evicts(self):
+        cache = LRUCache(None)
+        for i in range(1000):
+            cache.put(i, i)
+        assert len(cache) == 1000
+        assert cache.stats().evictions == 0
+
+    def test_none_values_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(4).put("a", None)
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+    def test_stats_counters(self):
+        cache = LRUCache(1)
+        cache.get("a")  # miss
+        cache.put("a", 1)
+        cache.get("a")  # hit
+        cache.put("b", 2)  # evicts "a"
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.evictions) == (1, 1, 1)
+        assert stats.size == 1
+        assert stats.max_size == 1
+        assert stats.hit_rate == 0.5
+
+    def test_concurrent_access_is_consistent(self):
+        cache = LRUCache(128)
+        errors = []
+
+        def worker(base: int) -> None:
+            try:
+                for i in range(500):
+                    key = (base + i) % 64
+                    cache.put(key, key)
+                    value = cache.get(key)
+                    assert value is None or value == key
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+
+
+class TestSubQueryCache:
+    def test_sections_are_independent(self):
+        cache = SubQueryCache(max_ranges=2, max_results=2, max_histograms=2)
+        cache.put_ranges((1, 2), [(0, 0, 3)])
+        assert cache.get_ranges((1, 2)) == [(0, 0, 3)]
+        assert cache.get_result(("anything",)) is None
+        stats = cache.stats()
+        assert stats.ranges.size == 1
+        assert stats.results.size == 0
+
+    def test_put_result_freezes_values(self):
+        import numpy as np
+
+        from repro.sntindex.procedures import TravelTimeResult
+
+        cache = SubQueryCache()
+        result = TravelTimeResult(np.asarray([1.0, 2.0]), 2)
+        cache.put_result("key", result)
+        cached = cache.get_result("key")
+        assert not cached.values.flags.writeable
+
+    def test_clear_and_summary(self):
+        cache = SubQueryCache()
+        cache.put_ranges((1,), [(0, 0, 1)])
+        cache.clear()
+        assert cache.get_ranges((1,)) is None
+        assert "ranges" in cache.stats().summary()

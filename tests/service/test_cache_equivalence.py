@@ -1,0 +1,257 @@
+"""Cache/batch equivalence: the fast paths are bit-identical to Procedure 6.
+
+The serving layer (``TravelTimeService.trip_query_many`` + shared
+``SubQueryCache``) must return *exactly* what sequential
+``QueryEngine.trip_query`` returns — same histograms, same per-sub-query
+values, same point estimates — across partitioners, splitters, and
+estimator configurations.  The only permitted difference is accounting:
+cached runs trade index scans for cache hits, and the sum
+``n_index_scans + n_cache_hits`` is invariant.
+"""
+
+import numpy as np
+import pytest
+
+from repro import CardinalityEstimator, QueryEngine, SubQueryCache
+from repro.experiments import build_workload
+from repro.service import TravelTimeService
+
+PARTITIONERS = ("pi_1", "pi_Z", "pi_ZC")
+SPLITTERS = ("regular", "longest_prefix")
+N_QUERIES = 6
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload("tiny", seed=0)
+
+
+@pytest.fixture(scope="module")
+def jobs(workload):
+    specs = workload.queries[:N_QUERIES]
+    queries = [
+        spec.to_query("temporal", 900, workload.t_max, 10) for spec in specs
+    ]
+    exclude_ids = [(spec.traj_id,) for spec in specs]
+    return queries, exclude_ids
+
+
+def assert_equivalent(sequential, serviced):
+    """Histograms, outcomes, and scan-adjusted stats must match exactly."""
+    assert len(sequential) == len(serviced)
+    for expected, actual in zip(sequential, serviced):
+        assert actual.histogram == expected.histogram
+        assert actual.histogram.as_dict() == expected.histogram.as_dict()
+        assert actual.estimated_mean == expected.estimated_mean
+        assert actual.n_estimator_skips == expected.n_estimator_skips
+        # Cached runs replace scans with hits one for one.
+        assert expected.n_cache_hits == 0
+        assert (
+            actual.n_index_scans + actual.n_cache_hits
+            == expected.n_index_scans
+        )
+        assert len(actual.outcomes) == len(expected.outcomes)
+        for out_expected, out_actual in zip(
+            expected.outcomes, actual.outcomes
+        ):
+            assert out_actual.query == out_expected.query
+            assert np.array_equal(out_actual.values, out_expected.values)
+            assert out_actual.histogram == out_expected.histogram
+            assert out_actual.from_fallback == out_expected.from_fallback
+
+
+@pytest.mark.parametrize("partitioner", PARTITIONERS)
+@pytest.mark.parametrize("splitter", SPLITTERS)
+def test_batched_cached_equals_sequential(
+    workload, jobs, partitioner, splitter
+):
+    queries, exclude_ids = jobs
+    engine = QueryEngine(
+        workload.index,
+        workload.network,
+        partitioner=partitioner,
+        splitter=splitter,
+    )
+    sequential = [
+        engine.trip_query(query, exclude_ids=excluded)
+        for query, excluded in zip(queries, exclude_ids)
+    ]
+
+    service = TravelTimeService(
+        workload.index,
+        workload.network,
+        partitioner=partitioner,
+        splitter=splitter,
+    )
+    # Cold pass single-threaded: the exact scans-vs-hits accounting is
+    # only guaranteed without concurrent same-key misses.  The warm pass
+    # fans out — every retrieval is a hit, so the accounting is exact
+    # again and the fan-out path is exercised.
+    cold = service.trip_query_many(queries, exclude_ids=exclude_ids)
+    warm = service.trip_query_many(
+        queries, exclude_ids=exclude_ids, n_workers=3
+    )
+    assert_equivalent(sequential, cold)
+    assert_equivalent(sequential, warm)
+    # The warm pass answers the whole batch from cache.
+    assert sum(result.n_index_scans for result in warm) == 0
+    assert sum(result.n_cache_hits for result in warm) == sum(
+        result.n_index_scans for result in sequential
+    )
+
+
+@pytest.mark.parametrize("estimator_mode", (None, "CSS-Fast", "CSS-Acc"))
+def test_equivalence_with_cardinality_estimator(
+    workload, jobs, estimator_mode
+):
+    queries, exclude_ids = jobs
+    estimator = (
+        CardinalityEstimator(workload.index, mode=estimator_mode)
+        if estimator_mode is not None
+        else None
+    )
+    engine = QueryEngine(
+        workload.index, workload.network, estimator=estimator
+    )
+    sequential = [
+        engine.trip_query(query, exclude_ids=excluded)
+        for query, excluded in zip(queries, exclude_ids)
+    ]
+    service = TravelTimeService(
+        workload.index, workload.network, estimator=estimator
+    )
+    cold = service.trip_query_many(queries, exclude_ids=exclude_ids)
+    warm = service.trip_query_many(queries, exclude_ids=exclude_ids)
+    assert_equivalent(sequential, cold)
+    assert_equivalent(sequential, warm)
+    if estimator_mode is not None:
+        # The estimator keeps firing on cached runs (its skip accounting
+        # is part of the equivalence contract, not cached away).
+        assert sum(r.n_estimator_skips for r in warm) == sum(
+            r.n_estimator_skips for r in sequential
+        )
+
+
+def test_results_preserve_submission_order(workload, jobs):
+    queries, exclude_ids = jobs
+    service = TravelTimeService(workload.index, workload.network)
+    single = service.trip_query_many(
+        queries, exclude_ids=exclude_ids, n_workers=1
+    )
+    fanned = service.trip_query_many(
+        queries, exclude_ids=exclude_ids, n_workers=4
+    )
+    for a, b in zip(single, fanned):
+        assert a.histogram == b.histogram
+        assert [o.query.path for o in a.outcomes] == [
+            o.query.path for o in b.outcomes
+        ]
+
+
+def test_exclude_ids_are_part_of_the_cache_key(workload, jobs):
+    """Different exclusions must never share a cached result."""
+    queries, exclude_ids = jobs
+    service = TravelTimeService(workload.index, workload.network)
+    engine = QueryEngine(workload.index, workload.network)
+    excluded = service.trip_query_many(queries, exclude_ids=exclude_ids)
+    included = service.trip_query_many(queries)  # no exclusions, warm cache
+    for query, excl, with_excl, without_excl in zip(
+        queries, exclude_ids, excluded, included
+    ):
+        assert with_excl.histogram == engine.trip_query(
+            query, exclude_ids=excl
+        ).histogram
+        assert without_excl.histogram == engine.trip_query(query).histogram
+
+
+def test_cache_disabled_service_matches_too(workload, jobs):
+    queries, exclude_ids = jobs
+    engine = QueryEngine(workload.index, workload.network)
+    sequential = [
+        engine.trip_query(query, exclude_ids=excluded)
+        for query, excluded in zip(queries, exclude_ids)
+    ]
+    service = TravelTimeService(workload.index, workload.network, cache=None)
+    results = service.trip_query_many(
+        queries, exclude_ids=exclude_ids, n_workers=2
+    )
+    assert service.cache_stats() is None
+    for expected, actual in zip(sequential, results):
+        assert actual.histogram == expected.histogram
+        assert actual.n_cache_hits == 0
+        assert actual.n_index_scans == expected.n_index_scans
+
+
+def test_shared_cache_across_services(workload, jobs):
+    """One SubQueryCache can back several service instances."""
+    queries, exclude_ids = jobs
+    shared = SubQueryCache()
+    first = TravelTimeService(workload.index, workload.network, cache=shared)
+    second = TravelTimeService(workload.index, workload.network, cache=shared)
+    first.trip_query_many(queries, exclude_ids=exclude_ids)
+    warm = second.trip_query_many(queries, exclude_ids=exclude_ids)
+    assert sum(result.n_index_scans for result in warm) == 0
+
+
+def test_shared_cache_rejects_different_index_or_network(workload):
+    """Cache keys carry no data identity, so sharing across another
+    index *or network* must fail loudly instead of returning wrong
+    answers (fallback results embed the network's estimateTT)."""
+    from repro.experiments import build_workload
+
+    shared = SubQueryCache()
+    TravelTimeService(workload.index, workload.network, cache=shared)
+    other = build_workload("tiny", seed=1)
+    with pytest.raises(ValueError, match="bound to a different"):
+        TravelTimeService(other.index, other.network, cache=shared)
+    with pytest.raises(ValueError, match="bound to a different"):
+        TravelTimeService(workload.index, other.network, cache=shared)
+    # The binding is permanent — clear() empties but does not unbind
+    # (an in-flight trip could repopulate after the clear).
+    shared.clear()
+    with pytest.raises(ValueError, match="bound to a different"):
+        TravelTimeService(other.index, other.network, cache=shared)
+    # Same pair keeps working.
+    TravelTimeService(workload.index, workload.network, cache=shared)
+
+
+def test_mismatched_exclude_ids_length_raises(workload, jobs):
+    queries, _ = jobs
+    service = TravelTimeService(workload.index, workload.network)
+    with pytest.raises(ValueError):
+        service.trip_query_many(queries, exclude_ids=[()])
+
+
+def test_engine_rejects_mismatched_index_network_pair(workload):
+    """A mismatched pair would answer silently wrong (unknown edges get
+    empty ISA ranges + the wrong network's fallback); the engine — and
+    therefore TravelTimeService/from_saved — must refuse it up front."""
+    from repro import Edge, QueryEngine, RoadCategory
+    from repro.errors import QueryError
+    from repro.network import RoadNetwork, ZoneType
+
+    foreign = RoadNetwork()
+    foreign.add_vertex(1, (0.0, 0.0))
+    foreign.add_vertex(2, (1.0, 0.0))
+    foreign.add_edge(
+        Edge(
+            workload.index.alphabet_size + 5,
+            1,
+            2,
+            RoadCategory.PRIMARY,
+            ZoneType.CITY,
+            100.0,
+            50.0,
+        )
+    )
+    with pytest.raises(QueryError, match="alphabet"):
+        QueryEngine(workload.index, foreign)
+    with pytest.raises(QueryError, match="alphabet"):
+        TravelTimeService(workload.index, foreign)
+
+
+def test_invalid_cache_and_workers_raise(workload):
+    with pytest.raises(ValueError):
+        TravelTimeService(workload.index, workload.network, cache="bogus")
+    with pytest.raises(ValueError):
+        TravelTimeService(workload.index, workload.network, n_workers=0)

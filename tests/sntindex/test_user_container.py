@@ -1,0 +1,75 @@
+"""The associative container ``U: d -> u`` distinguishes unknown ids
+from gaps (ISSUE 1 satellite fix).
+
+``U`` is a dense array over ``[0, max id]`` initialised to ``-1``; an id
+inside the range that no trajectory used is a *gap*, not an unknown id.
+``user_of`` must tell the two apart instead of returning the ``-1``
+sentinel or raising one blanket error.
+"""
+
+import pytest
+
+from repro import SNTIndex
+from repro.errors import IndexError_, MissingUserError, UnknownTrajectoryError
+from repro.trajectories import Trajectory, TrajectoryPoint, TrajectorySet
+
+A, B, E = 1, 2, 5
+
+
+@pytest.fixture(scope="module")
+def gappy_index():
+    """Ids 0 and 3 exist; 1 and 2 are gaps inside the dense id space."""
+    trajectories = TrajectorySet(
+        [
+            Trajectory(0, 7, [TrajectoryPoint(A, 0, 3.0), TrajectoryPoint(B, 3, 4.0)]),
+            Trajectory(3, 9, [TrajectoryPoint(A, 6, 3.0), TrajectoryPoint(E, 9, 4.0)]),
+        ]
+    )
+    return SNTIndex.build(trajectories, alphabet_size=7)
+
+
+def test_known_ids_resolve(gappy_index):
+    assert gappy_index.user_of(0) == 7
+    assert gappy_index.user_of(3) == 9
+
+
+def test_out_of_range_id_is_unknown(gappy_index):
+    with pytest.raises(UnknownTrajectoryError) as excinfo:
+        gappy_index.user_of(4)
+    assert excinfo.value.traj_id == 4
+    with pytest.raises(UnknownTrajectoryError):
+        gappy_index.user_of(-1)
+
+
+def test_gap_id_has_no_user(gappy_index):
+    with pytest.raises(MissingUserError) as excinfo:
+        gappy_index.user_of(1)
+    assert excinfo.value.traj_id == 1
+    with pytest.raises(MissingUserError):
+        gappy_index.user_of(2)
+
+
+def test_both_errors_remain_index_errors(gappy_index):
+    """Callers catching the old blanket ``IndexError_`` keep working."""
+    for bad_id in (-5, 1, 99):
+        with pytest.raises(IndexError_):
+            gappy_index.user_of(bad_id)
+
+
+def test_has_trajectory(gappy_index):
+    assert gappy_index.has_trajectory(0)
+    assert gappy_index.has_trajectory(3)
+    assert not gappy_index.has_trajectory(1)
+    assert not gappy_index.has_trajectory(2)
+    assert not gappy_index.has_trajectory(4)
+    assert not gappy_index.has_trajectory(-1)
+
+
+def test_gap_survives_save_load(gappy_index, tmp_path):
+    gappy_index.save(tmp_path / "index")
+    loaded = SNTIndex.load(tmp_path / "index")
+    assert loaded.user_of(0) == 7
+    with pytest.raises(MissingUserError):
+        loaded.user_of(1)
+    with pytest.raises(UnknownTrajectoryError):
+        loaded.user_of(4)

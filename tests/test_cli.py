@@ -99,6 +99,156 @@ class TestQuery:
                      "--tod", "08:00", "--beta", "2"]) == 0
 
 
+class TestIndexCommand:
+    def test_build_save_and_query_from_saved(
+        self, world_dir, tmp_path, capsys
+    ):
+        index_dir = tmp_path / "index"
+        assert main(["index", "--world", str(world_dir),
+                     "--out", str(index_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "built index" in out
+        assert (index_dir / "meta.json").exists()
+        assert (index_dir / "arrays.npz").exists()
+        assert (index_dir / "partitions.pkl").exists()
+
+        path = TestQuery().path_from_world(world_dir)
+        assert main(["query", "--world", str(world_dir),
+                     "--index", str(index_dir), "--path", path]) == 0
+        assert "estimated mean" in capsys.readouterr().out
+
+    def test_wrong_world_index_rejected_by_digest(
+        self, world_dir, tmp_path, capsys
+    ):
+        other = tmp_path / "other_world"
+        main(["generate", "--scale", "tiny", "--seed", "9",
+              "--out", str(other)])
+        index_dir = tmp_path / "index"
+        main(["index", "--world", str(other), "--out", str(index_dir)])
+        capsys.readouterr()
+        path = TestQuery().path_from_world(world_dir)
+        with pytest.raises(SystemExit, match="different world"):
+            main(["query", "--world", str(world_dir),
+                  "--index", str(index_dir), "--path", path])
+
+    def test_swapped_network_rejected_on_digest_path(
+        self, world_dir, tmp_path, capsys
+    ):
+        """The world digest covers trajectories only; a swapped
+        network.json must still be caught."""
+        import shutil
+
+        clone = tmp_path / "clone"
+        clone.mkdir()
+        shutil.copy(world_dir / "network.json", clone / "network.json")
+        shutil.copy(
+            world_dir / "trajectories.txt", clone / "trajectories.txt"
+        )
+        index_dir = tmp_path / "index"
+        main(["index", "--world", str(clone), "--out", str(index_dir)])
+        capsys.readouterr()
+        # Swap in a bigger network: same trajectories, different alphabet.
+        main(["generate", "--scale", "small", "--seed", "5",
+              "--out", str(tmp_path / "big")])
+        shutil.copy(tmp_path / "big" / "network.json", clone / "network.json")
+        # Edge 1 exists in both networks, so path validation passes and
+        # the engine's alphabet guard fires; main converts the
+        # ReproError to a one-line error and exit code 1.
+        assert main(["query", "--world", str(clone),
+                     "--index", str(index_dir), "--path", "1"]) == 1
+        err = capsys.readouterr().err
+        assert "alphabet size" in err
+
+    def test_library_saved_index_uses_parsed_fallback(
+        self, world_dir, tmp_path, capsys
+    ):
+        """A save() without the CLI's world digest still loads, via the
+        parsed trajectory fingerprint."""
+        from repro import SNTIndex
+        from repro.network import load_network, load_trajectories
+
+        network = load_network(world_dir / "network.json")
+        trajectories = load_trajectories(world_dir / "trajectories.txt")
+        index = SNTIndex.build(trajectories, network.alphabet_size)
+        index.save(tmp_path / "libindex")  # no extra digest
+        path = TestQuery().path_from_world(world_dir)
+        assert main(["query", "--world", str(world_dir),
+                     "--index", str(tmp_path / "libindex"),
+                     "--path", path]) == 0
+        assert "estimated mean" in capsys.readouterr().out
+
+    def test_saved_and_built_answers_agree(self, world_dir, tmp_path, capsys):
+        index_dir = tmp_path / "index"
+        main(["index", "--world", str(world_dir), "--out", str(index_dir)])
+        capsys.readouterr()
+        path = TestQuery().path_from_world(world_dir)
+        main(["query", "--world", str(world_dir), "--path", path])
+        built = capsys.readouterr().out
+        main(["query", "--world", str(world_dir), "--index", str(index_dir),
+              "--path", path])
+        loaded = capsys.readouterr().out
+        # Identical output bar the (timing) first line.
+        assert built.splitlines()[1:] == loaded.splitlines()[1:]
+
+
+class TestBatchCommand:
+    def paths_arg(self, world_dir, n=3, length=4):
+        from repro.network import load_trajectories
+
+        trajectories = load_trajectories(world_dir / "trajectories.txt")
+        longest = sorted(trajectories, key=len, reverse=True)[:n]
+        return ";".join(
+            ",".join(str(e) for e in tr.path[:length]) for tr in longest
+        )
+
+    def test_inline_paths(self, world_dir, capsys):
+        paths = self.paths_arg(world_dir)
+        assert main(["batch", "--world", str(world_dir), "--paths", paths,
+                     "--tod", "08:00", "--workers", "2",
+                     "--repeat", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "answered 6 queries" in out
+        assert "cache:" in out
+
+    def test_paths_file_with_comments_and_tod(
+        self, world_dir, tmp_path, capsys
+    ):
+        paths = self.paths_arg(world_dir, n=2).split(";")
+        query_file = tmp_path / "queries.txt"
+        query_file.write_text(
+            "# repeated commute\n"
+            f"{paths[0]} 08:30\n"
+            "\n"
+            f"{paths[1]}\n"
+        )
+        assert main(["batch", "--world", str(world_dir),
+                     "--paths-file", str(query_file)]) == 0
+        out = capsys.readouterr().out
+        assert "answered 2 queries" in out
+
+    def test_no_cache_flag(self, world_dir, capsys):
+        paths = self.paths_arg(world_dir, n=1)
+        assert main(["batch", "--world", str(world_dir), "--paths", paths,
+                     "--no-cache"]) == 0
+        assert "cache:" not in capsys.readouterr().out
+
+    def test_empty_batch_rejected(self, world_dir):
+        with pytest.raises(SystemExit):
+            main(["batch", "--world", str(world_dir), "--paths", ";;"])
+
+    def test_bad_query_line_rejected(self, world_dir, tmp_path):
+        query_file = tmp_path / "queries.txt"
+        query_file.write_text("1,2 08:00 extra\n")
+        with pytest.raises(SystemExit):
+            main(["batch", "--world", str(world_dir),
+                  "--paths-file", str(query_file)])
+
+    def test_invalid_workers_rejected(self, world_dir):
+        with pytest.raises(SystemExit):
+            main(["batch", "--world", str(world_dir), "--paths", "1",
+                  "--workers", "0"])
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

@@ -1,8 +1,12 @@
-"""Tests for the throughput experiment."""
+"""Tests for the throughput experiments."""
 
 import pytest
 
-from repro.experiments import build_workload, measure_throughput
+from repro.experiments import (
+    build_workload,
+    measure_batch_service,
+    measure_throughput,
+)
 
 
 @pytest.fixture(scope="module")
@@ -42,3 +46,31 @@ def test_concurrent_readers_do_not_corrupt_results(workload):
 def test_invalid_worker_count(workload):
     with pytest.raises(ValueError):
         measure_throughput(workload, worker_counts=(1, -2))
+
+
+def test_batch_service_modes_and_equivalence(workload):
+    results, identical = measure_batch_service(
+        workload, n_queries=4, repeat=2, n_workers=2
+    )
+    assert identical
+    by_mode = {r.mode: r for r in results}
+    assert set(by_mode) == {
+        "sequential", "batched", "cached-cold", "cached-warm"
+    }
+    assert all(r.n_queries == 8 for r in results)
+    # Scans + hits is the same work in every mode; the warm cache does
+    # all of it without touching the index.
+    work = by_mode["sequential"].n_index_scans
+    assert work > 0
+    for result in results:
+        assert result.n_index_scans + result.n_cache_hits == work
+    assert by_mode["sequential"].n_cache_hits == 0
+    assert by_mode["batched"].n_cache_hits == 0
+    assert by_mode["cached-warm"].n_index_scans == 0
+
+
+def test_batch_service_rejects_bad_arguments(workload):
+    with pytest.raises(ValueError):
+        measure_batch_service(workload, n_queries=0)
+    with pytest.raises(ValueError):
+        measure_batch_service(workload, repeat=0)
