@@ -1,0 +1,199 @@
+"""Sharded build + serving benchmark (ISSUE 2 acceptance bar).
+
+Two claims are held here:
+
+* **Parallel build** — building K time-sliced shards in worker processes
+  beats the monolithic build on real cores: suffix-array construction
+  dominates build time and the shards are independent, so 4 workers must
+  reach >= ``REPRO_BENCH_SHARD_SPEEDUP`` (default 1.5x) over the
+  monolithic build of the same corpus.  The assertion needs real
+  parallelism, so it is skipped on single-core machines (the comparison
+  is still printed); CI runs it on multi-core runners to catch
+  parallel-build regressions.
+* **Serving parity** — a sharded index behind the warm shared cache must
+  answer a repeated-path batch within 10% of the single-index service
+  (cache hits never touch the index, and cold scans route to fewer,
+  smaller shards).
+
+Results are also written as JSON to ``REPRO_BENCH_JSON`` (when set) so
+CI can archive the numbers as an artifact.
+
+Environment knobs (see ``conftest.py`` for the shared ones):
+
+* ``REPRO_BENCH_SHARD_SPEEDUP`` — minimum parallel-build speedup
+  (default ``1.5``).
+* ``REPRO_BENCH_SHARDS`` / ``REPRO_BENCH_BUILD_WORKERS`` — shard and
+  worker counts (default ``4`` / ``4``).
+* ``REPRO_BENCH_JSON`` — path for the JSON results artifact.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro import (
+    PeriodicInterval,
+    ShardedSNTIndex,
+    SNTIndex,
+    StrictPathQuery,
+    SubQueryCache,
+    TravelTimeService,
+    generate_dataset,
+)
+
+from .conftest import bench_queries, bench_scale
+
+PARTITION_DAYS = 7
+
+
+def shard_count() -> int:
+    return int(os.environ.get("REPRO_BENCH_SHARDS", "4"))
+
+
+def build_workers() -> int:
+    return int(os.environ.get("REPRO_BENCH_BUILD_WORKERS", "4"))
+
+
+def speedup_bar() -> float:
+    return float(os.environ.get("REPRO_BENCH_SHARD_SPEEDUP", "1.5"))
+
+
+def _write_artifact(payload: dict) -> None:
+    target = os.environ.get("REPRO_BENCH_JSON")
+    if not target:
+        return
+    existing = {}
+    if os.path.exists(target):
+        with open(target) as handle:
+            existing = json.load(handle)
+    existing.update(payload)
+    with open(target, "w") as handle:
+        json.dump(existing, handle, indent=2)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_dataset(bench_scale(), seed=0)
+
+
+def test_parallel_shard_build_speedup(dataset, capsys):
+    started = time.perf_counter()
+    monolithic = SNTIndex.build(
+        dataset.trajectories,
+        dataset.network.alphabet_size,
+        partition_days=PARTITION_DAYS,
+    )
+    monolithic_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    sharded = ShardedSNTIndex.build(
+        dataset.trajectories,
+        dataset.network.alphabet_size,
+        n_shards=shard_count(),
+        partition_days=PARTITION_DAYS,
+        build_workers=build_workers(),
+    )
+    sharded_s = time.perf_counter() - started
+
+    assert sharded.n_partitions == monolithic.n_partitions
+    speedup = monolithic_s / sharded_s if sharded_s > 0 else float("inf")
+    cores = os.cpu_count() or 1
+    print(
+        f"\nBuild over {len(dataset.trajectories)} trajectories "
+        f"(partition_days={PARTITION_DAYS}): monolithic {monolithic_s:.2f}s, "
+        f"{sharded.n_shards} shards x {build_workers()} workers "
+        f"{sharded_s:.2f}s -> {speedup:.2f}x on {cores} core(s)"
+    )
+    _write_artifact(
+        {
+            "sharded_build": {
+                "scale": bench_scale(),
+                "n_trajectories": len(dataset.trajectories),
+                "monolithic_s": monolithic_s,
+                "sharded_s": sharded_s,
+                "n_shards": sharded.n_shards,
+                "build_workers": build_workers(),
+                "cpu_count": cores,
+                "speedup": speedup,
+            }
+        }
+    )
+    if cores < 2:
+        pytest.skip(
+            "parallel-build speedup needs >= 2 cores; comparison printed "
+            "and archived only"
+        )
+    assert speedup >= speedup_bar(), (
+        f"parallel shard build reached only {speedup:.2f}x over the "
+        f"monolithic build (bar: {speedup_bar():.2f}x)"
+    )
+
+
+def test_sharded_warm_cache_qps_parity(dataset, capsys):
+    """Warm-cache QPS over a sharded index within 10% of single-index."""
+    n_queries = min(20, bench_queries())
+    repeat = 3
+    trips = [tr for tr in dataset.trajectories if len(tr) >= 8]
+    specs = trips[:n_queries]
+    queries = [
+        StrictPathQuery(
+            path=trip.path,
+            interval=PeriodicInterval.around(trip.start_time, 900),
+            beta=20,
+        )
+        for trip in specs
+    ] * repeat
+    exclude_ids = [(trip.traj_id,) for trip in specs] * repeat
+
+    def warm_qps(index) -> float:
+        service = TravelTimeService(
+            index, dataset.network, cache=SubQueryCache()
+        )
+        service.trip_query_many(queries, exclude_ids=exclude_ids)  # warm
+        started = time.perf_counter()
+        answered = service.trip_query_many(queries, exclude_ids=exclude_ids)
+        elapsed = time.perf_counter() - started
+        assert len(answered) == len(queries)
+        return len(queries) / elapsed if elapsed > 0 else float("inf")
+
+    monolithic = SNTIndex.build(
+        dataset.trajectories,
+        dataset.network.alphabet_size,
+        partition_days=PARTITION_DAYS,
+    )
+    sharded = ShardedSNTIndex.build(
+        dataset.trajectories,
+        dataset.network.alphabet_size,
+        n_shards=shard_count(),
+        partition_days=PARTITION_DAYS,
+    )
+    # Interleave the passes so load drift on a shared machine cannot
+    # systematically favour whichever index is measured last.
+    mono_samples = []
+    shard_samples = []
+    for _ in range(2):
+        mono_samples.append(warm_qps(monolithic))
+        shard_samples.append(warm_qps(sharded))
+    mono_qps = max(mono_samples)
+    shard_qps = max(shard_samples)
+
+    print(
+        f"\nWarm-cache batch QPS ({len(queries)} queries, x{repeat} "
+        f"repeats): monolithic {mono_qps:.0f} q/s, sharded "
+        f"{shard_qps:.0f} q/s ({shard_qps / mono_qps:.2f}x)"
+    )
+    _write_artifact(
+        {
+            "sharded_warm_qps": {
+                "monolithic_qps": mono_qps,
+                "sharded_qps": shard_qps,
+                "ratio": shard_qps / mono_qps,
+            }
+        }
+    )
+    assert shard_qps >= 0.9 * mono_qps, (
+        f"sharded warm-cache QPS {shard_qps:.0f} fell more than 10% below "
+        f"the single-index {mono_qps:.0f}"
+    )

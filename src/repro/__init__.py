@@ -55,7 +55,16 @@ from .network import (
     shortest_path,
 )
 from .service import CacheStats, SubQueryCache, TravelTimeService
-from .sntindex import SNTIndex, TravelTimeResult, count_matches, get_travel_times
+from .sntindex import (
+    IndexReader,
+    ShardedSNTIndex,
+    ShardStats,
+    SNTIndex,
+    TravelTimeResult,
+    count_matches,
+    get_travel_times,
+    load_any_index,
+)
 from .trajectories import (
     GeneratedDataset,
     MapMatcher,
@@ -99,6 +108,10 @@ __all__ = [
     "log_likelihood",
     # index
     "SNTIndex",
+    "ShardedSNTIndex",
+    "ShardStats",
+    "IndexReader",
+    "load_any_index",
     "TravelTimeResult",
     "get_travel_times",
     "count_matches",

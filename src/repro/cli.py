@@ -54,6 +54,7 @@ from .network.io import (
 )
 from .service import SubQueryCache, TravelTimeService
 from .sntindex.index import SNTIndex
+from .sntindex.sharded import ShardedSNTIndex, load_any_index, read_any_meta
 from .trajectories.generator import generate_dataset
 
 __all__ = ["main", "build_parser"]
@@ -118,6 +119,19 @@ def build_parser() -> argparse.ArgumentParser:
     index.add_argument("--out", required=True, help="output directory")
     index.add_argument("--partition-days", type=int, default=None)
     index.add_argument("--kind", default="css", choices=("css", "btree"))
+    index.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="build a time-sliced sharded index with K shards (requires "
+        "--partition-days; query/batch detect the layout automatically)",
+    )
+    index.add_argument(
+        "--build-workers",
+        type=int,
+        default=1,
+        help="worker processes for the parallel shard build (with --shards)",
+    )
 
     batch = commands.add_parser(
         "batch",
@@ -240,34 +254,37 @@ def _world_digest(world: str) -> str:
         raise SystemExit(f"cannot read world trajectories: {error}")
 
 
-def _obtain_index(args, network) -> SNTIndex:
+def _obtain_index(args, network):
     """Load the saved index when ``--index`` is given, else build one.
 
-    Saved indexes carry a digest of the world they were built from
-    (recorded by the ``index`` command), so the wrong-world mistake is
-    caught without parsing the trajectory file — the point of the
-    rebuild-free cold start.  Library-made saves without the digest
-    fall back to a parsed fingerprint.
+    The on-disk layout (monolithic ``meta.json`` dir vs sharded
+    ``manifest.json`` dir) is detected automatically; both carry a
+    digest of the world they were built from (recorded by the ``index``
+    command), so the wrong-world mistake is caught without parsing the
+    trajectory file — the point of the rebuild-free cold start.
+    Library-made saves without the digest fall back to a parsed
+    fingerprint.  The network's alphabet size is checked against the
+    manifest *before* any FM partition is unpickled.
     """
-    from .sntindex.persistence import read_meta
-
     if getattr(args, "index", None) is not None:
-        meta = read_meta(args.index)
+        _, meta = read_any_meta(args.index)
         recorded = (meta.get("extra") or {}).get(WORLD_DIGEST_KEY)
-        # Index-vs-network pairing (alphabet size) is enforced by
-        # QueryEngine itself; the CLI only adds the trajectory-side
-        # fingerprints the engine cannot see.
         if recorded is not None:
             if recorded != _world_digest(args.world):
                 raise SystemExit(
                     f"saved index at {args.index} was built over a "
                     "different world (trajectory digest mismatch)"
                 )
-            return SNTIndex.load(args.index)
+            return load_any_index(
+                args.index,
+                expected_alphabet_size=network.alphabet_size,
+            )
         trajectories = load_trajectories(
             Path(args.world) / TRAJECTORY_FILE
         )
-        index = SNTIndex.load(args.index)
+        index = load_any_index(
+            args.index, expected_alphabet_size=network.alphabet_size
+        )
         t_min, t_max = trajectories.time_span()
         if (
             index.build_stats.n_trajectories != len(trajectories)
@@ -295,12 +312,24 @@ def _interval_for(tod: Optional[str], window_min: int, t_max: int):
 
 def _cmd_index(args) -> int:
     network, trajectories = _load_world(args.world)
-    index = SNTIndex.build(
-        trajectories,
-        network.alphabet_size,
-        partition_days=args.partition_days,
-        kind=args.kind,
-    )
+    if args.shards is not None:
+        index = ShardedSNTIndex.build(
+            trajectories,
+            network.alphabet_size,
+            n_shards=args.shards,
+            partition_days=args.partition_days,
+            kind=args.kind,
+            build_workers=args.build_workers,
+        )
+        layout = f"{index.n_shards} shard(s), "
+    else:
+        index = SNTIndex.build(
+            trajectories,
+            network.alphabet_size,
+            partition_days=args.partition_days,
+            kind=args.kind,
+        )
+        layout = ""
     target = index.save(
         args.out, extra={WORLD_DIGEST_KEY: _world_digest(args.world)}
     )
@@ -308,7 +337,8 @@ def _cmd_index(args) -> int:
     print(
         f"built index over {len(trajectories)} trajectories in "
         f"{index.build_stats.setup_seconds:.1f}s "
-        f"({index.n_partitions} partition(s), kind={args.kind}) -> {target}"
+        f"({layout}{index.n_partitions} partition(s), kind={args.kind}) "
+        f"-> {target}"
     )
     print(f"component bytes: {sizes}")
     return 0
@@ -432,6 +462,14 @@ def _cmd_batch(args) -> int:
     stats = service.cache_stats()
     if stats is not None:
         print(f"cache: {stats.summary()}")
+    shard_stats = getattr(index, "shard_stats", None)
+    if shard_stats is not None:
+        routing = shard_stats()
+        print(
+            f"shards: per-shard scans {routing.per_shard_scans}; "
+            f"{routing.n_shards_pruned} pruned "
+            f"({routing.prune_rate:.0%} of routing decisions)"
+        )
     return 0
 
 

@@ -28,8 +28,7 @@ from ..config import DEFAULT_BUCKET_WIDTH_S, DEFAULT_INTERVAL_LADDER_S
 from ..errors import QueryError
 from ..histogram.histogram import Histogram
 from ..network.graph import RoadNetwork
-from ..sntindex.index import SNTIndex
-from ..sntindex.procedures import count_matches, get_travel_times
+from ..sntindex.reader import IndexReader
 from .estimator import CardinalityEstimator
 from .intervals import is_periodic
 from .partitioning import get_partitioner
@@ -134,11 +133,17 @@ class TripQueryResult:
 
 
 class QueryEngine:
-    """Answers strict path queries over an SNT-index."""
+    """Answers strict path queries over any :class:`IndexReader`.
+
+    The engine never touches index internals: spatial lookups, estimator
+    statistics, and retrieval all go through the reader protocol, so the
+    monolithic :class:`repro.sntindex.SNTIndex` and the time-sliced
+    :class:`repro.sntindex.ShardedSNTIndex` answer identically here.
+    """
 
     def __init__(
         self,
-        index: SNTIndex,
+        index: IndexReader,
         network: RoadNetwork,
         partitioner: str = "pi_Z",
         splitter: str = "regular",
@@ -154,7 +159,8 @@ class QueryEngine:
         Parameters
         ----------
         index, network:
-            The SNT-index and its road network.
+            The index reader (monolithic or sharded SNT-index) and its
+            road network.
         partitioner:
             ``pi`` method name (``pi_1``..``pi_3``, ``pi_C``, ``pi_Z``,
             ``pi_ZC``, ``pi_N``, ``pi_MDM``).
@@ -243,6 +249,11 @@ class QueryEngine:
             cache = self.cache if self.cache is not None else PerTripCache()
         else:
             self._bind_cache(cache)
+        # Appendable readers bump their epoch on mutation; a shared
+        # cache drops entries cached against the earlier index state.
+        sync_epoch = getattr(cache, "sync_epoch", None)
+        if sync_epoch is not None:
+            sync_epoch(self.index)
         exclude_key = tuple(sorted({int(i) for i in exclude_ids}))
 
         segments = self._partition(query.path, self.network)
@@ -323,8 +334,7 @@ class QueryEngine:
             if result is not None:
                 n_hits += 1
             else:
-                result = get_travel_times(
-                    self.index,
+                result = self.index.get_travel_times(
                     sub,
                     fallback_tt=self.network.estimate_tt,
                     exclude_ids=exclude_ids,
@@ -382,8 +392,7 @@ class QueryEngine:
             return regular_split
 
         def counter(path, interval, user, limit):
-            return count_matches(
-                self.index,
+            return self.index.count_matches(
                 path,
                 interval,
                 user=user,

@@ -26,7 +26,7 @@ from typing import Optional
 
 from ..config import DEFAULT_USER_SELECTIVITY, SECONDS_PER_DAY
 from ..errors import EstimatorError
-from ..sntindex.index import SNTIndex
+from ..sntindex.reader import IndexReader
 from .intervals import FixedInterval, is_periodic
 from .spq import StrictPathQuery
 
@@ -36,11 +36,17 @@ ESTIMATOR_MODES = ("ISA", "BT-Fast", "BT-Acc", "CSS-Fast", "CSS-Acc")
 
 
 class CardinalityEstimator:
-    """``card(Q) -> beta_hat`` in one of the paper's five modes."""
+    """``card(Q) -> beta_hat`` in one of the paper's five modes.
+
+    Works over any :class:`IndexReader`: per-partition ISA ranges,
+    time-of-day selectivity, and segment statistics are protocol calls,
+    and a sharded reader reproduces the monolithic statistics exactly
+    (integer-exact counts, min/max time bounds).
+    """
 
     def __init__(
         self,
-        index: SNTIndex,
+        index: IndexReader,
         mode: str = "CSS-Fast",
         user_selectivity: float = DEFAULT_USER_SELECTIVITY,
     ):

@@ -63,6 +63,12 @@ class PersistenceError(IndexError_):
     format version, corrupt payload)."""
 
 
+class ShardError(IndexError_):
+    """Raised for sharded-index misuse: invalid shard configuration,
+    appends that violate the time-ordering contract, or a sharded
+    directory layout that cannot be routed."""
+
+
 class QueryError(ReproError):
     """Raised for malformed strict path queries."""
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.engine import QueryEngine
 from ..service import SubQueryCache, TravelTimeService
@@ -98,6 +98,13 @@ class BatchServiceResult:
     elapsed_s: float
     n_index_scans: int
     n_cache_hits: int
+    #: Index scans each shard served during this mode (sharded index
+    #: only; ``None`` over a monolithic index).  Keys are shard labels
+    #: in temporal order, ``staging`` last.
+    shard_scans: Optional[Dict[str, int]] = None
+    #: Fraction of shard routing decisions resolved by interval pruning
+    #: during this mode (sharded index only).
+    shard_prune_rate: Optional[float] = None
 
     @property
     def queries_per_second(self) -> float:
@@ -127,7 +134,12 @@ def measure_batch_service(
     * ``cached-warm`` — the same batch again on the warm cache.
 
     Returns the per-mode results plus a flag confirming all modes
-    produced identical histograms and point estimates.
+    produced identical histograms and point estimates.  Over a sharded
+    index (``workload.index`` exposing ``shard_stats``), each mode also
+    reports the per-shard scan counts and the shard-pruning hit rate it
+    caused — warm-cache modes show near-zero shard scans, and
+    interval-pruned shards show how much of the corpus a query batch
+    never touches.
     """
     if repeat < 1 or n_queries < 1:
         raise ValueError("n_queries and repeat must be positive")
@@ -138,39 +150,65 @@ def measure_batch_service(
     queries = base_queries * repeat
     exclude_ids = [(spec.traj_id,) for spec in specs] * repeat
 
-    def tally(mode: str, answered, elapsed: float) -> BatchServiceResult:
+    def shard_snapshot():
+        stats_fn = getattr(workload.index, "shard_stats", None)
+        return stats_fn() if stats_fn is not None else None
+
+    def tally(
+        mode: str, answered, elapsed: float, before, after
+    ) -> BatchServiceResult:
+        shard_scans = None
+        prune_rate = None
+        if before is not None and after is not None:
+            shard_scans = {
+                label: count - before.per_shard_scans.get(label, 0)
+                for label, count in after.per_shard_scans.items()
+            }
+            scans = after.n_shard_scans - before.n_shard_scans
+            pruned = after.n_shards_pruned - before.n_shards_pruned
+            decisions = scans + pruned
+            prune_rate = pruned / decisions if decisions else 0.0
         return BatchServiceResult(
             mode=mode,
             n_queries=len(answered),
             elapsed_s=elapsed,
             n_index_scans=sum(r.n_index_scans for r in answered),
             n_cache_hits=sum(r.n_cache_hits for r in answered),
+            shard_scans=shard_scans,
+            shard_prune_rate=prune_rate,
         )
 
     results: List[BatchServiceResult] = []
     answers = {}
 
+    def run_mode(mode: str, answer_batch) -> None:
+        before = shard_snapshot()
+        started = time.perf_counter()
+        answers[mode] = answer_batch()
+        elapsed = time.perf_counter() - started
+        results.append(
+            tally(mode, answers[mode], elapsed, before, shard_snapshot())
+        )
+
     engine = QueryEngine(
         workload.index, workload.network, partitioner=partitioner
     )
-    started = time.perf_counter()
-    answers["sequential"] = [
-        engine.trip_query(query, exclude_ids=excluded)
-        for query, excluded in zip(queries, exclude_ids)
-    ]
-    results.append(
-        tally("sequential", answers["sequential"], time.perf_counter() - started)
+    run_mode(
+        "sequential",
+        lambda: [
+            engine.trip_query(query, exclude_ids=excluded)
+            for query, excluded in zip(queries, exclude_ids)
+        ],
     )
 
     fanout = TravelTimeService(
         workload.index, workload.network, cache=None, partitioner=partitioner
     )
-    started = time.perf_counter()
-    answers["batched"] = fanout.trip_query_many(
-        queries, exclude_ids=exclude_ids, n_workers=n_workers
-    )
-    results.append(
-        tally("batched", answers["batched"], time.perf_counter() - started)
+    run_mode(
+        "batched",
+        lambda: fanout.trip_query_many(
+            queries, exclude_ids=exclude_ids, n_workers=n_workers
+        ),
     )
 
     cached = TravelTimeService(
@@ -179,23 +217,13 @@ def measure_batch_service(
         cache=SubQueryCache(),
         partitioner=partitioner,
     )
-    started = time.perf_counter()
-    answers["cached-cold"] = cached.trip_query_many(
-        queries, exclude_ids=exclude_ids
+    run_mode(
+        "cached-cold",
+        lambda: cached.trip_query_many(queries, exclude_ids=exclude_ids),
     )
-    results.append(
-        tally(
-            "cached-cold", answers["cached-cold"], time.perf_counter() - started
-        )
-    )
-    started = time.perf_counter()
-    answers["cached-warm"] = cached.trip_query_many(
-        queries, exclude_ids=exclude_ids
-    )
-    results.append(
-        tally(
-            "cached-warm", answers["cached-warm"], time.perf_counter() - started
-        )
+    run_mode(
+        "cached-warm",
+        lambda: cached.trip_query_many(queries, exclude_ids=exclude_ids),
     )
 
     reference = answers["sequential"]

@@ -1,0 +1,86 @@
+"""Fork-inherited process fan-out (parallel shard builds, batch serving).
+
+A process pool normally pickles every task argument across the pipe.
+For this library's fan-outs that is the dominant cost — trajectory
+groups are millions of small objects, and a live service holds locks
+that cannot pickle at all.  On ``fork`` platforms the workers instead
+inherit the payloads through copy-on-write memory: the parent parks the
+job in a module global, the children are forked from it, and only
+integer positions go in (results come back pickled as usual — mostly
+numpy payloads, which are cheap).
+
+One job per process at a time: the module global can only describe one
+fan-out, so concurrent :func:`fork_map` calls from different threads are
+refused rather than silently corrupting each other's batches.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, List, Optional, Sequence
+
+__all__ = ["fork_map"]
+
+_STATE: dict = {}
+_LOCK = threading.Lock()
+
+
+def _run_position(position: int):
+    worker, payloads = _STATE["job"]
+    return worker(payloads[position])
+
+
+def fork_map(
+    worker: Callable,
+    payloads: Sequence,
+    workers: int,
+    chunksize: int = 1,
+    pickled_fallback: Optional[Callable] = None,
+) -> List:
+    """``[worker(p) for p in payloads]`` across forked worker processes.
+
+    ``worker`` and ``payloads`` reach the children via fork inheritance,
+    so neither needs to be picklable.  Results preserve payload order.
+
+    When the platform lacks the ``fork`` start method, the job runs
+    through a regular pool with ``pickled_fallback`` (a module-level
+    function applied to pickled payloads) — or raises ``RuntimeError``
+    when no fallback is given (e.g. the payloads hold unpicklable
+    state).  Raises ``RuntimeError`` likewise when another ``fork_map``
+    is already in flight on this process.
+    """
+    workers = min(workers, len(payloads))
+    if not payloads:
+        return []
+    if "fork" not in multiprocessing.get_all_start_methods():
+        if pickled_fallback is None:
+            raise RuntimeError(
+                "process fan-out needs the 'fork' start method, which "
+                "this platform does not provide"
+            )
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(
+                pool.map(pickled_fallback, payloads, chunksize=chunksize)
+            )
+    with _LOCK:
+        if _STATE:
+            raise RuntimeError(
+                "nested process fan-out is not supported (another "
+                "fork_map is in flight on this process)"
+            )
+        _STATE["job"] = (worker, list(payloads))
+    try:
+        context = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=context
+        ) as pool:
+            return list(
+                pool.map(
+                    _run_position, range(len(payloads)), chunksize=chunksize
+                )
+            )
+    finally:
+        with _LOCK:
+            _STATE.clear()

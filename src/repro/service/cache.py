@@ -156,6 +156,7 @@ class SubQueryCache:
         self._histograms = LRUCache(max_histograms)
         self._bind_lock = threading.Lock()
         self._bound_to = None
+        self._bound_epoch = 0
 
     def bind_index(self, index, network=None) -> None:
         """Pin the cache to one (index, network) pair; reject any other.
@@ -175,6 +176,7 @@ class SubQueryCache:
         with self._bind_lock:
             if self._bound_to is None:
                 self._bound_to = (index, network)
+                self._bound_epoch = getattr(index, "epoch", 0)
             elif (
                 self._bound_to[0] is not index
                 or self._bound_to[1] is not network
@@ -184,6 +186,42 @@ class SubQueryCache:
                     "index/network; cached answers would be wrong — use "
                     "one cache per (index, network) pair"
                 )
+
+    def spawn_empty(self) -> "SubQueryCache":
+        """A fresh, unbound cache with this cache's per-section bounds.
+
+        Used by process fan-out: each forked worker must not touch the
+        parent's cache (its locks may have been snapshotted held), but
+        the worker's replacement should honour the memory ceiling the
+        caller configured here.
+        """
+        return SubQueryCache(
+            max_ranges=self._ranges._max,
+            max_results=self._results._max,
+            max_histograms=self._histograms._max,
+        )
+
+    def sync_epoch(self, index) -> None:
+        """Drop entries cached against an earlier state of ``index``.
+
+        Appendable readers (the sharded index) bump their ``epoch`` on
+        every mutation.  The engine calls this at the start of each trip;
+        on an epoch change every section is cleared, because appended
+        trajectories can extend any cached ISA range, retrieval result,
+        or histogram.  The clear happens *before* the new epoch is
+        published, all under the bind lock, so a concurrent trip cannot
+        observe the new epoch while stale entries are still readable.
+        Appends must still be quiesced against in-flight trips — a trip
+        racing the append could re-insert pre-append entries after the
+        clear (the same contract as mutating the index under concurrent
+        readers at all).
+        """
+        epoch = getattr(index, "epoch", 0)
+        with self._bind_lock:
+            if epoch == self._bound_epoch:
+                return
+            self.clear()  # owns the one authoritative section list
+            self._bound_epoch = epoch
 
     # -- ranges ( path -> [(w, st, ed), ...] ) ------------------------- #
 

@@ -1,16 +1,23 @@
 """Batched travel-time query service (ROADMAP serving layer).
 
-:class:`TravelTimeService` wraps one immutable :class:`SNTIndex` plus a
-:class:`QueryEngine` configuration and answers *batches* of trip queries:
+:class:`TravelTimeService` wraps one :class:`IndexReader` — the
+monolithic :class:`SNTIndex` or the time-sliced
+:class:`~repro.sntindex.ShardedSNTIndex` — plus a :class:`QueryEngine`
+configuration and answers *batches* of trip queries:
 
 * a cross-query :class:`SubQueryCache` shares FM-index backward searches,
   retrieval results, and histograms between trips (commuter workloads
   repeat sub-paths heavily);
 * optional thread-pool fan-out runs independent trips concurrently while
-  returning results in submission order (the index is immutable, numpy
-  kernels release the GIL);
-* :meth:`TravelTimeService.from_saved` cold-starts from a persisted index
-  (:meth:`SNTIndex.save`), skipping the suffix-array build entirely.
+  returning results in submission order (the index is immutable during a
+  batch, numpy kernels release the GIL);
+* optional **process fan-out** (:meth:`trip_query_many` with
+  ``use_processes=True``) forks worker processes that each answer whole
+  trips against their copy-on-write view of the index — with a sharded
+  index every worker scans only the shards its trips route to, so a
+  batch's shard work spreads across real cores instead of GIL slices;
+* :meth:`TravelTimeService.from_saved` cold-starts from a persisted
+  index directory, auto-detecting the monolithic vs sharded layout.
 
 Cached and fan-out execution is *bit-identical* to sequential
 ``QueryEngine.trip_query``: a cache hit re-enters Procedure 6 exactly
@@ -19,9 +26,10 @@ where the index scan would have, so only the ``n_index_scans`` /
 their sum equals the uncached scan count exactly; under concurrent
 fan-out two threads may race to first-answer the same sub-query and
 each scan it once, so the sum can over-count scans (never miss work,
-and never change answers).  The ``tests/service`` suite enforces the
-equivalence across partitioners, splitters, and estimator
-configurations.
+and never change answers).  Process fan-out gives each worker its own
+forked cache, so cross-trip sharing happens per worker; answers are
+still identical.  The ``tests/service`` suite enforces the equivalence
+across partitioners, splitters, and estimator configurations.
 """
 
 from __future__ import annotations
@@ -32,11 +40,39 @@ from typing import List, Optional, Sequence, Union
 
 from ..core.engine import QueryEngine, TripQueryResult
 from ..core.spq import StrictPathQuery
+from ..forkpool import fork_map
 from ..network.graph import RoadNetwork
-from ..sntindex.index import SNTIndex
+from ..sntindex.reader import IndexReader
+from ..sntindex.sharded import load_any_index
 from .cache import CacheStats, SubQueryCache
 
 __all__ = ["TravelTimeService"]
+
+
+#: One fresh shared cache per forked worker process.  The parent's
+#: SubQueryCache must not be touched from a fork: its locks may have
+#: been snapshotted mid-critical-section by a concurrently running
+#: thread batch, and a child blocking on an inherited locked lock hangs
+#: forever.  A child-built cache (``spawn_empty`` — same LRU bounds the
+#: caller configured) starts with unlocked locks and still gives the
+#: worker cross-trip sharing within its chunk — the "cache warms per
+#: worker process" semantics the service documents.
+_CHILD_CACHE: Optional[SubQueryCache] = None
+
+
+def _answer_forked(payload) -> TripQueryResult:
+    """Fork-side worker: answer one trip of an inherited batch."""
+    global _CHILD_CACHE
+    engine, query, excluded = payload
+    cache = None
+    if engine.cache is not None:
+        if _CHILD_CACHE is None:
+            _CHILD_CACHE = engine.cache.spawn_empty()
+        cache = _CHILD_CACHE
+    # cache=None with an uncached engine keeps the per-trip default;
+    # passing the engine's own (inherited) shared cache is what must
+    # never happen here.
+    return engine.trip_query(query, exclude_ids=excluded, cache=cache)
 
 
 class TravelTimeService:
@@ -45,7 +81,8 @@ class TravelTimeService:
     Parameters
     ----------
     index, network:
-        The SNT-index and its road network (as for ``QueryEngine``).
+        The index reader (monolithic or sharded) and its road network
+        (as for ``QueryEngine``).
     cache:
         ``"default"`` builds a bounded :class:`SubQueryCache`; ``None``
         disables cross-query caching (every trip uses the engine's
@@ -64,7 +101,7 @@ class TravelTimeService:
 
     def __init__(
         self,
-        index: SNTIndex,
+        index: IndexReader,
         network: RoadNetwork,
         cache: Union[SubQueryCache, None, str] = "default",
         n_workers: int = 1,
@@ -84,7 +121,7 @@ class TravelTimeService:
         self.engine = QueryEngine(index, network, cache=cache, **engine_kwargs)
 
     @property
-    def index(self) -> SNTIndex:
+    def index(self) -> IndexReader:
         return self.engine.index
 
     @property
@@ -98,8 +135,18 @@ class TravelTimeService:
         network: RoadNetwork,
         **kwargs,
     ) -> "TravelTimeService":
-        """Cold-start a service from a persisted index directory."""
-        return cls(SNTIndex.load(index_path), network, **kwargs)
+        """Cold-start a service from a persisted index directory.
+
+        Detects the layout — a monolithic ``meta.json`` directory or a
+        sharded ``manifest.json`` directory — and rejects an index whose
+        manifest disagrees with ``network`` before any FM partition is
+        unpickled.
+        """
+        index = load_any_index(
+            index_path,
+            expected_alphabet_size=getattr(network, "alphabet_size", None),
+        )
+        return cls(index, network, **kwargs)
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -118,6 +165,7 @@ class TravelTimeService:
         queries: Sequence[StrictPathQuery],
         exclude_ids: Optional[Sequence[Sequence[int]]] = None,
         n_workers: Optional[int] = None,
+        use_processes: bool = False,
     ) -> List[TripQueryResult]:
         """Answer a batch of independent trips.
 
@@ -131,12 +179,35 @@ class TravelTimeService:
             trajectory out of its own answer.
         n_workers:
             Overrides the service-level pool width for this batch.
+        use_processes:
+            Fan the batch out over forked worker processes instead of
+            threads.  Sidesteps the GIL entirely — each worker answers
+            whole trips against its copy-on-write fork of the index (for
+            a sharded index: only the shards its trips route to), at the
+            price of forking and of pickling results back.  Requires the
+            ``fork`` start method (Linux/macOS); each worker builds its
+            own fresh cache (the parent's shared cache is never touched
+            from a fork), so the cache warms per worker process only.
+            Unlike thread fan-out, process mode must be quiesced: only
+            one process-mode batch per process (a concurrent second one
+            raises ``RuntimeError``), and no thread-mode batch should
+            run on the same index concurrently — forking can snapshot
+            another thread mid-critical-section, leaving a child waiting
+            on a lock that is never released.  The effective worker
+            count follows ``n_workers`` as usual: with the service
+            default of ``1`` pass ``n_workers`` explicitly, or the batch
+            runs sequentially without forking.  Side-effect statistics
+            accumulate in the children and die with the pool: after a
+            process-mode batch, parent-side ``cache_stats()`` and a
+            sharded index's ``shard_stats()`` do not reflect that
+            batch's work (the ``TripQueryResult`` scan/hit counters are
+            returned as usual).
 
         Returns
         -------
-        Results in submission order, regardless of worker count — the
-        batch API is deterministic so callers can zip results back onto
-        their requests.
+        Results in submission order, regardless of worker count or
+        execution mode — the batch API is deterministic so callers can
+        zip results back onto their requests.
         """
         if exclude_ids is None:
             exclude_ids = [()] * len(queries)
@@ -150,6 +221,11 @@ class TravelTimeService:
             raise ValueError("n_workers must be positive")
         workers = min(workers, max(1, len(queries)))
 
+        if use_processes and workers > 1:
+            return self._trip_query_many_forked(
+                queries, exclude_ids, workers
+            )
+
         def answer(position: int) -> TripQueryResult:
             return self.engine.trip_query(
                 queries[position], exclude_ids=exclude_ids[position]
@@ -162,6 +238,32 @@ class TravelTimeService:
         # submission order.
         with ThreadPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(answer, range(len(queries))))
+
+    def _trip_query_many_forked(
+        self,
+        queries: Sequence[StrictPathQuery],
+        exclude_ids: Sequence[Sequence[int]],
+        workers: int,
+    ) -> List[TripQueryResult]:
+        """Process fan-out: fork workers that inherit the service state.
+
+        The engine, queries, and exclusions travel to the workers via
+        fork copy-on-write (locks and numpy payloads never cross a
+        pickle on the way in); ``TripQueryResult`` payloads come back.
+        No pickled fallback exists — the engine holds cache locks — so
+        on platforms without ``fork`` this raises ``RuntimeError``; use
+        thread fan-out there.
+        """
+        payloads = [
+            (self.engine, query, excluded)
+            for query, excluded in zip(queries, exclude_ids)
+        ]
+        return fork_map(
+            _answer_forked,
+            payloads,
+            workers,
+            chunksize=max(1, len(queries) // (workers * 4)),
+        )
 
     # ------------------------------------------------------------------ #
     # Cache management

@@ -29,7 +29,32 @@ from ..trajectories.model import TrajectorySet
 from .partition import IndexPartition, build_partition
 from .persistence import load_index, save_index
 
-__all__ = ["SNTIndex", "BuildStats"]
+__all__ = ["SNTIndex", "BuildStats", "assign_time_windows", "window_bounds"]
+
+
+def assign_time_windows(
+    trajectories, t_min: int, window: int
+) -> Dict[int, List]:
+    """Bucket trajectories into temporal partitions by start time.
+
+    The single definition of the partition bucket id,
+    ``(start_time - t_min) // window`` — the sharded index's
+    bit-identical guarantee requires every builder (monolithic build,
+    sharded build, staging append) to assign buckets identically, so
+    none of them is allowed its own copy of this line.
+    """
+    groups: Dict[int, List] = {}
+    for trajectory in trajectories:
+        groups.setdefault(
+            (trajectory.start_time - t_min) // window, []
+        ).append(trajectory)
+    return groups
+
+
+def window_bounds(bucket: int, t_min: int, window: int) -> Tuple[int, int]:
+    """``[lo, hi)`` time range of temporal-partition ``bucket``."""
+    lo = t_min + bucket * window
+    return lo, lo + window
 
 
 @dataclass
@@ -44,6 +69,11 @@ class BuildStats:
 
 class SNTIndex:
     """In-memory NCT index answering strict path queries."""
+
+    #: Mutation counter of the :class:`IndexReader` protocol.  The
+    #: monolithic index is immutable after build, so it never moves;
+    #: shared caches read it to notice appendable readers changing.
+    epoch: int = 0
 
     def __init__(
         self,
@@ -100,33 +130,61 @@ class SNTIndex:
         """
         if len(trajectories) == 0:
             raise IndexError_("cannot build an index from zero trajectories")
-        started = time.perf_counter()
         t_min, t_max = trajectories.time_span()
 
         # Assign trajectories to partitions by start time.
-        groups: Dict[int, List] = {}
         if partition_days is None:
-            groups[0] = list(trajectories)
+            grouped = [(t_min, t_max, list(trajectories))]
         else:
             if partition_days < 1:
                 raise IndexError_("partition_days must be >= 1")
             window = partition_days * SECONDS_PER_DAY
-            for trajectory in trajectories:
-                groups.setdefault(
-                    (trajectory.start_time - t_min) // window, []
-                ).append(trajectory)
+            groups = assign_time_windows(trajectories, t_min, window)
+            grouped = [
+                (*window_bounds(bucket, t_min, window), groups[bucket])
+                for bucket in sorted(groups)
+            ]
+        return cls.build_from_groups(
+            grouped,
+            alphabet_size,
+            t_min=t_min,
+            t_max=t_max,
+            kind=kind,
+            partition_days=partition_days,
+            tod_bucket_s=tod_bucket_s,
+        )
+
+    @classmethod
+    def build_from_groups(
+        cls,
+        grouped: Sequence[Tuple[int, int, List]],
+        alphabet_size: int,
+        t_min: int,
+        t_max: int,
+        kind: str = "css",
+        partition_days: Optional[int] = None,
+        tod_bucket_s: int = 600,
+    ) -> "SNTIndex":
+        """Build an index from pre-assigned temporal partitions.
+
+        ``grouped`` holds one ``(t_lo, t_hi, members)`` triple per
+        partition, in temporal order; partition ids ``w`` enumerate the
+        triples.  :meth:`build` derives the triples from
+        ``partition_days``; the sharded index calls this directly so a
+        shard's partitions carry the *global* window boundaries (its own
+        ``t_min`` would shift the windows and change the partition
+        contents, breaking bit-identical answers).
+        """
+        if not grouped or not any(members for _, _, members in grouped):
+            raise IndexError_("cannot build an index from zero trajectories")
+        if any(not members for _, _, members in grouped):
+            raise IndexError_("every partition group needs trajectories")
+        started = time.perf_counter()
 
         partitions: List[IndexPartition] = []
         row_chunks: List[dict] = []
         w_chunks: List[np.ndarray] = []
-        for w, bucket in enumerate(sorted(groups)):
-            members = groups[bucket]
-            if partition_days is None:
-                lo, hi = t_min, t_max
-            else:
-                window = partition_days * SECONDS_PER_DAY
-                lo = t_min + bucket * window
-                hi = lo + window
+        for w, (lo, hi, members) in enumerate(grouped):
             partition, rows = build_partition(
                 w, members, alphabet_size, lo, hi
             )
@@ -170,15 +228,16 @@ class SNTIndex:
         forest = TemporalForest.build(per_edge, kind=kind)
 
         # Associative container U: d -> u (dense trajectory ids).
-        max_id = max(tr.traj_id for tr in trajectories)
+        all_members = [tr for _, _, members in grouped for tr in members]
+        max_id = max(tr.traj_id for tr in all_members)
         users = np.full(max_id + 1, -1, dtype=np.int64)
-        for trajectory in trajectories:
+        for trajectory in all_members:
             users[trajectory.traj_id] = trajectory.user_id
 
         stats = BuildStats(
             setup_seconds=time.perf_counter() - started,
             n_partitions=len(partitions),
-            n_trajectories=len(trajectories),
+            n_trajectories=len(all_members),
             n_traversals=int(merged["edge"].size),
         )
         return cls(
@@ -244,6 +303,69 @@ class SNTIndex:
         """Whether ``traj_id`` names an indexed trajectory (no gap)."""
         return 0 <= traj_id < self.users.size and self.users[traj_id] >= 0
 
+    # ------------------------------------------------------------------ #
+    # Retrieval (IndexReader protocol; delegates to the procedures)
+    # ------------------------------------------------------------------ #
+
+    def get_travel_times(
+        self,
+        query,
+        fallback_tt=None,
+        exclude_ids: Sequence[int] = (),
+        isa_ranges=None,
+    ):
+        """Procedure 5 over this index (see :mod:`.procedures`)."""
+        from .procedures import monolithic_travel_times
+
+        return monolithic_travel_times(
+            self,
+            query,
+            fallback_tt=fallback_tt,
+            exclude_ids=exclude_ids,
+            isa_ranges=isa_ranges,
+        )
+
+    def count_matches(
+        self,
+        path: Sequence[int],
+        interval,
+        user: Optional[int] = None,
+        exclude_ids: Sequence[int] = (),
+        limit: Optional[int] = None,
+    ) -> int:
+        """Exact strict-path match count (see :mod:`.procedures`)."""
+        from .procedures import monolithic_count_matches
+
+        return monolithic_count_matches(
+            self,
+            path,
+            interval,
+            user=user,
+            exclude_ids=exclude_ids,
+            limit=limit,
+        )
+
+    def data_time_bounds(self) -> Tuple[int, int]:
+        """``(min, max)`` traversal entry timestamp across all segments.
+
+        Unlike ``t_min``/``t_max`` (the corpus span recorded at build
+        time, which a sharded wrapper sets globally), these bounds
+        describe the rows actually indexed here — the shard router uses
+        them to prune shards that cannot overlap a fixed interval.
+        """
+        lo: Optional[int] = None
+        hi: Optional[int] = None
+        for edge in self.forest.edges():
+            phi = self.forest.get(edge)
+            edge_lo, edge_hi = phi.min_t(), phi.max_t()
+            if edge_lo is None:
+                continue
+            lo = edge_lo if lo is None else min(lo, edge_lo)
+            hi = edge_hi if hi is None else max(hi, edge_hi)
+        if lo is None:  # cannot happen for a built index (non-empty)
+            return self.t_min, self.t_max
+        return int(lo), int(hi)
+
     def build_tod_store(self, bucket_width_s: int) -> TimeOfDayHistogramStore:
         """Build a fresh time-of-day histogram store at another grain.
 
@@ -276,15 +398,29 @@ class SNTIndex:
         return save_index(self, path, extra=extra)
 
     @classmethod
-    def load(cls, path: Union[str, Path]) -> "SNTIndex":
+    def load(
+        cls,
+        path: Union[str, Path],
+        expected_alphabet_size: Optional[int] = None,
+        expected_kind: Optional[str] = None,
+    ) -> "SNTIndex":
         """Load an index saved with :meth:`save`; no rebuild happens.
+
+        ``expected_alphabet_size`` / ``expected_kind`` let callers that
+        know the target world (the CLI knows the network) reject a
+        mismatched manifest *before* the FM partitions are unpickled —
+        both a faster failure and a safer one, given the warning below.
 
         .. warning::
             The partition payload is unpickled — only load directories
             you wrote yourself; a malicious index directory can execute
             arbitrary code.
         """
-        return load_index(path)
+        return load_index(
+            path,
+            expected_alphabet_size=expected_alphabet_size,
+            expected_kind=expected_kind,
+        )
 
     # ------------------------------------------------------------------ #
     # Size accounting (real structures; Fig. 10 uses experiments.memory)

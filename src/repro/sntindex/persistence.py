@@ -59,6 +59,10 @@ __all__ = [
     "save_index",
     "load_index",
     "read_meta",
+    "validate_meta",
+    "validate_identity",
+    "atomic_install_dir",
+    "write_index_payload",
 ]
 
 #: Bump on any incompatible change to the directory layout or array set.
@@ -88,7 +92,28 @@ def save_index(
     queries wrongly); the reader finds either the old index, the new
     one, or — in the narrow swap window — none.
     """
-    final = Path(path)
+    return atomic_install_dir(
+        Path(path),
+        marker_file=META_FILE,
+        writer=lambda target: _write_payload(index, target, extra),
+        what="saved SNT-index",
+    )
+
+
+def atomic_install_dir(
+    final: Path,
+    marker_file: str,
+    writer,
+    what: str = "saved SNT-index",
+) -> Path:
+    """Stage ``writer(target)`` in a sibling temp dir and swap it in.
+
+    Shared by the monolithic index format (marker ``meta.json``) and the
+    sharded manifest format (marker ``manifest.json``).  ``writer`` is
+    called with a fresh staging directory and must fully populate it —
+    including the marker file, which is how a later save recognises the
+    target as safe to replace.
+    """
     if final.exists():
         # The swap deletes whatever sits at the target; only a prior
         # saved index (or an empty directory) is fair game — a mistaken
@@ -98,10 +123,10 @@ def save_index(
                 f"cannot save index to {final}: exists and is not a "
                 "directory"
             )
-        if any(final.iterdir()) and not (final / META_FILE).is_file():
+        if any(final.iterdir()) and not (final / marker_file).is_file():
             raise PersistenceError(
                 f"refusing to overwrite {final}: directory exists and is "
-                "not a saved SNT-index"
+                f"not a {what}"
             )
     final.parent.mkdir(parents=True, exist_ok=True)
     # Sweep staging/graveyard leftovers of *crashed* saves only: a
@@ -127,7 +152,7 @@ def save_index(
         shutil.rmtree(target)
     target.mkdir()
     try:
-        _write_payload(index, target, extra)
+        writer(target)
     except BaseException:
         shutil.rmtree(target, ignore_errors=True)
         raise
@@ -176,6 +201,21 @@ def _pid_alive(pid: int) -> bool:
     except OSError:
         return True  # unknown: err on the side of not deleting
     return True
+
+
+def write_index_payload(
+    index: "SNTIndex", target: Union[str, Path], extra: Optional[dict] = None
+) -> None:
+    """Write an index's files directly into directory ``target``.
+
+    For callers that already sit inside a staged/atomic context (the
+    sharded manifest writer populates its shard subdirectories with
+    this): no temp-dir dance of its own — :func:`save_index` is the
+    crash-safe entry point for standalone directories.
+    """
+    target = Path(target)
+    target.mkdir(parents=True, exist_ok=True)
+    _write_payload(index, target, extra)
 
 
 def _write_payload(
@@ -263,13 +303,66 @@ def read_meta(path: Union[str, Path]) -> dict:
     return meta
 
 
-def load_index(path: Union[str, Path]) -> "SNTIndex":
-    """Load an index previously written by :func:`save_index`."""
-    from .index import BuildStats, SNTIndex
+def validate_identity(
+    meta: dict,
+    source: Union[str, Path],
+    expected_alphabet_size: Optional[int] = None,
+    expected_kind: Optional[str] = None,
+) -> None:
+    """Check the identity scalars (``kind``, ``alphabet_size``) of a
+    manifest-like dict, including the caller's ``expected_*``
+    cross-checks — shared by the monolithic :func:`validate_meta` and
+    the sharded manifest loader, so the two formats cannot drift on
+    what counts as a valid (or matching) index identity.
+    """
+    kind = meta["kind"]
+    if kind not in ("css", "btree"):
+        raise PersistenceError(
+            f"{source} declares temporal index kind {kind!r}; this build "
+            "knows 'css' and 'btree' — refusing before reading the "
+            "partition payload"
+        )
+    alphabet = meta["alphabet_size"]
+    if not isinstance(alphabet, int) or isinstance(alphabet, bool) \
+            or alphabet < 1:
+        raise PersistenceError(
+            f"{source} declares alphabet_size {alphabet!r}; expected a "
+            "positive integer — refusing before reading the partition "
+            "payload"
+        )
+    if expected_kind is not None and kind != expected_kind:
+        raise PersistenceError(
+            f"saved index at {source} was built with kind {kind!r}, but "
+            f"{expected_kind!r} is required — refusing before reading "
+            "the partition payload"
+        )
+    if (
+        expected_alphabet_size is not None
+        and alphabet != expected_alphabet_size
+    ):
+        raise PersistenceError(
+            f"saved index at {source} was built over alphabet size "
+            f"{alphabet}, but the target network has "
+            f"{expected_alphabet_size} — index and network must come "
+            "from the same world (refusing before reading the partition "
+            "payload)"
+        )
 
-    source = Path(path)
-    meta = read_meta(source)
 
+def validate_meta(
+    meta: dict,
+    source: Union[str, Path],
+    expected_alphabet_size: Optional[int] = None,
+    expected_kind: Optional[str] = None,
+) -> None:
+    """Prove the manifest scalars sane *before* any payload I/O.
+
+    Loading the FM partitions executes a pickle, so every check that can
+    run against ``meta.json`` alone must run first: a manifest naming an
+    impossible kind or alphabet, or one disagreeing with the world the
+    caller is about to serve (``expected_*``), is rejected without ever
+    opening ``partitions.pkl``.
+    """
     required_meta = (
         "kind", "partition_days", "t_min", "t_max", "alphabet_size",
         "tod_bucket_s", "build_stats",
@@ -279,6 +372,53 @@ def load_index(path: Union[str, Path]) -> "SNTIndex":
         raise PersistenceError(
             f"{META_FILE} is missing fields {missing_meta}"
         )
+    validate_identity(
+        meta,
+        source,
+        expected_alphabet_size=expected_alphabet_size,
+        expected_kind=expected_kind,
+    )
+    partition_days = meta["partition_days"]
+    if partition_days is not None and (
+        not isinstance(partition_days, int)
+        or isinstance(partition_days, bool)
+        or partition_days < 1
+    ):
+        raise PersistenceError(
+            f"{source} declares partition_days {partition_days!r}; "
+            "expected null or a positive integer"
+        )
+    stats_meta = meta["build_stats"]
+    stats_fields = (
+        "setup_seconds", "n_partitions", "n_trajectories", "n_traversals"
+    )
+    if not isinstance(stats_meta, dict) or any(
+        field not in stats_meta for field in stats_fields
+    ):
+        raise PersistenceError(f"{META_FILE} has incomplete build_stats")
+
+
+def load_index(
+    path: Union[str, Path],
+    expected_alphabet_size: Optional[int] = None,
+    expected_kind: Optional[str] = None,
+) -> "SNTIndex":
+    """Load an index previously written by :func:`save_index`.
+
+    ``expected_alphabet_size`` / ``expected_kind`` are checked against
+    the manifest before the pickled FM partitions are read — see
+    :func:`validate_meta`.
+    """
+    from .index import BuildStats, SNTIndex
+
+    source = Path(path)
+    meta = read_meta(source)
+    validate_meta(
+        meta,
+        source,
+        expected_alphabet_size=expected_alphabet_size,
+        expected_kind=expected_kind,
+    )
 
     try:
         with np.load(source / ARRAYS_FILE) as payload:
@@ -343,11 +483,6 @@ def load_index(path: Union[str, Path]) -> "SNTIndex":
         ) from error
 
     stats_meta = meta["build_stats"]
-    stats_fields = (
-        "setup_seconds", "n_partitions", "n_trajectories", "n_traversals"
-    )
-    if any(field not in stats_meta for field in stats_fields):
-        raise PersistenceError(f"{META_FILE} has incomplete build_stats")
     return SNTIndex(
         partitions=partitions,
         forest=forest,

@@ -12,20 +12,39 @@ The implementation is column-oriented: the forest returns candidate row
 positions for the time predicate, and ISA/user filters are numpy masks.
 Matches are taken in ascending entry time and cut at ``beta``, mirroring
 the paper's early termination (Procedure 3 line 6).
+
+The retrieval is split in two phases so a sharded index can run them per
+shard and merge: :func:`first_segment_matches` (Procedure 3's scan and
+filters, returning the matched first-segment rows) and
+:func:`probe_travel_times` (Procedures 3-4's map build and probe,
+returning the travel times plus the entry timestamps that order them).
+Merging per-shard outputs on ``(entry time, shard order)`` reproduces the
+monolithic row order exactly, because each shard's rows are a stable
+restriction of the monolithic t-sorted columns.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.intervals import FixedInterval, PeriodicInterval, TimeInterval, is_periodic
 from ..core.spq import StrictPathQuery
-from .index import SNTIndex
 
-__all__ = ["TravelTimeResult", "get_travel_times", "count_matches"]
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from .index import SNTIndex
+
+__all__ = [
+    "TravelTimeResult",
+    "first_segment_matches",
+    "probe_travel_times",
+    "get_travel_times",
+    "monolithic_travel_times",
+    "count_matches",
+    "monolithic_count_matches",
+]
 
 
 @dataclass
@@ -53,7 +72,7 @@ def _interval_rows(index_edge, interval: TimeInterval) -> np.ndarray:
     return index_edge.rows_fixed(interval.start, interval.end)
 
 
-def _first_segment_matches(
+def first_segment_matches(
     index: SNTIndex,
     query: StrictPathQuery,
     exclude_ids: Sequence[int] = (),
@@ -63,7 +82,9 @@ def _first_segment_matches(
     """Rows of the first segment matching all predicates, beta-cut.
 
     Returns ``(row_positions, columns)`` of the first segment's index, or
-    ``None`` when the path does not occur / the edge has no data.
+    ``None`` when the path does not occur / the edge has no data.  Row
+    positions are in ascending entry time (ties in column order), so a
+    prefix of them is exactly the paper's early-terminated match set.
     ``isa_ranges`` lets callers share one backward search between the
     cardinality estimate and the retrieval (the engine does this).
     """
@@ -100,8 +121,59 @@ def _first_segment_matches(
     return selected, columns
 
 
-def get_travel_times(
+def probe_travel_times(
     index: SNTIndex,
+    query: StrictPathQuery,
+    selected: np.ndarray,
+    columns,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Procedures 3-4 given the (already beta-cut) first-segment rows.
+
+    Returns ``(values, order_t)``: the travel times of the matched
+    traversals plus, per value, the entry timestamp of the record that
+    emitted it (the first segment for single-segment paths, the last
+    segment otherwise).  ``values`` is in the scan order of this index's
+    columns; ``order_t`` is what a sharded router merges on to reproduce
+    the monolithic emission order across shards.
+    """
+    l = query.length
+    if l == 1:
+        # The first segment is the last: X is the TT column directly.
+        values = columns.tt[selected].astype(np.float64, copy=True)
+        return values, columns.t[selected]
+
+    # buildMap: (d, seq) -> a - TT for the first segment (Procedure 3).
+    first_d = columns.d[selected]
+    first_seq = columns.seq[selected]
+    diffs = columns.a[selected] - columns.tt[selected]
+    probe_map: Dict[Tuple[int, int], float] = {
+        (int(first_d[i]), int(first_seq[i])): float(diffs[i])
+        for i in range(int(selected.size))
+    }
+
+    # probeMap over the last segment (Procedure 4).
+    empty = np.empty(0, dtype=np.float64)
+    phi_last = index.edge_index(query.path[-1])
+    if phi_last is None:  # cannot happen when the ISA range was non-empty
+        return empty, np.empty(0, dtype=np.int64)
+    last = phi_last.columns
+    candidates = np.nonzero(np.isin(last.d, first_d))[0]
+    values = []
+    order_t = []
+    for row in candidates:
+        key = (int(last.d[row]), int(last.seq[row]) + 1 - l)
+        diff = probe_map.get(key)
+        if diff is not None:
+            values.append(float(last.a[row]) - diff)
+            order_t.append(int(last.t[row]))
+    return (
+        np.asarray(values, dtype=np.float64),
+        np.asarray(order_t, dtype=np.int64),
+    )
+
+
+def get_travel_times(
+    index,
     query: StrictPathQuery,
     fallback_tt: Optional[Callable[[int], float]] = None,
     exclude_ids: Sequence[int] = (),
@@ -109,10 +181,15 @@ def get_travel_times(
 ) -> TravelTimeResult:
     """Procedure 5: retrieve ``X`` for ``spq(P, I, f, beta)``.
 
+    Accepts any :class:`~repro.sntindex.reader.IndexReader` and
+    dispatches through it — the monolithic index runs
+    :func:`monolithic_travel_times` below, a sharded index scatters the
+    procedure per shard and merges.
+
     Parameters
     ----------
     index:
-        The SNT-index.
+        The index reader.
     query:
         The (sub-)query.
     fallback_tt:
@@ -123,8 +200,29 @@ def get_travel_times(
         Trajectory ids excluded from matching (used by the evaluation
         workload to keep the query trajectory itself out of its answer).
     """
+    return index.get_travel_times(
+        query,
+        fallback_tt=fallback_tt,
+        exclude_ids=exclude_ids,
+        isa_ranges=isa_ranges,
+    )
+
+
+def monolithic_travel_times(
+    index: SNTIndex,
+    query: StrictPathQuery,
+    fallback_tt: Optional[Callable[[int], float]] = None,
+    exclude_ids: Sequence[int] = (),
+    isa_ranges=None,
+) -> TravelTimeResult:
+    """Procedure 5 over one :class:`SNTIndex`'s own columns.
+
+    The implementation behind :meth:`SNTIndex.get_travel_times`; it
+    needs the raw per-segment columns, so sharded readers never reach
+    it directly — their router runs the two phases per shard instead.
+    """
     empty = np.empty(0, dtype=np.float64)
-    matches = _first_segment_matches(
+    matches = first_segment_matches(
         index,
         query,
         exclude_ids=exclude_ids,
@@ -155,42 +253,12 @@ def get_travel_times(
             return TravelTimeResult(estimate, 0, from_fallback=True)
         return TravelTimeResult(empty, 0)
 
-    if l == 1:
-        # The first segment is the last: X is the TT column directly.
-        values = columns.tt[selected].astype(np.float64, copy=True)
-        return TravelTimeResult(values, n_matched)
-
-    # buildMap: (d, seq) -> a - TT for the first segment (Procedure 3).
-    first_d = columns.d[selected]
-    first_seq = columns.seq[selected]
-    diffs = columns.a[selected] - columns.tt[selected]
-    probe_map: Dict[Tuple[int, int], float] = {
-        (int(first_d[i]), int(first_seq[i])): float(diffs[i])
-        for i in range(n_matched)
-    }
-
-    # probeMap over the last segment (Procedure 4).
-    phi_last = index.edge_index(query.path[-1])
-    if phi_last is None:  # cannot happen when the ISA range was non-empty
-        return TravelTimeResult(empty, n_matched)
-    last = phi_last.columns
-    candidates = np.nonzero(np.isin(last.d, first_d))[0]
-    values = []
-    for row in candidates:
-        key = (int(last.d[row]), int(last.seq[row]) + 1 - l)
-        diff = probe_map.get(key)
-        if diff is not None:
-            values.append(float(last.a[row]) - diff)
-    result = np.asarray(values, dtype=np.float64)
-    if result.size == 0 and l == 1 and fallback_tt is not None:
-        return TravelTimeResult(
-            np.asarray([fallback_tt(query.path[0])]), 0, from_fallback=True
-        )
+    result, _ = probe_travel_times(index, query, selected, columns)
     return TravelTimeResult(result, n_matched)
 
 
 def count_matches(
-    index: SNTIndex,
+    index,
     path: Sequence[int],
     interval: TimeInterval,
     user: Optional[int] = None,
@@ -201,12 +269,32 @@ def count_matches(
 
     Used by the longest-prefix splitter (``sigma_L``) and as the q-error
     ground truth ``n = |T|``.  ``limit`` caps the count (early
-    termination) when only a threshold comparison is needed.
+    termination) when only a threshold comparison is needed.  Dispatches
+    through the :class:`~repro.sntindex.reader.IndexReader` surface, so
+    monolithic and sharded readers both work.
     """
+    return index.count_matches(
+        path,
+        interval,
+        user=user,
+        exclude_ids=exclude_ids,
+        limit=limit,
+    )
+
+
+def monolithic_count_matches(
+    index: SNTIndex,
+    path: Sequence[int],
+    interval: TimeInterval,
+    user: Optional[int] = None,
+    exclude_ids: Sequence[int] = (),
+    limit: Optional[int] = None,
+) -> int:
+    """The count behind :meth:`SNTIndex.count_matches` (one index)."""
     query = StrictPathQuery(
         path=tuple(path), interval=interval, user=user, beta=limit
     )
-    matches = _first_segment_matches(
+    matches = first_segment_matches(
         index, query, exclude_ids=exclude_ids, beta=limit
     )
     if matches is None:

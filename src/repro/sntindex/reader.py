@@ -1,0 +1,130 @@
+"""The ``IndexReader`` protocol: what the query stack needs from an index.
+
+:class:`repro.core.engine.QueryEngine`, the cardinality estimator, and
+the batched service historically consumed :class:`SNTIndex` directly.
+This module names the surface they actually touch, so any structure that
+can answer these calls — the monolithic :class:`SNTIndex` or the
+time-sliced :class:`repro.sntindex.sharded.ShardedSNTIndex` — plugs into
+the same engine unchanged:
+
+* the **spatial** side: per-partition ISA ranges of a path and the
+  derived traversal count (``getISARange``, Section 4.3.2);
+* the **temporal** side: per-segment index statistics for the estimator
+  (record counts, time bounds, exact range counts) via
+  :meth:`IndexReader.edge_index`, and time-of-day selectivity via
+  :attr:`IndexReader.tod_store`;
+* the **retrieval** side: Procedure 5 (:meth:`IndexReader.get_travel_times`)
+  and the exact match counter backing the ``sigma_L`` splitter
+  (:meth:`IndexReader.count_matches`);
+* the **user** container ``U: d -> u``;
+* scalar identity: ``t_min``/``t_max``, ``alphabet_size``, ``kind``,
+  ``n_partitions``, and the mutation ``epoch`` consumed by shared caches.
+
+Partition ids returned by :meth:`isa_ranges` are globally dense
+(``0 .. n_partitions - 1``) in temporal order, and the objects returned
+by :meth:`edge_index` only promise the *statistics* subset used by the
+estimator (``__len__``, ``count_fixed``, ``min_t``, ``max_t``,
+``supports_fast_count``) — the full :class:`EdgeTemporalIndex` of the
+monolithic index is a superset of that.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Callable,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
+
+__all__ = ["EdgeStats", "IndexReader"]
+
+
+@runtime_checkable
+class EdgeStats(Protocol):
+    """Per-segment statistics consumed by the cardinality estimator."""
+
+    def __len__(self) -> int:
+        ...
+
+    @property
+    def supports_fast_count(self) -> bool:
+        ...
+
+    def min_t(self) -> Optional[int]:
+        ...
+
+    def max_t(self) -> Optional[int]:
+        ...
+
+    def count_fixed(self, lo: int, hi: int) -> int:
+        ...
+
+
+@runtime_checkable
+class IndexReader(Protocol):
+    """Read surface of a travel-time index (monolithic or sharded)."""
+
+    t_min: int
+    t_max: int
+    alphabet_size: int
+    kind: str
+    #: Bumped on every mutation (append); immutable readers stay at 0.
+    #: Shared caches compare it to drop entries from earlier index states.
+    epoch: int
+
+    @property
+    def n_partitions(self) -> int:
+        ...
+
+    # -- spatial ------------------------------------------------------- #
+
+    def isa_ranges(self, path: Sequence[int]) -> List[Tuple[int, int, int]]:
+        ...
+
+    def path_traversal_count(self, path: Sequence[int]) -> int:
+        ...
+
+    def contains_path(self, path: Sequence[int]) -> bool:
+        ...
+
+    # -- temporal / estimator ------------------------------------------ #
+
+    def edge_index(self, edge: int) -> Optional[EdgeStats]:
+        ...
+
+    @property
+    def tod_store(self):
+        ...
+
+    # -- users --------------------------------------------------------- #
+
+    def user_of(self, traj_id: int) -> int:
+        ...
+
+    def has_trajectory(self, traj_id: int) -> bool:
+        ...
+
+    # -- retrieval ----------------------------------------------------- #
+
+    def get_travel_times(
+        self,
+        query,
+        fallback_tt: Optional[Callable[[int], float]] = None,
+        exclude_ids: Sequence[int] = (),
+        isa_ranges=None,
+    ):
+        ...
+
+    def count_matches(
+        self,
+        path: Sequence[int],
+        interval,
+        user: Optional[int] = None,
+        exclude_ids: Sequence[int] = (),
+        limit: Optional[int] = None,
+    ) -> int:
+        ...

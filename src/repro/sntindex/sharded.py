@@ -1,0 +1,1263 @@
+"""Time-sliced sharding of the SNT-index (ROADMAP scale-out items).
+
+The paper's index is already temporally partitioned — one FM-index per
+time window of trajectory *start* times (Section 4.3.2) — which makes
+time-range sharding the natural scale-out axis: a **shard** is a
+contiguous run of those temporal partitions, built as a self-contained
+:class:`SNTIndex` (so shards build in parallel worker processes and
+persist with the unchanged PR-1 directory format), and a **router**
+answers the :class:`~repro.sntindex.reader.IndexReader` protocol over
+the shard set.
+
+Bit-identical answers
+---------------------
+``ShardedSNTIndex`` answers every query *bit-identically* to the
+monolithic ``SNTIndex`` built from the same corpus with the same
+``partition_days``.  That guarantee rests on three invariants:
+
+* **Partition alignment** — shard boundaries coincide with temporal
+  partition boundaries and every shard receives the *global* window
+  bounds (:meth:`SNTIndex.build_from_groups`), so each shard's FM
+  partitions are byte-for-byte the monolithic ones and global partition
+  ids are the concatenation of the shards' local ids.  This is also why
+  sharding requires ``partition_days``: the FULL configuration has a
+  single FM-index over the whole corpus, and splitting *that* would
+  change per-partition estimator inputs.
+* **Stable restriction** — a shard's per-segment columns are the
+  monolithic t-sorted columns restricted to the shard's trajectories,
+  in the same relative order.  Merging per-shard scan outputs on
+  ``(entry time, shard order)`` with a stable sort therefore reproduces
+  the monolithic row order exactly — including Procedure 3's ascending
+  entry-time ``beta`` cut, which the router applies globally across the
+  per-shard (already capped) prefixes.
+* **Additive statistics** — ISA range widths, CSS range counts, and
+  time-of-day histograms are integer-exact per partition, so the
+  estimator views (:class:`_ShardedEdgeStats`, :class:`_ShardedTodStore`)
+  reproduce the monolithic estimates bit-for-bit.
+
+Appendable staging shard
+------------------------
+``append(trajectories)`` accumulates new trajectories in a small
+*staging* shard that is rebuilt on each call — cheap, because only the
+staged tail is rebuilt; the sealed shards are untouched.  Appends must
+be strictly newer than every sealed shard's time window: that keeps the
+global partition enumeration identical to what a from-scratch monolithic
+build over the combined corpus would produce, preserving bit-identical
+answers *after* appends too.  Each append bumps :attr:`epoch`, which
+:class:`repro.service.SubQueryCache` watches to drop entries cached
+against earlier index states.  ``seal_staging()`` promotes a grown
+staging shard to a sealed one (pure bookkeeping — no epoch bump, since
+no indexed content changes).
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import threading
+import time
+from bisect import bisect_right
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..config import SECONDS_PER_DAY
+from ..core.intervals import is_periodic
+from ..forkpool import fork_map
+from ..errors import (
+    IndexError_,
+    MissingUserError,
+    PersistenceError,
+    ShardError,
+    UnknownTrajectoryError,
+)
+from ..trajectories.model import TrajectorySet
+from .index import BuildStats, SNTIndex, assign_time_windows, window_bounds
+from .persistence import (
+    META_FILE,
+    atomic_install_dir,
+    load_index,
+    read_meta,
+    validate_identity,
+    write_index_payload,
+)
+from .procedures import (
+    TravelTimeResult,
+    first_segment_matches,
+    monolithic_count_matches,
+    probe_travel_times,
+)
+
+__all__ = [
+    "ShardedSNTIndex",
+    "ShardRouter",
+    "ShardStats",
+    "SHARDED_FORMAT_NAME",
+    "SHARDED_FORMAT_VERSION",
+    "MANIFEST_FILE",
+    "save_sharded_index",
+    "load_sharded_index",
+    "read_sharded_meta",
+    "read_any_meta",
+    "load_any_index",
+]
+
+SHARDED_FORMAT_NAME = "snt-sharded-index"
+SHARDED_FORMAT_VERSION = 1
+MANIFEST_FILE = "manifest.json"
+STAGING_DIR = "staging"
+#: Pickled staged tail (not the text trajectory format: ``%g`` rounding
+#: there would change rebuilt staging values after a restart, breaking
+#: the bit-identical contract; the directory already embeds trusted
+#: pickles, so the trust model is unchanged).
+STAGED_TRAJECTORIES_FILE = "staging_trajectories.pkl"
+
+
+# ---------------------------------------------------------------------- #
+# Shard bookkeeping
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class _ShardEntry:
+    """One shard plus the routing metadata the router needs."""
+
+    index: SNTIndex
+    label: str
+    #: Occupied global temporal-bucket range (inclusive) of the shard's
+    #: trajectories; appends must land strictly after every sealed
+    #: shard's ``bucket_hi``.
+    bucket_lo: int
+    bucket_hi: int
+    #: Actual traversal-timestamp bounds (inclusive) across the shard's
+    #: segments — pruning bounds, wider than the bucket window because a
+    #: trajectory's traversals extend past its start bucket.
+    t_lo: int
+    t_hi: int
+    #: Index scans served by this shard (router statistics).
+    n_scans: int = 0
+
+    @classmethod
+    def wrap(
+        cls, index: SNTIndex, label: str, bucket_lo: int, bucket_hi: int
+    ) -> "_ShardEntry":
+        t_lo, t_hi = index.data_time_bounds()
+        return cls(
+            index=index,
+            label=label,
+            bucket_lo=int(bucket_lo),
+            bucket_hi=int(bucket_hi),
+            t_lo=t_lo,
+            t_hi=t_hi,
+        )
+
+
+@dataclass(frozen=True)
+class ShardStats:
+    """Routing statistics of a :class:`ShardRouter`."""
+
+    #: Retrieval/count dispatches routed (one per sub-query scan).
+    n_dispatches: int
+    #: Sum over dispatches of shards actually scanned.
+    n_shard_scans: int
+    #: Shards skipped by interval pruning, summed over dispatches.
+    n_shards_pruned: int
+    #: Scans per shard label, in shard order (staging last).
+    per_shard_scans: Dict[str, int]
+
+    @property
+    def prune_rate(self) -> float:
+        total = self.n_shard_scans + self.n_shards_pruned
+        return self.n_shards_pruned / total if total else 0.0
+
+
+class _ShardedTodStore:
+    """Global-partition view over the shards' time-of-day stores.
+
+    Each global partition lives wholly inside one shard, so a lookup
+    maps the global id to ``(shard, local id)`` and delegates — the
+    shard's histogram *is* the monolithic one for that partition.
+    """
+
+    def __init__(self, entries: Sequence[_ShardEntry], offsets: Sequence[int]):
+        self._entries = list(entries)
+        self._offsets = list(offsets)
+        self.bucket_width_s = entries[0].index.tod_store.bucket_width_s
+
+    def _locate(self, partition: int) -> Tuple[SNTIndex, int]:
+        position = bisect_right(self._offsets, int(partition)) - 1
+        if not 0 <= position < len(self._entries):
+            raise IndexError_(f"unknown partition id {partition}")
+        return (
+            self._entries[position].index,
+            int(partition) - self._offsets[position],
+        )
+
+    def total(self, edge: int, partition: int = 0) -> int:
+        index, local = self._locate(partition)
+        return index.tod_store.total(edge, partition=local)
+
+    def count_window(
+        self, edge: int, start_tod: int, duration: int, partition: int = 0
+    ) -> float:
+        index, local = self._locate(partition)
+        return index.tod_store.count_window(
+            edge, start_tod, duration, partition=local
+        )
+
+    def selectivity(
+        self, edge: int, start_tod: int, duration: int, partition: int = 0
+    ) -> float:
+        index, local = self._locate(partition)
+        return index.tod_store.selectivity(
+            edge, start_tod, duration, partition=local
+        )
+
+    def __len__(self) -> int:
+        return sum(len(e.index.tod_store) for e in self._entries)
+
+    def size_in_bytes(self) -> int:
+        return sum(e.index.tod_store.size_in_bytes() for e in self._entries)
+
+
+class _ShardedEdgeStats:
+    """Estimator statistics of one segment aggregated across shards.
+
+    Implements the :class:`repro.sntindex.reader.EdgeStats` subset of
+    ``EdgeTemporalIndex``.  Counts and record totals are integer-exact
+    sums, and time bounds are min/max over the shards, so the estimator
+    computes the same floats it would over the monolithic forest.
+    """
+
+    __slots__ = ("_phis", "kind")
+
+    def __init__(self, phis, kind: str):
+        self._phis = phis
+        self.kind = kind
+
+    def __len__(self) -> int:
+        return sum(len(phi) for phi in self._phis)
+
+    @property
+    def supports_fast_count(self) -> bool:
+        return self.kind == "css"
+
+    def min_t(self) -> Optional[int]:
+        bounds = [phi.min_t() for phi in self._phis]
+        bounds = [b for b in bounds if b is not None]
+        return min(bounds) if bounds else None
+
+    def max_t(self) -> Optional[int]:
+        bounds = [phi.max_t() for phi in self._phis]
+        bounds = [b for b in bounds if b is not None]
+        return max(bounds) if bounds else None
+
+    def count_fixed(self, lo: int, hi: int) -> int:
+        return sum(phi.count_fixed(lo, hi) for phi in self._phis)
+
+    def count_periodic(self, start_tod: int, duration: int) -> int:
+        return sum(
+            phi.count_periodic(start_tod, duration) for phi in self._phis
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Router
+# ---------------------------------------------------------------------- #
+
+
+class ShardRouter:
+    """Prunes, fans out, and merges retrieval over the shard set.
+
+    The router owns the ordered shard entries (sealed shards in temporal
+    order, staging last — which is also global partition order), the
+    per-shard partition-id offsets, and the scan/prune statistics.
+    Merging is what keeps the answers bit-identical to the monolithic
+    index; see the module docstring for the argument.
+    """
+
+    def __init__(self, entries: Sequence[_ShardEntry]):
+        if not entries:
+            raise ShardError("a sharded index needs at least one shard")
+        self.entries: List[_ShardEntry] = list(entries)
+        self.offsets: List[int] = []
+        cursor = 0
+        for entry in self.entries:
+            self.offsets.append(cursor)
+            cursor += entry.index.n_partitions
+        self.n_partitions = cursor
+        self._lock = threading.Lock()
+        self._n_dispatches = 0
+        self._n_pruned = 0
+
+    # -- routing -------------------------------------------------------- #
+
+    def route(self, interval) -> List[int]:
+        """Positions of shards whose data can overlap ``interval``.
+
+        Fixed intervals prune on the shards' traversal-time bounds
+        (pruned shards would contribute zero rows, so pruning never
+        changes answers).  Periodic time-of-day predicates select across
+        all days and cannot prune.
+        """
+        if interval is None or is_periodic(interval):
+            return list(range(len(self.entries)))
+        lo, hi = interval.start, interval.end  # rows are lo <= t < hi
+        return [
+            position
+            for position, entry in enumerate(self.entries)
+            if entry.t_lo < hi and entry.t_hi >= lo
+        ]
+
+    def _record_dispatch(self, n_routed: int) -> None:
+        with self._lock:
+            self._n_dispatches += 1
+            self._n_pruned += len(self.entries) - n_routed
+
+    def _record_scan(self, position: int) -> None:
+        with self._lock:
+            self.entries[position].n_scans += 1
+
+    def stats(self) -> ShardStats:
+        with self._lock:
+            return ShardStats(
+                n_dispatches=self._n_dispatches,
+                n_shard_scans=sum(e.n_scans for e in self.entries),
+                n_shards_pruned=self._n_pruned,
+                per_shard_scans={e.label: e.n_scans for e in self.entries},
+            )
+
+    # -- reader surface ------------------------------------------------- #
+
+    def isa_ranges(self, path: Sequence[int]) -> List[Tuple[int, int, int]]:
+        ranges: List[Tuple[int, int, int]] = []
+        for entry, offset in zip(self.entries, self.offsets):
+            for w, st, ed in entry.index.isa_ranges(path):
+                ranges.append((w + offset, st, ed))
+        return ranges
+
+    def _local_ranges(self, ranges, position: int):
+        offset = self.offsets[position]
+        count = self.entries[position].index.n_partitions
+        return [
+            (w - offset, st, ed)
+            for w, st, ed in ranges
+            if offset <= w < offset + count
+        ]
+
+    def get_travel_times(
+        self,
+        query,
+        fallback_tt=None,
+        exclude_ids: Sequence[int] = (),
+        isa_ranges=None,
+    ) -> TravelTimeResult:
+        """Procedure 5 scattered over the shards and merged exactly."""
+        routed = self.route(query.interval)
+        self._record_dispatch(len(routed))
+        empty = np.empty(0, dtype=np.float64)
+        length = query.length
+
+        # Phase 1: per-shard first-segment matches (each capped at beta;
+        # the global cut below only ever keeps a prefix of each).
+        per_shard = []
+        for position in routed:
+            entry = self.entries[position]
+            self._record_scan(position)
+            local = (
+                self._local_ranges(isa_ranges, position)
+                if isa_ranges is not None
+                else None
+            )
+            matches = first_segment_matches(
+                entry.index,
+                query,
+                exclude_ids=exclude_ids,
+                beta=query.beta,
+                isa_ranges=local,
+            )
+            if matches is None:
+                continue
+            selected, columns = matches
+            if selected.size:
+                per_shard.append((position, selected, columns))
+
+        # Phase 2: the global ascending-entry-time beta cut.  The merge
+        # key is (t, shard order), matching the monolithic column order
+        # because each shard is a stable restriction of it.
+        sizes = [int(selected.size) for _, selected, _ in per_shard]
+        total = sum(sizes)
+        if query.beta is not None and total > query.beta:
+            stamps = np.concatenate(
+                [columns.t[selected] for _, selected, columns in per_shard]
+            )
+            kept = np.argsort(stamps, kind="stable")[: query.beta]
+            bounds = np.cumsum([0] + sizes)
+            source = np.searchsorted(bounds, kept, side="right") - 1
+            keep_counts = np.bincount(source, minlength=len(per_shard))
+            per_shard = [
+                (position, selected[: int(keep_counts[i])], columns)
+                for i, (position, selected, columns) in enumerate(per_shard)
+            ]
+            n_matched = int(query.beta)
+        else:
+            n_matched = total
+
+        if (
+            query.beta is not None
+            and n_matched < query.beta
+            and is_periodic(query.interval)
+        ):
+            # Procedure 5 line 7, applied to the global match count.
+            return TravelTimeResult(empty, n_matched, insufficient=True)
+
+        if n_matched == 0:
+            if length == 1 and fallback_tt is not None:
+                estimate = np.asarray([fallback_tt(query.path[0])])
+                return TravelTimeResult(estimate, 0, from_fallback=True)
+            return TravelTimeResult(empty, 0)
+
+        # Phase 3: per-shard map/probe, merged on (entry time, shard).
+        value_chunks: List[np.ndarray] = []
+        stamp_chunks: List[np.ndarray] = []
+        for position, selected, columns in per_shard:
+            if selected.size == 0:
+                continue
+            values, stamps = probe_travel_times(
+                self.entries[position].index, query, selected, columns
+            )
+            value_chunks.append(values)
+            stamp_chunks.append(stamps)
+        if not value_chunks:
+            return TravelTimeResult(empty, n_matched)
+        values = np.concatenate(value_chunks)
+        stamps = np.concatenate(stamp_chunks)
+        merged = values[np.argsort(stamps, kind="stable")]
+        return TravelTimeResult(merged, n_matched)
+
+    def count_matches(
+        self,
+        path: Sequence[int],
+        interval,
+        user: Optional[int] = None,
+        exclude_ids: Sequence[int] = (),
+        limit: Optional[int] = None,
+    ) -> int:
+        routed = self.route(interval)
+        self._record_dispatch(len(routed))
+        total = 0
+        for position in routed:
+            # Record per shard as it is scanned: the limit early-return
+            # below must not claim scans on shards it never reached.
+            self._record_scan(position)
+            total += monolithic_count_matches(
+                self.entries[position].index,
+                path,
+                interval,
+                user=user,
+                exclude_ids=exclude_ids,
+                limit=limit,
+            )
+            if limit is not None and total >= limit:
+                # The monolithic counter early-terminates at ``limit``;
+                # summing per-shard capped counts can only overshoot it.
+                return int(limit)
+        return int(total)
+
+
+# ---------------------------------------------------------------------- #
+# The sharded index
+# ---------------------------------------------------------------------- #
+
+
+def _build_shard_task(payload) -> SNTIndex:
+    """Worker-process entry: build one shard from its partition groups."""
+    (
+        grouped,
+        alphabet_size,
+        t_min,
+        t_max,
+        kind,
+        partition_days,
+        tod_bucket_s,
+    ) = payload
+    return SNTIndex.build_from_groups(
+        grouped,
+        alphabet_size,
+        t_min=t_min,
+        t_max=t_max,
+        kind=kind,
+        partition_days=partition_days,
+        tod_bucket_s=tod_bucket_s,
+    )
+
+
+def _build_shards_parallel(tasks, workers: int) -> List[SNTIndex]:
+    """Run the shard builds in a process pool, preserving task order.
+
+    On fork platforms the workers read their trajectory groups from the
+    forked copy-on-write heap (:func:`repro.forkpool.fork_map`), so only
+    an integer position crosses the pipe on the way in and only the
+    built shard (mostly numpy payload — cheap to pickle) comes back;
+    shipping the trajectory objects through the pool instead costs more
+    than the per-shard build savings at small corpus sizes.  Spawn
+    platforms fall back to pickling the (picklable) tasks.
+    """
+    return fork_map(
+        _build_shard_task,
+        tasks,
+        workers,
+        pickled_fallback=_build_shard_task,
+    )
+
+
+def _balanced_runs(
+    buckets: Sequence[int], weights: Sequence[int], n_runs: int
+) -> List[List[int]]:
+    """Split buckets into ``n_runs`` contiguous, non-empty runs.
+
+    Greedy walk closing a run whenever the cumulative weight crosses the
+    proportional target — or when the remaining buckets are only just
+    enough to keep every remaining run non-empty.
+    """
+    total = sum(weights)
+    runs: List[List[int]] = []
+    current: List[int] = []
+    cumulative = 0
+    for i, bucket in enumerate(buckets):
+        current.append(bucket)
+        cumulative += weights[i]
+        remaining_buckets = len(buckets) - i - 1
+        remaining_runs = n_runs - len(runs) - 1
+        if len(runs) < n_runs - 1 and (
+            cumulative * n_runs >= total * (len(runs) + 1)
+            or remaining_buckets == remaining_runs
+        ):
+            runs.append(current)
+            current = []
+    runs.append(current)
+    return runs
+
+
+class ShardedSNTIndex:
+    """Time-sliced SNT-index: K shard indexes behind one reader.
+
+    Implements the same :class:`~repro.sntindex.reader.IndexReader`
+    surface as :class:`SNTIndex`, so :class:`repro.core.engine.QueryEngine`
+    and :class:`repro.service.TravelTimeService` use it unchanged — with
+    answers bit-identical to the monolithic index over the same corpus
+    and ``partition_days`` (see the module docstring for why).
+    """
+
+    def __init__(
+        self,
+        sealed: Sequence[_ShardEntry],
+        staging: Optional[_ShardEntry],
+        t_min: int,
+        t_max: int,
+        alphabet_size: int,
+        kind: str,
+        partition_days: int,
+        tod_bucket_s: int,
+        staged_trajectories: Optional[List] = None,
+        epoch: int = 0,
+        build_wall_seconds: Optional[float] = None,
+    ):
+        if not sealed:
+            raise ShardError("a sharded index needs at least one shard")
+        for entry in list(sealed) + ([staging] if staging else []):
+            if entry.index.alphabet_size != alphabet_size:
+                raise ShardError("shards disagree on alphabet_size")
+            if entry.index.kind != kind:
+                raise ShardError("shards disagree on temporal index kind")
+        self._sealed: List[_ShardEntry] = list(sealed)
+        self._staging: Optional[_ShardEntry] = staging
+        self._staged: List = list(staged_trajectories or [])
+        self.t_min = int(t_min)
+        self.t_max = int(t_max)
+        self.alphabet_size = int(alphabet_size)
+        self.kind = kind
+        self.partition_days = int(partition_days)
+        self.tod_bucket_s = int(tod_bucket_s)
+        self.epoch = int(epoch)
+        self._build_wall_seconds = build_wall_seconds
+        self._rebuild_router()
+
+    # -- construction --------------------------------------------------- #
+
+    @classmethod
+    def build(
+        cls,
+        trajectories,
+        alphabet_size: int,
+        n_shards: int = 2,
+        partition_days: Optional[int] = 7,
+        kind: str = "css",
+        tod_bucket_s: int = 600,
+        build_workers: int = 1,
+    ) -> "ShardedSNTIndex":
+        """Build K time-sliced shards, optionally in worker processes.
+
+        Parameters mirror :meth:`SNTIndex.build` plus:
+
+        n_shards:
+            Contiguous time slices to build; clamped to the number of
+            occupied temporal partitions (a shard cannot split one
+            FM-index partition without changing estimator inputs).
+        build_workers:
+            Worker processes for the shard builds.  ``1`` builds inline;
+            suffix-array construction dominates build time and shards
+            are independent, so the build scales with real cores.
+        """
+        if partition_days is None:
+            raise ShardError(
+                "sharding needs temporal partitioning: a single-FM FULL "
+                "index has no partition boundaries to slice on — pass "
+                "partition_days"
+            )
+        if partition_days < 1:
+            raise ShardError("partition_days must be >= 1")
+        if n_shards < 1:
+            raise ShardError("n_shards must be >= 1")
+        if build_workers < 1:
+            raise ShardError("build_workers must be >= 1")
+        if len(trajectories) == 0:
+            raise IndexError_("cannot build an index from zero trajectories")
+        started = time.perf_counter()
+
+        t_min, t_max = trajectories.time_span()
+        window = partition_days * SECONDS_PER_DAY
+        groups = assign_time_windows(trajectories, t_min, window)
+        buckets = sorted(groups)
+        n_shards = min(n_shards, len(buckets))
+        weights = [
+            sum(len(trajectory) for trajectory in groups[bucket])
+            for bucket in buckets
+        ]
+        runs = _balanced_runs(buckets, weights, n_shards)
+
+        tasks = []
+        for run in runs:
+            grouped = [
+                (*window_bounds(bucket, t_min, window), groups[bucket])
+                for bucket in run
+            ]
+            tasks.append(
+                (
+                    grouped,
+                    alphabet_size,
+                    t_min,
+                    t_max,
+                    kind,
+                    partition_days,
+                    tod_bucket_s,
+                )
+            )
+
+        if build_workers == 1 or len(tasks) == 1:
+            built = [_build_shard_task(task) for task in tasks]
+        else:
+            built = _build_shards_parallel(tasks, build_workers)
+
+        sealed = [
+            _ShardEntry.wrap(index, f"shard_{i:04d}", run[0], run[-1])
+            for i, (index, run) in enumerate(zip(built, runs))
+        ]
+        return cls(
+            sealed=sealed,
+            staging=None,
+            t_min=t_min,
+            t_max=t_max,
+            alphabet_size=alphabet_size,
+            kind=kind,
+            partition_days=partition_days,
+            tod_bucket_s=tod_bucket_s,
+            build_wall_seconds=time.perf_counter() - started,
+        )
+
+    # -- internal views -------------------------------------------------- #
+
+    def _entries(self) -> List[_ShardEntry]:
+        entries = list(self._sealed)
+        if self._staging is not None:
+            entries.append(self._staging)
+        return entries
+
+    def _rebuild_router(self) -> None:
+        previous = getattr(self, "_router", None)
+        self._router = ShardRouter(self._entries())
+        if previous is not None:
+            # The shard entries carry their scan counters across the
+            # rebuild; the dispatch/prune totals must survive too, or
+            # shard_stats() turns internally inconsistent after appends
+            # (scans without dispatches, prune rate collapsing to 0).
+            self._router._n_dispatches = previous._n_dispatches
+            self._router._n_pruned = previous._n_pruned
+        self._tod_view = _ShardedTodStore(
+            self._router.entries, self._router.offsets
+        )
+        # Per-edge aggregate views are immutable between mutations, and
+        # edge_index() sits on the estimator hot path (once per segment
+        # per sub-query) — memoize them for the life of this router.
+        # A benign construction race under threads just builds the same
+        # view twice.
+        self._edge_views: Dict[int, Optional[_ShardedEdgeStats]] = {}
+        self._user_space = max(
+            entry.index.users.size for entry in self._router.entries
+        )
+
+    @property
+    def router(self) -> ShardRouter:
+        return self._router
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._router.entries)
+
+    @property
+    def shards(self) -> List[SNTIndex]:
+        """The shard indexes in temporal order (staging last)."""
+        return [entry.index for entry in self._router.entries]
+
+    @property
+    def has_staging(self) -> bool:
+        return self._staging is not None
+
+    def shard_stats(self) -> ShardStats:
+        """Scan/prune statistics accumulated by the router."""
+        return self._router.stats()
+
+    # -- IndexReader: scalars ------------------------------------------- #
+
+    @property
+    def n_partitions(self) -> int:
+        return self._router.n_partitions
+
+    @property
+    def build_stats(self) -> BuildStats:
+        """Aggregate of the shards' build stats (CLI summaries).
+
+        ``setup_seconds`` is the wall-clock time of the whole (possibly
+        parallel) build when this instance ran it; for a loaded index
+        the slowest shard's build time stands in — summing the per-shard
+        worker times would over-report a parallel build by its width.
+        """
+        shard_stats = [e.index.build_stats for e in self._router.entries]
+        wall = self._build_wall_seconds
+        if wall is None:
+            wall = max(s.setup_seconds for s in shard_stats)
+        return BuildStats(
+            setup_seconds=wall,
+            n_partitions=self.n_partitions,
+            n_trajectories=sum(s.n_trajectories for s in shard_stats),
+            n_traversals=sum(s.n_traversals for s in shard_stats),
+        )
+
+    @property
+    def tod_store(self) -> _ShardedTodStore:
+        return self._tod_view
+
+    # -- IndexReader: spatial ------------------------------------------- #
+
+    def isa_ranges(self, path: Sequence[int]) -> List[Tuple[int, int, int]]:
+        return self._router.isa_ranges(path)
+
+    def path_traversal_count(self, path: Sequence[int]) -> int:
+        return sum(ed - st for _, st, ed in self.isa_ranges(path))
+
+    def contains_path(self, path: Sequence[int]) -> bool:
+        return bool(self.isa_ranges(path))
+
+    # -- IndexReader: temporal ------------------------------------------ #
+
+    def edge_index(self, edge: int) -> Optional[_ShardedEdgeStats]:
+        edge = int(edge)
+        try:
+            return self._edge_views[edge]
+        except KeyError:
+            pass
+        phis = [
+            phi
+            for entry in self._router.entries
+            if (phi := entry.index.edge_index(edge)) is not None
+        ]
+        view = _ShardedEdgeStats(phis, self.kind) if phis else None
+        self._edge_views[edge] = view
+        return view
+
+    # -- IndexReader: users --------------------------------------------- #
+
+    def user_of(self, traj_id: int) -> int:
+        if not 0 <= traj_id < self._user_space:
+            raise UnknownTrajectoryError(traj_id)
+        for entry in self._router.entries:
+            users = entry.index.users
+            if traj_id < users.size and users[traj_id] >= 0:
+                return int(users[traj_id])
+        raise MissingUserError(traj_id)
+
+    def has_trajectory(self, traj_id: int) -> bool:
+        return any(
+            entry.index.has_trajectory(traj_id)
+            for entry in self._router.entries
+        )
+
+    # -- IndexReader: retrieval ----------------------------------------- #
+
+    def get_travel_times(
+        self,
+        query,
+        fallback_tt=None,
+        exclude_ids: Sequence[int] = (),
+        isa_ranges=None,
+    ) -> TravelTimeResult:
+        return self._router.get_travel_times(
+            query,
+            fallback_tt=fallback_tt,
+            exclude_ids=exclude_ids,
+            isa_ranges=isa_ranges,
+        )
+
+    def count_matches(
+        self,
+        path: Sequence[int],
+        interval,
+        user: Optional[int] = None,
+        exclude_ids: Sequence[int] = (),
+        limit: Optional[int] = None,
+    ) -> int:
+        return self._router.count_matches(
+            path,
+            interval,
+            user=user,
+            exclude_ids=exclude_ids,
+            limit=limit,
+        )
+
+    # -- append / staging ----------------------------------------------- #
+
+    def append(self, trajectories) -> int:
+        """Index new trajectories through the staging shard.
+
+        Only the staging shard (the accumulated appended tail) is
+        rebuilt; sealed shards are untouched.  Every appended trajectory
+        must start in a time window strictly after all sealed shards —
+        the contract that keeps post-append answers bit-identical to a
+        from-scratch monolithic build over the combined corpus.  Bumps
+        :attr:`epoch` so shared sub-query caches drop stale entries.
+
+        Returns the number of trajectories appended.  Raises
+        :class:`ShardError` on id collisions or out-of-order appends
+        (the index is left unchanged).
+        """
+        batch = list(trajectories)
+        if not batch:
+            return 0
+        seen_ids = set()
+        for trajectory in batch:
+            if trajectory.traj_id in seen_ids:
+                raise ShardError(
+                    f"duplicate trajectory id {trajectory.traj_id} in "
+                    "append batch"
+                )
+            seen_ids.add(trajectory.traj_id)
+            if self.has_trajectory(trajectory.traj_id):
+                raise ShardError(
+                    f"trajectory id {trajectory.traj_id} is already indexed"
+                )
+        window = self.partition_days * SECONDS_PER_DAY
+        sealed_max = max(entry.bucket_hi for entry in self._sealed)
+        batch_groups = assign_time_windows(batch, self.t_min, window)
+        for bucket in sorted(batch_groups):
+            if bucket <= sealed_max:
+                offender = batch_groups[bucket][0]
+                raise ShardError(
+                    f"append only accepts trajectories starting after the "
+                    f"sealed shards (time window {sealed_max} at "
+                    f"{self.partition_days} day(s) per window); trajectory "
+                    f"{offender.traj_id} starts in window {bucket}. "
+                    "Rebuild the index to backfill history."
+                )
+
+        staged = self._staged + batch
+        groups = assign_time_windows(staged, self.t_min, window)
+        grouped = [
+            (*window_bounds(bucket, self.t_min, window), groups[bucket])
+            for bucket in sorted(groups)
+        ]
+        # The corpus-span definition lives in TrajectorySet.time_span;
+        # a from-scratch monolithic rebuild over the combined corpus
+        # computes t_max through it, so the append must too.
+        _, staged_end = TrajectorySet(staged).time_span()
+        new_t_max = max(self.t_max, staged_end)
+        staging_index = SNTIndex.build_from_groups(
+            grouped,
+            self.alphabet_size,
+            t_min=self.t_min,
+            t_max=new_t_max,
+            kind=self.kind,
+            partition_days=self.partition_days,
+            tod_bucket_s=self.tod_bucket_s,
+        )
+        previous_scans = (
+            self._staging.n_scans if self._staging is not None else 0
+        )
+        self._staging = _ShardEntry.wrap(
+            staging_index, "staging", min(groups), max(groups)
+        )
+        self._staging.n_scans = previous_scans
+        self._staged = staged
+        self.t_max = new_t_max
+        self.epoch += 1
+        self._rebuild_router()
+        return len(batch)
+
+    def seal_staging(self) -> None:
+        """Promote the staging shard to a sealed shard.
+
+        Pure bookkeeping: the indexed content (and therefore every
+        answer) is unchanged, so the epoch does not move and caches stay
+        valid.  Subsequent appends must start after the newly sealed
+        window.
+        """
+        if self._staging is None:
+            return
+        entry = self._staging
+        entry.label = f"shard_{len(self._sealed):04d}"
+        self._sealed.append(entry)
+        self._staging = None
+        self._staged = []
+        self._rebuild_router()
+
+    # -- sizes ----------------------------------------------------------- #
+
+    def component_sizes(self) -> Dict[str, int]:
+        """Component sizes summed over the shards, in bytes."""
+        totals: Dict[str, int] = {}
+        for entry in self._router.entries:
+            for name, size in entry.index.component_sizes().items():
+                totals[name] = totals.get(name, 0) + size
+        return totals
+
+    # -- persistence ----------------------------------------------------- #
+
+    def save(
+        self, path: Union[str, Path], extra: Optional[dict] = None
+    ) -> Path:
+        """Write the sharded manifest directory; see
+        :func:`save_sharded_index`."""
+        return save_sharded_index(self, path, extra=extra)
+
+    @classmethod
+    def load(
+        cls,
+        path: Union[str, Path],
+        expected_alphabet_size: Optional[int] = None,
+        expected_kind: Optional[str] = None,
+    ) -> "ShardedSNTIndex":
+        """Load a sharded manifest directory; see
+        :func:`load_sharded_index`."""
+        return load_sharded_index(
+            path,
+            expected_alphabet_size=expected_alphabet_size,
+            expected_kind=expected_kind,
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Persistence: manifest directory of PR-1 index dirs
+# ---------------------------------------------------------------------- #
+
+
+def _entry_manifest(entry: _ShardEntry, directory: str) -> dict:
+    return {
+        "dir": directory,
+        "label": entry.label,
+        "bucket_lo": entry.bucket_lo,
+        "bucket_hi": entry.bucket_hi,
+        "t_lo": entry.t_lo,
+        "t_hi": entry.t_hi,
+        "n_partitions": entry.index.n_partitions,
+    }
+
+
+def save_sharded_index(
+    index: ShardedSNTIndex,
+    path: Union[str, Path],
+    extra: Optional[dict] = None,
+) -> Path:
+    """Write ``index`` as ``manifest.json`` + one PR-1 index dir per shard.
+
+    Layout::
+
+        manifest.json            format tag, scalars, shard table, epoch
+        shard_0000/ ...          save_index() directories, one per shard
+        staging/                 the staging shard (when present)
+        staging_trajectories.pkl staged tail, so appends survive restarts
+
+    The whole directory is staged and atomically swapped in, like the
+    monolithic format.
+    """
+
+    def writer(target: Path) -> None:
+        # ``target`` is already the outer atomic-install staging dir, so
+        # the shard subdirectories are written directly — running
+        # save_index's own temp-dir/swap dance per shard inside it
+        # would be K extra rename pairs protecting nothing.
+        shard_dirs = []
+        for i, entry in enumerate(index._sealed):
+            directory = f"shard_{i:04d}"
+            write_index_payload(entry.index, target / directory)
+            shard_dirs.append(_entry_manifest(entry, directory))
+        staging_manifest = None
+        if index._staging is not None:
+            write_index_payload(index._staging.index, target / STAGING_DIR)
+            staging_manifest = _entry_manifest(index._staging, STAGING_DIR)
+            with open(target / STAGED_TRAJECTORIES_FILE, "wb") as handle:
+                pickle.dump(
+                    index._staged, handle, protocol=pickle.HIGHEST_PROTOCOL
+                )
+        manifest = {
+            "format": SHARDED_FORMAT_NAME,
+            "format_version": SHARDED_FORMAT_VERSION,
+            "alphabet_size": index.alphabet_size,
+            "kind": index.kind,
+            "partition_days": index.partition_days,
+            "t_min": index.t_min,
+            "t_max": index.t_max,
+            "tod_bucket_s": index.tod_bucket_s,
+            "epoch": index.epoch,
+            "shards": shard_dirs,
+            "staging": staging_manifest,
+            "extra": dict(extra or {}),
+        }
+        with open(target / MANIFEST_FILE, "w") as handle:
+            json.dump(manifest, handle, indent=2)
+
+    return atomic_install_dir(
+        Path(path),
+        marker_file=MANIFEST_FILE,
+        writer=writer,
+        what="saved sharded SNT-index",
+    )
+
+
+def read_sharded_meta(path: Union[str, Path]) -> dict:
+    """Read and format-check ``manifest.json`` of a sharded index dir."""
+    source = Path(path)
+    manifest_path = source / MANIFEST_FILE
+    if not manifest_path.is_file():
+        raise PersistenceError(
+            f"{source} is not a saved sharded SNT-index "
+            f"({MANIFEST_FILE} missing)"
+        )
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise PersistenceError(
+            f"corrupt {MANIFEST_FILE}: {error}"
+        ) from error
+    if manifest.get("format") != SHARDED_FORMAT_NAME:
+        raise PersistenceError(
+            f"{source} holds format {manifest.get('format')!r}, expected "
+            f"{SHARDED_FORMAT_NAME!r}"
+        )
+    version = manifest.get("format_version")
+    if version != SHARDED_FORMAT_VERSION:
+        raise PersistenceError(
+            f"saved sharded index has format version {version!r}; this "
+            f"build reads version {SHARDED_FORMAT_VERSION} only"
+        )
+    return manifest
+
+
+def _entry_from_manifest(
+    source: Path, described: dict, manifest: dict
+) -> _ShardEntry:
+    required = ("dir", "label", "bucket_lo", "bucket_hi", "t_lo", "t_hi",
+                "n_partitions")
+    missing = [name for name in required if name not in described]
+    if missing:
+        raise PersistenceError(
+            f"{MANIFEST_FILE} shard entry is missing fields {missing}"
+        )
+    for name in ("bucket_lo", "bucket_hi", "t_lo", "t_hi", "n_partitions"):
+        value = described[name]
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise PersistenceError(
+                f"{MANIFEST_FILE} shard entry declares {name} = "
+                f"{value!r}; expected an integer"
+            )
+    shard_dir = source / described["dir"]
+    # A shard is only valid inside *this* manifest if its own meta
+    # agrees on every scalar that shapes the global partition layout —
+    # a shard copied in from another build (different partition_days,
+    # different corpus t_min, different ToD grain) would load cleanly
+    # on its own and then silently break the bit-identical merge.
+    shard_meta = read_meta(shard_dir)
+    for name in ("partition_days", "t_min", "tod_bucket_s"):
+        if shard_meta.get(name) != manifest[name]:
+            raise PersistenceError(
+                f"shard {described['dir']} in {source} declares "
+                f"{name} = {shard_meta.get(name)!r}, but the manifest "
+                f"says {manifest[name]!r} — the shard belongs to a "
+                "different build (refusing before reading its payload)"
+            )
+    shard_index = load_index(
+        shard_dir,
+        expected_alphabet_size=manifest["alphabet_size"],
+        expected_kind=manifest["kind"],
+    )
+    if shard_index.n_partitions != int(described["n_partitions"]):
+        raise PersistenceError(
+            f"shard {described['dir']} in {source} holds "
+            f"{shard_index.n_partitions} partition(s), but the manifest "
+            f"recorded {described['n_partitions']} — the shard payload "
+            "does not match this manifest"
+        )
+    return _ShardEntry(
+        index=shard_index,
+        label=str(described["label"]),
+        bucket_lo=int(described["bucket_lo"]),
+        bucket_hi=int(described["bucket_hi"]),
+        t_lo=int(described["t_lo"]),
+        t_hi=int(described["t_hi"]),
+    )
+
+
+def load_sharded_index(
+    path: Union[str, Path],
+    expected_alphabet_size: Optional[int] = None,
+    expected_kind: Optional[str] = None,
+) -> ShardedSNTIndex:
+    """Load a directory written by :func:`save_sharded_index`.
+
+    The manifest scalars are validated (including the optional
+    ``expected_*`` cross-checks) before any shard payload is read, and
+    each shard load re-checks its own meta against the manifest — so a
+    directory mixing shards of different worlds is rejected.
+
+    .. warning::
+        Shard payloads and the staged tail are unpickled — only load
+        directories you wrote yourself (same trust model as
+        :func:`repro.sntindex.persistence.load_index`).
+    """
+    source = Path(path)
+    manifest = read_sharded_meta(source)
+    required = (
+        "alphabet_size", "kind", "partition_days", "t_min", "t_max",
+        "tod_bucket_s", "epoch", "shards",
+    )
+    missing = [name for name in required if name not in manifest]
+    if missing:
+        raise PersistenceError(
+            f"{MANIFEST_FILE} is missing fields {missing}"
+        )
+    validate_identity(
+        manifest,
+        source,
+        expected_alphabet_size=expected_alphabet_size,
+        expected_kind=expected_kind,
+    )
+    kind = manifest["kind"]
+    alphabet = manifest["alphabet_size"]
+    # A sharded index always has temporal partitioning, and every
+    # scalar below is fed to int() after the (pickled) shard payloads
+    # load — so prove them sane first, like the monolithic
+    # validate_meta does.
+    scalar_checks = {
+        "partition_days": lambda v: isinstance(v, int)
+        and not isinstance(v, bool) and v >= 1,
+        "t_min": lambda v: isinstance(v, int) and not isinstance(v, bool),
+        "t_max": lambda v: isinstance(v, int) and not isinstance(v, bool),
+        "tod_bucket_s": lambda v: isinstance(v, int)
+        and not isinstance(v, bool) and v >= 1,
+        "epoch": lambda v: isinstance(v, int)
+        and not isinstance(v, bool) and v >= 0,
+    }
+    for name, check in scalar_checks.items():
+        if not check(manifest[name]):
+            raise PersistenceError(
+                f"{source} declares {name} = {manifest[name]!r}; "
+                "refusing before reading any shard payload"
+            )
+    if not manifest["shards"]:
+        raise PersistenceError(f"{MANIFEST_FILE} lists no shards")
+
+    sealed = [
+        _entry_from_manifest(source, described, manifest)
+        for described in manifest["shards"]
+    ]
+    staging = None
+    staged: List = []
+    if manifest.get("staging") is not None:
+        staging = _entry_from_manifest(source, manifest["staging"], manifest)
+        staged_path = source / STAGED_TRAJECTORIES_FILE
+        if not staged_path.is_file():
+            raise PersistenceError(
+                f"{source} has a staging shard but no "
+                f"{STAGED_TRAJECTORIES_FILE}"
+            )
+        try:
+            with open(staged_path, "rb") as handle:
+                staged = list(pickle.load(handle))
+        except (OSError, EOFError, pickle.PickleError) as error:
+            raise PersistenceError(
+                f"failed to read staged trajectories from {source}: "
+                f"{error}"
+            ) from error
+    return ShardedSNTIndex(
+        sealed=sealed,
+        staging=staging,
+        t_min=int(manifest["t_min"]),
+        t_max=int(manifest["t_max"]),
+        alphabet_size=int(alphabet),
+        kind=kind,
+        partition_days=int(manifest["partition_days"]),
+        tod_bucket_s=int(manifest["tod_bucket_s"]),
+        staged_trajectories=staged,
+        epoch=int(manifest["epoch"]),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Layout detection (CLI / service cold start)
+# ---------------------------------------------------------------------- #
+
+
+def read_any_meta(path: Union[str, Path]) -> Tuple[str, dict]:
+    """Detect the on-disk layout and read its manifest.
+
+    Returns ``("sharded", manifest)`` or ``("monolithic", meta)``.
+    """
+    source = Path(path)
+    if (source / MANIFEST_FILE).is_file():
+        return "sharded", read_sharded_meta(source)
+    if (source / META_FILE).is_file():
+        return "monolithic", read_meta(source)
+    raise PersistenceError(
+        f"{source} is neither a saved SNT-index ({META_FILE}) nor a "
+        f"sharded index ({MANIFEST_FILE})"
+    )
+
+
+def load_any_index(
+    path: Union[str, Path],
+    expected_alphabet_size: Optional[int] = None,
+    expected_kind: Optional[str] = None,
+) -> Union[SNTIndex, ShardedSNTIndex]:
+    """Load a monolithic or sharded index dir, whichever ``path`` holds."""
+    layout, _ = read_any_meta(path)
+    if layout == "sharded":
+        return load_sharded_index(
+            path,
+            expected_alphabet_size=expected_alphabet_size,
+            expected_kind=expected_kind,
+        )
+    return load_index(
+        path,
+        expected_alphabet_size=expected_alphabet_size,
+        expected_kind=expected_kind,
+    )

@@ -231,6 +231,66 @@ class TestFormatGuards:
     def test_persistence_error_is_an_index_error(self):
         assert issubclass(PersistenceError, IndexError_)
 
+    # -- fail-fast meta validation (ISSUE 2 satellite): a manifest that
+    # disagrees with the target world must be rejected *before* the FM
+    # partitions are unpickled.  Poisoning the pickle proves the order:
+    # were the payload read first, the error would name the payload.
+
+    def _poison_pickle(self, target):
+        (target / "partitions.pkl").write_bytes(b"not a pickle at all")
+
+    def test_bad_kind_rejected_before_unpickling(
+        self, paper_index, tmp_path
+    ):
+        target = paper_index.save(tmp_path / "index")
+        meta_path = target / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        meta["kind"] = "splay"
+        meta_path.write_text(json.dumps(meta))
+        self._poison_pickle(target)
+        with pytest.raises(PersistenceError, match="kind 'splay'"):
+            SNTIndex.load(target)
+
+    def test_bad_alphabet_rejected_before_unpickling(
+        self, paper_index, tmp_path
+    ):
+        target = paper_index.save(tmp_path / "index")
+        meta_path = target / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        meta["alphabet_size"] = -3
+        meta_path.write_text(json.dumps(meta))
+        self._poison_pickle(target)
+        with pytest.raises(PersistenceError, match="alphabet_size"):
+            SNTIndex.load(target)
+
+    def test_expected_alphabet_mismatch_rejected_before_unpickling(
+        self, paper_index, tmp_path
+    ):
+        target = paper_index.save(tmp_path / "index")
+        self._poison_pickle(target)
+        with pytest.raises(PersistenceError, match="same world"):
+            SNTIndex.load(
+                target,
+                expected_alphabet_size=paper_index.alphabet_size + 1,
+            )
+
+    def test_expected_kind_mismatch_rejected_before_unpickling(
+        self, paper_index, tmp_path
+    ):
+        target = paper_index.save(tmp_path / "index")
+        self._poison_pickle(target)
+        with pytest.raises(PersistenceError, match="kind"):
+            SNTIndex.load(target, expected_kind="btree")
+
+    def test_matching_expectations_load_fine(self, paper_index, tmp_path):
+        target = paper_index.save(tmp_path / "index")
+        loaded = SNTIndex.load(
+            target,
+            expected_alphabet_size=paper_index.alphabet_size,
+            expected_kind=paper_index.kind,
+        )
+        assert loaded.isa_ranges([A]) == [(0, *ISA_RANGE_A)]
+
     def test_truncated_npz_raises_persistence_error(
         self, paper_index, tmp_path
     ):

@@ -249,6 +249,87 @@ class TestBatchCommand:
                   "--workers", "0"])
 
 
+class TestShardedIndexCommand:
+    def test_build_sharded_and_query_transparently(
+        self, world_dir, tmp_path, capsys
+    ):
+        index_dir = tmp_path / "sharded-index"
+        assert main(["index", "--world", str(world_dir),
+                     "--out", str(index_dir),
+                     "--partition-days", "7", "--shards", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "shard(s)" in out
+        assert (index_dir / "manifest.json").exists()
+        assert (index_dir / "shard_0000" / "meta.json").exists()
+
+        path = TestQuery().path_from_world(world_dir)
+        # query and batch detect the sharded layout without extra flags.
+        assert main(["query", "--world", str(world_dir),
+                     "--index", str(index_dir), "--path", path]) == 0
+        assert "estimated mean" in capsys.readouterr().out
+        assert main(["batch", "--world", str(world_dir),
+                     "--index", str(index_dir), "--paths", path]) == 0
+        out = capsys.readouterr().out
+        assert "answered" in out
+        assert "shards:" in out  # router statistics line
+
+    def test_sharded_and_monolithic_answers_agree(
+        self, world_dir, tmp_path, capsys
+    ):
+        mono_dir = tmp_path / "mono"
+        shard_dir = tmp_path / "sharded"
+        assert main(["index", "--world", str(world_dir),
+                     "--out", str(mono_dir),
+                     "--partition-days", "7"]) == 0
+        assert main(["index", "--world", str(world_dir),
+                     "--out", str(shard_dir),
+                     "--partition-days", "7", "--shards", "3",
+                     "--build-workers", "2"]) == 0
+        capsys.readouterr()
+        path = TestQuery().path_from_world(world_dir, length=4)
+        assert main(["query", "--world", str(world_dir),
+                     "--index", str(mono_dir), "--path", path,
+                     "--tod", "08:00", "--beta", "5"]) == 0
+        mono_out = capsys.readouterr().out
+        assert main(["query", "--world", str(world_dir),
+                     "--index", str(shard_dir), "--path", path,
+                     "--tod", "08:00", "--beta", "5"]) == 0
+        shard_out = capsys.readouterr().out
+
+        def histogram_lines(text):
+            # Drop the wall-clock line; every answer line must agree.
+            return [line for line in text.splitlines() if " ms" not in line]
+
+        assert histogram_lines(mono_out) == histogram_lines(shard_out)
+
+    def test_shards_without_partition_days_fails_one_line(
+        self, world_dir, tmp_path, capsys
+    ):
+        code = main(["index", "--world", str(world_dir),
+                     "--out", str(tmp_path / "bad"),
+                     "--shards", "2"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert len(err.strip().splitlines()) == 1
+        assert "partition_days" in err
+
+    def test_wrong_world_sharded_index_rejected(
+        self, world_dir, tmp_path, capsys
+    ):
+        other = tmp_path / "other_world"
+        main(["generate", "--scale", "tiny", "--seed", "9",
+              "--out", str(other)])
+        index_dir = tmp_path / "sharded"
+        main(["index", "--world", str(other), "--out", str(index_dir),
+              "--partition-days", "7", "--shards", "2"])
+        capsys.readouterr()
+        path = TestQuery().path_from_world(world_dir)
+        with pytest.raises(SystemExit, match="different world"):
+            main(["query", "--world", str(world_dir),
+                  "--index", str(index_dir), "--path", path])
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
