@@ -13,8 +13,12 @@ workload at >= 2x the sequential QPS while producing *identical*
 histograms — the equivalence flag is asserted, not assumed.
 """
 
+import os
+import time
+
 import pytest
 
+from repro import EngineConfig, QueryEngine, SubQueryCache, TripRequest, open_db
 from repro.experiments import format_table, measure_batch_service
 
 from .conftest import bench_queries
@@ -69,3 +73,85 @@ def test_batch_service_speedup(workload, benchmark, capsys):
         f"warm-cache QPS {warm.queries_per_second:.0f} is below 2x the "
         f"sequential {base:.0f}"
     )
+
+
+def test_typed_api_no_hot_loop_overhead(workload):
+    """Request-object guard (ISSUE 3): warm-cache QPS through the typed
+    ``open_db``/``TripRequest`` API must stay within
+    ``REPRO_BENCH_API_OVERHEAD`` (default 5%) of the direct-engine path.
+
+    Both paths share one warm :class:`SubQueryCache` over the same index
+    and network, so every retrieval is a dictionary hit and the measured
+    difference is exactly the per-request object overhead
+    (validation + ``to_spq`` + back-reference).  Best-of-``ROUNDS``
+    timings are compared to keep scheduler noise out of the bar.
+    """
+    threshold = float(os.environ.get("REPRO_BENCH_API_OVERHEAD", "0.95"))
+    rounds = 7
+    n_queries = min(20, bench_queries())
+    specs = workload.queries[:n_queries]
+    # A large per-round workload (~hundreds of warm queries) keeps each
+    # timed section well above scheduler-noise granularity; with ~20 ms
+    # rounds the 5% budget was within jitter and the guard flaked.
+    multiplier = max(REPEAT, 600 // max(1, n_queries))
+    requests = [
+        TripRequest.from_spq(
+            spec.to_query("temporal", 900, workload.t_max, 20),
+            exclude_ids=(spec.traj_id,),
+        )
+        for spec in specs
+    ] * multiplier
+    spq_tasks = [(r.to_spq(), r.exclude_ids) for r in requests]
+
+    cache = SubQueryCache()
+    config = EngineConfig(partitioner="pi_Z")
+    engine = QueryEngine(
+        workload.index, workload.network, config, cache=cache
+    )
+    db = open_db(
+        workload.index, network=workload.network, cache=cache, config=config
+    )
+
+    def run_direct():
+        return [
+            engine._run_trip(query, exclude_ids=excluded)
+            for query, excluded in spq_tasks
+        ]
+
+    def run_api():
+        return db.query_many(requests)
+
+    direct_results = run_direct()  # warms the shared cache
+    api_results = run_api()
+    assert all(
+        a.histogram == d.histogram and a.estimated_mean == d.estimated_mean
+        for a, d in zip(api_results, direct_results)
+    ), "typed API diverged from the direct engine path"
+
+    # Interleave the timed rounds so clock-frequency drift or a stray
+    # background task penalises both paths equally; best-of compares the
+    # least-disturbed round of each.
+    direct_times, api_times = [], []
+    for _ in range(rounds):
+        direct_times.append(_timed(run_direct))
+        api_times.append(_timed(run_api))
+    best_direct = min(direct_times)
+    best_api = min(api_times)
+    direct_qps = len(requests) / best_direct
+    api_qps = len(requests) / best_api
+    print(
+        f"\nwarm-cache QPS: direct {direct_qps:.0f}, typed API "
+        f"{api_qps:.0f} ({api_qps / direct_qps:.1%} of direct; "
+        f"bar {threshold:.0%})"
+    )
+    assert api_qps >= threshold * direct_qps, (
+        f"typed-API warm QPS {api_qps:.0f} fell below {threshold:.0%} of "
+        f"the direct-engine path {direct_qps:.0f} — request-object "
+        "overhead has entered the hot loop"
+    )
+
+
+def _timed(fn) -> float:
+    started = time.perf_counter()
+    fn()
+    return time.perf_counter() - started

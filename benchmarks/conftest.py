@@ -86,19 +86,20 @@ def bench_one_query(
     Every figure test runs under ``--benchmark-only``, so each carries a
     micro-benchmark of the configuration it reports on.
     """
-    from repro import QueryEngine
+    from repro import EngineConfig, TripRequest, open_db
 
-    engine = QueryEngine(
+    db = open_db(
         workload.index,
-        workload.network,
-        partitioner=partitioner,
-        splitter=splitter,
+        network=workload.network,
+        cache=None,
+        config=EngineConfig(partitioner=partitioner, splitter=splitter),
     )
     spec = max(workload.queries, key=lambda s: len(s.path))
-    query = spec.to_query(query_type, 900, workload.t_max, beta)
-
-    result = benchmark(
-        lambda: engine.trip_query(query, exclude_ids=(spec.traj_id,))
+    request = TripRequest.from_spq(
+        spec.to_query(query_type, 900, workload.t_max, beta),
+        exclude_ids=(spec.traj_id,),
     )
+
+    result = benchmark(lambda: db.query(request))
     assert result.histogram.total > 0
     return result

@@ -13,11 +13,12 @@ Run:  python examples/commute_analysis.py
 from collections import Counter
 
 from repro import (
+    EngineConfig,
     PeriodicInterval,
-    QueryEngine,
     SNTIndex,
-    StrictPathQuery,
+    TripRequest,
     generate_dataset,
+    open_db,
 )
 from repro.config import SECONDS_PER_DAY
 
@@ -45,8 +46,10 @@ def main() -> None:
         f"{km:.1f} km route of {len(path)} segments\n"
     )
 
-    everyone = QueryEngine(index, dataset.network, partitioner="pi_Z")
-    personal = QueryEngine(index, dataset.network, partitioner="pi_MDM")
+    everyone = open_db(index, network=dataset.network,
+                       config=EngineConfig(partitioner="pi_Z"))
+    personal = open_db(index, network=dataset.network,
+                       config=EngineConfig(partitioner="pi_MDM"))
 
     print("departure   everyone (median / p90)    personal (median / p90)")
     print("-" * 66)
@@ -55,12 +58,12 @@ def main() -> None:
         departure = day0 + minutes * 60
         interval = PeriodicInterval.around(departure, 900)
 
-        q_all = StrictPathQuery(path=path, interval=interval, beta=10)
-        q_personal = StrictPathQuery(
+        q_all = TripRequest(path=path, interval=interval, beta=10)
+        q_personal = TripRequest(
             path=path, interval=interval, user=user_id, beta=5
         )
-        h_all = everyone.trip_query(q_all).histogram
-        h_personal = personal.trip_query(q_personal).histogram
+        h_all = everyone.query(q_all).histogram
+        h_personal = personal.query(q_personal).histogram
 
         label = f"{minutes // 60:02d}:{minutes % 60:02d}"
         print(

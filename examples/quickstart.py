@@ -10,10 +10,10 @@ Run:  python examples/quickstart.py
 
 from repro import (
     PeriodicInterval,
-    QueryEngine,
     SNTIndex,
-    StrictPathQuery,
+    TripRequest,
     generate_dataset,
+    open_db,
 )
 
 
@@ -40,16 +40,17 @@ def main() -> None:
     # 3. Pick a real commute path and ask: how long does this take around
     #    this time of day?
     trip = max(dataset.trajectories, key=len)
-    query = StrictPathQuery(
+    request = TripRequest(
         path=trip.path,
         # 15-minute periodic window around the trip's departure time,
         # matched on every day in the dataset.
         interval=PeriodicInterval.around(trip.start_time, 900),
         beta=10,  # require at least 10 supporting trajectories
+        exclude_ids=(trip.traj_id,),  # keep the trip out of its own answer
     )
 
-    engine = QueryEngine(index, dataset.network, partitioner="pi_Z")
-    result = engine.trip_query(query, exclude_ids=(trip.traj_id,))
+    db = open_db(index, network=dataset.network)
+    result = db.query(request)
 
     # 4. The answer is a travel-time distribution, not a single number.
     histogram = result.histogram

@@ -16,11 +16,11 @@ Run:  python examples/risk_averse_routing.py
 
 from repro import (
     PeriodicInterval,
-    QueryEngine,
     SNTIndex,
-    StrictPathQuery,
+    TripRequest,
     alternative_paths,
     generate_dataset,
+    open_db,
 )
 
 
@@ -28,7 +28,7 @@ def main() -> None:
     dataset = generate_dataset("tiny", seed=0)
     network = dataset.network
     index = SNTIndex.build(dataset.trajectories, network.alphabet_size)
-    engine = QueryEngine(index, network, partitioner="pi_Z")
+    db = open_db(index, network=network)
 
     # Route from a home in the first town to a workplace in the last.
     synthetic = dataset.synthetic
@@ -41,12 +41,12 @@ def main() -> None:
     departure = 7 * 3600 + 45 * 60  # 07:45, rush hour
     candidates = []
     for i, route in enumerate(routes):
-        query = StrictPathQuery(
+        request = TripRequest(
             path=tuple(route),
             interval=PeriodicInterval.around(departure, 1800),
             beta=10,
         )
-        result = engine.trip_query(query)
+        result = db.query(request)
         histogram = result.histogram
         km = network.path_length_m(route) / 1000.0
         mean = result.estimated_mean

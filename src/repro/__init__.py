@@ -11,16 +11,15 @@ and SPQ cardinality estimation.
 Quickstart
 ----------
 >>> from repro import (
-...     generate_dataset, SNTIndex, QueryEngine, StrictPathQuery,
-...     PeriodicInterval,
+...     generate_dataset, SNTIndex, TripRequest, PeriodicInterval, open_db,
 ... )
 >>> dataset = generate_dataset("tiny", seed=0)
 >>> index = SNTIndex.build(
 ...     dataset.trajectories, dataset.network.alphabet_size
 ... )
->>> engine = QueryEngine(index, dataset.network)
+>>> db = open_db(index, network=dataset.network)
 >>> trip = dataset.trajectories[100]
->>> result = engine.trip_query(StrictPathQuery(
+>>> result = db.query(TripRequest(
 ...     path=trip.path,
 ...     interval=PeriodicInterval.around(trip.start_time, 900),
 ...     beta=20,
@@ -29,6 +28,13 @@ Quickstart
 True
 """
 
+from .api import (
+    EngineConfig,
+    EstimatorMode,
+    TravelTimeDB,
+    TripRequest,
+    open_db,
+)
 from .config import ExperimentScale, available_scales, get_scale
 from .core import (
     ESTIMATOR_MODES,
@@ -80,6 +86,12 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # typed query API (the unified serving surface)
+    "open_db",
+    "TravelTimeDB",
+    "TripRequest",
+    "EngineConfig",
+    "EstimatorMode",
     # configuration
     "ExperimentScale",
     "available_scales",

@@ -1,0 +1,26 @@
+"""Typed public query API (the unified serving surface).
+
+* :class:`TripRequest` / :class:`EstimatorMode` — one validated,
+  immutable query object with a stable JSON wire form;
+* :class:`EngineConfig` — frozen engine + serving configuration;
+* :class:`TravelTimeDB` / :func:`open_db` — the session facade that owns
+  the index reader, configuration, and shared cache, and answers
+  ``query``, ``query_many``, and order-preserving streaming batches.
+
+The legacy surfaces (``QueryEngine.trip_query``,
+``TravelTimeService.trip_query_many``) delegate here and emit
+``DeprecationWarning``; see README "API" for the deprecation policy.
+"""
+
+from .config import SPLITTER_NAMES, EngineConfig
+from .db import TravelTimeDB, open_db
+from .request import EstimatorMode, TripRequest
+
+__all__ = [
+    "EngineConfig",
+    "EstimatorMode",
+    "SPLITTER_NAMES",
+    "TravelTimeDB",
+    "TripRequest",
+    "open_db",
+]

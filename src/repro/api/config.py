@@ -1,0 +1,133 @@
+"""`EngineConfig`: one frozen, validated configuration object.
+
+Replaces the constructor-kwarg sprawl of
+:class:`repro.core.engine.QueryEngine` and
+:class:`repro.service.TravelTimeService`: everything that shapes *how*
+queries are answered (partitioner, splitter, ladder, bucket width,
+estimator default, relaxation limits, serving knobs) lives here, is
+validated once at construction, and is hashable/comparable — so two
+sessions configured the same way compare equal and a config can key an
+external cache tier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Optional, Tuple, Union
+
+from ..config import DEFAULT_BUCKET_WIDTH_S, DEFAULT_INTERVAL_LADDER_S
+from ..config import DEFAULT_USER_SELECTIVITY
+from ..core.partitioning import PARTITIONER_NAMES
+from ..errors import ConfigurationError
+from .request import EstimatorMode
+
+__all__ = ["EngineConfig", "SPLITTER_NAMES"]
+
+SPLITTER_NAMES: Tuple[str, ...] = ("regular", "longest_prefix")
+
+#: ``beta_policy`` signature: (sub-path, query beta) -> effective beta.
+BetaPolicy = Callable[[Tuple[int, ...], Optional[int]], Optional[int]]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Immutable engine + serving configuration.
+
+    Attributes
+    ----------
+    partitioner:
+        ``pi`` method name (``pi_1``..``pi_3``, ``pi_C``, ``pi_Z``,
+        ``pi_ZC``, ``pi_N``, ``pi_MDM``).
+    splitter:
+        ``"regular"`` (sigma_R) or ``"longest_prefix"`` (sigma_L).
+    ladder:
+        The interval-size list ``A`` in seconds, strictly ascending.
+    bucket_width_s:
+        Histogram bucket width ``h``.
+    estimator_mode:
+        Default cardinality-estimator mode for requests that don't set
+        one; ``None`` (or :attr:`EstimatorMode.NONE`) disables the
+        pre-check by default.
+    user_selectivity:
+        ``sel_u`` used when estimators are built from a mode.
+    max_relaxations:
+        Safety valve against pathological relaxation loops.
+    shift_and_enlarge:
+        Apply Dai et al.'s interval adaptation to later sub-queries.
+    beta_policy:
+        Optional per-sub-query cardinality policy.  Compared (and
+        hashed) by callable identity: policies change effective betas
+        and therefore answers, so two configs differing only here must
+        NOT compare equal — ROADMAP designates EngineConfig identity as
+        part of the external cache-tier key.
+    n_workers:
+        Default fan-out width for batch/stream execution.
+    cache_enabled:
+        Whether sessions build a shared cross-query
+        :class:`~repro.service.SubQueryCache`.
+    cache_entries:
+        Per-section LRU bound of that cache (``None`` = unbounded).
+
+    All validation failures raise :class:`ConfigurationError` (a
+    :class:`~repro.errors.QueryError`), never a bare ``ValueError``.
+    """
+
+    partitioner: str = "pi_Z"
+    splitter: str = "regular"
+    ladder: Tuple[int, ...] = tuple(DEFAULT_INTERVAL_LADDER_S)
+    bucket_width_s: float = DEFAULT_BUCKET_WIDTH_S
+    estimator_mode: Optional[EstimatorMode] = None
+    user_selectivity: float = DEFAULT_USER_SELECTIVITY
+    max_relaxations: int = 10_000
+    shift_and_enlarge: bool = True
+    beta_policy: Optional[BetaPolicy] = None
+    n_workers: int = 1
+    cache_enabled: bool = True
+    cache_entries: Optional[int] = 65_536
+
+    def __post_init__(self) -> None:
+        if self.partitioner not in PARTITIONER_NAMES:
+            raise ConfigurationError(
+                f"unknown partitioner {self.partitioner!r}; expected one of "
+                f"{PARTITIONER_NAMES}"
+            )
+        if self.splitter not in SPLITTER_NAMES:
+            raise ConfigurationError(
+                f"unknown splitter {self.splitter!r}; expected one of "
+                f"{SPLITTER_NAMES}"
+            )
+        try:
+            ladder = tuple(int(step) for step in self.ladder)
+        except (TypeError, ValueError) as error:
+            raise ConfigurationError(
+                f"ladder must be a sequence of seconds; got {self.ladder!r}"
+            ) from error
+        if not ladder:
+            raise ConfigurationError("ladder must not be empty")
+        if any(step <= 0 for step in ladder):
+            raise ConfigurationError("ladder steps must be positive")
+        if any(b <= a for a, b in zip(ladder, ladder[1:])):
+            raise ConfigurationError("ladder must be strictly ascending")
+        object.__setattr__(self, "ladder", ladder)
+        if not self.bucket_width_s > 0:
+            raise ConfigurationError("bucket_width_s must be positive")
+        object.__setattr__(self, "bucket_width_s", float(self.bucket_width_s))
+        try:
+            mode = EstimatorMode.coerce(self.estimator_mode)
+        except Exception as error:
+            raise ConfigurationError(str(error)) from error
+        object.__setattr__(self, "estimator_mode", mode)
+        if not 0 < self.user_selectivity <= 1:
+            raise ConfigurationError("user_selectivity must be in (0, 1]")
+        if self.max_relaxations < 1:
+            raise ConfigurationError("max_relaxations must be positive")
+        if self.n_workers < 1:
+            raise ConfigurationError("n_workers must be positive")
+        if self.cache_entries is not None and self.cache_entries < 1:
+            raise ConfigurationError(
+                "cache_entries must be positive or None (unbounded)"
+            )
+
+    def replace(self, **changes: Any) -> "EngineConfig":
+        """A copy with the given fields changed (re-validated)."""
+        return replace(self, **changes)

@@ -1,0 +1,322 @@
+"""The :class:`TravelTimeDB` session facade and :func:`open_db`.
+
+One entry point for every workload over one index::
+
+    import repro
+
+    db = repro.open_db("world/index", network="world/network.json")
+    result = db.query(repro.TripRequest(path=(1, 2, 3), interval=...))
+    for result in db.stream(requests):      # order-preserving, bounded
+        ...
+
+A session owns the index reader (monolithic :class:`~repro.SNTIndex` or
+sharded :class:`~repro.ShardedSNTIndex`, loaded transparently via
+``load_any_index`` when a path is given), the road network, one
+:class:`~repro.api.EngineConfig`, and the shared cross-query
+:class:`~repro.service.SubQueryCache`.  All three batch surfaces —
+:meth:`TravelTimeDB.query`, :meth:`~TravelTimeDB.query_many`, and the
+streaming generator :meth:`~TravelTimeDB.stream` — answer bit-identically
+to sequential Procedure 6; they differ only in scheduling.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from concurrent.futures import Executor, Future, ThreadPoolExecutor
+from os import PathLike
+from pathlib import Path
+from typing import (
+    Any,
+    Deque,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Union,
+    cast,
+)
+
+from ..core.engine import QueryEngine, TripQueryResult
+from ..errors import ConfigurationError, RequestValidationError
+from ..network.graph import RoadNetwork
+from ..network.io import load_network
+from ..service.cache import CacheStats, SubQueryCache
+from ..service.service import TravelTimeService, TripTask
+from ..sntindex.reader import IndexReader
+from ..sntindex.sharded import load_any_index
+from .config import EngineConfig
+from .request import TripRequest
+
+__all__ = ["TravelTimeDB", "open_db"]
+
+PathSource = Union[str, PathLike]
+
+
+def _as_task(request: TripRequest) -> TripTask:
+    return (request.to_spq(), request.exclude_ids, request.estimator)
+
+
+class TravelTimeDB:
+    """A query session over one travel-time index.
+
+    Build via :func:`open_db` (or directly from an in-memory reader).
+    The session is cheap to keep open: the index is immutable, the cache
+    is LRU-bounded, and every public method is safe to call from
+    multiple threads (the engine is stateless per call and the cache is
+    locked).
+
+    Usable as a context manager; closing clears the shared cache.
+    """
+
+    def __init__(
+        self,
+        index: IndexReader,
+        network: Optional[RoadNetwork],
+        config: Optional[EngineConfig] = None,
+        cache: Union[SubQueryCache, None, str] = "default",
+    ) -> None:
+        if network is None:
+            # Fail fast with the typed error surface: partitioners and
+            # the estimateTT fallback need the network, and a session
+            # without one would only crash (opaquely) on its first query.
+            raise ConfigurationError(
+                "a TravelTimeDB session requires the road network the "
+                "index was built over — pass network=RoadNetwork or a "
+                "path to its network.json"
+            )
+        self._config = config if config is not None else EngineConfig()
+        # A cache object the caller passed in may be shared with other
+        # sessions over the same index; only a session-built cache is
+        # cleared on close().
+        self._owns_cache = cache == "default"
+        self._service = TravelTimeService(
+            index,
+            cast(RoadNetwork, network),
+            cache=cache,
+            config=self._config,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def index(self) -> IndexReader:
+        return cast(IndexReader, self._service.index)
+
+    @property
+    def network(self) -> Optional[RoadNetwork]:
+        return cast(Optional[RoadNetwork], self._service.network)
+
+    @property
+    def config(self) -> EngineConfig:
+        return self._config
+
+    @property
+    def engine(self) -> QueryEngine:
+        """The underlying engine (advanced use; prefer the db methods)."""
+        return cast(QueryEngine, self._service.engine)
+
+    def cache_stats(self) -> Optional[CacheStats]:
+        """Shared-cache statistics, or ``None`` when caching is off."""
+        return cast(
+            Optional[CacheStats], self._service.cache_stats()
+        )
+
+    def clear_cache(self) -> None:
+        self._service.clear_cache()
+
+    def __enter__(self) -> "TravelTimeDB":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Release session resources.
+
+        Clears the session's own cache; a caller-provided (possibly
+        shared) :class:`SubQueryCache` is left untouched — other
+        sessions may still be serving warm hits from it.  Use
+        :meth:`clear_cache` to empty it explicitly.
+        """
+        if self._owns_cache:
+            self.clear_cache()
+
+    def __repr__(self) -> str:
+        return (
+            f"TravelTimeDB(index={type(self.index).__name__}, "
+            f"partitioner={self._config.partitioner!r}, "
+            f"n_workers={self._config.n_workers})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def query(self, request: TripRequest) -> TripQueryResult:
+        """Answer one :class:`TripRequest` through the shared cache."""
+        # engine.query guards the request type itself.
+        return cast(
+            TripQueryResult, self.engine.query(request)
+        )
+
+    def query_many(
+        self,
+        requests: Sequence[TripRequest],
+        n_workers: Optional[int] = None,
+        use_processes: bool = False,
+    ) -> List[TripQueryResult]:
+        """Answer a batch of independent requests.
+
+        Results come back in submission order regardless of worker count
+        or execution mode.  ``use_processes`` fans out over forked
+        worker processes (Linux/macOS; see
+        :meth:`repro.service.TravelTimeService.trip_query_many` for the
+        quiescing contract).
+        """
+        requests = list(requests)
+        for request in requests:
+            self._check_request(request)
+        results = cast(
+            List[TripQueryResult],
+            self._service._run_batch(
+                [_as_task(r) for r in requests],
+                n_workers=n_workers,
+                use_processes=use_processes,
+            ),
+        )
+        for request, result in zip(requests, results):
+            result.request = request
+        return results
+
+    def stream(
+        self,
+        requests: Iterable[TripRequest],
+        n_workers: Optional[int] = None,
+        window: Optional[int] = None,
+    ) -> Iterator[TripQueryResult]:
+        """Answer a request stream, yielding results in request order.
+
+        An order-preserving generator over an *iterable* of requests:
+        at most ``window`` requests (default ``4 x n_workers``) are
+        in flight at once, so a million-request batch is answered with
+        bounded memory — results are yielded as the worker fan-out
+        completes them, never materialised as a list, and the input
+        iterable is consumed lazily as capacity frees up.
+
+        With ``n_workers=1`` execution stays on the calling thread
+        (fully lazy: one request is answered per ``next()``).
+        """
+        workers = self._config.n_workers if n_workers is None else n_workers
+        if workers < 1:
+            raise ConfigurationError("n_workers must be positive")
+        if window is None:
+            window = workers * 4
+        if window < 1:
+            raise ConfigurationError("window must be positive")
+        if workers == 1:
+            return (
+                self.query(request) for request in requests
+            )
+        return self._stream_fanout(requests, workers, window)
+
+    def _stream_fanout(
+        self,
+        requests: Iterable[TripRequest],
+        workers: int,
+        window: int,
+    ) -> Iterator[TripQueryResult]:
+        def answer(request: TripRequest) -> TripQueryResult:
+            # self.query validates and attaches the request back-ref;
+            # the engine-bound shared cache serves all workers.
+            return self.query(request)
+
+        iterator = iter(requests)
+        pool: Executor = ThreadPoolExecutor(max_workers=workers)
+        try:
+            pending: Deque["Future[TripQueryResult]"] = deque()
+            for request in iterator:
+                pending.append(pool.submit(answer, request))
+                if len(pending) >= window:
+                    break
+            while pending:
+                result = pending.popleft().result()
+                # Refill before yielding so the pool stays saturated
+                # while the consumer processes this result.
+                for request in iterator:
+                    pending.append(pool.submit(answer, request))
+                    break
+                yield result
+        finally:
+            # On early generator close, drop unconsumed work quickly.
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def _check_request(self, request: TripRequest) -> None:
+        if not isinstance(request, TripRequest):
+            # A malformed *request* is client input, not a session
+            # misconfiguration — keep the documented error taxonomy
+            # (RequestValidationError -> e.g. HTTP 400 at a front end).
+            raise RequestValidationError(
+                "expected a TripRequest; got "
+                f"{type(request).__name__} — legacy StrictPathQuery "
+                "callers should use TripRequest.from_spq(...) or the "
+                "deprecated TravelTimeService methods"
+            )
+
+
+def open_db(
+    path_or_index: Union[PathSource, IndexReader],
+    network: Union[RoadNetwork, PathSource, None] = None,
+    config: Optional[EngineConfig] = None,
+    cache: Union[SubQueryCache, None, str] = "default",
+) -> TravelTimeDB:
+    """Open a travel-time query session — the one public entry point.
+
+    Parameters
+    ----------
+    path_or_index:
+        A saved index directory (monolithic ``meta.json`` layout or
+        sharded ``manifest.json`` layout, auto-detected) or an in-memory
+        :class:`IndexReader`.
+    network:
+        The road network the index was built over — a
+        :class:`RoadNetwork` or a path to its ``network.json``.  When a
+        network is given and the index is loaded from disk, the
+        manifest's alphabet size is validated *before* any FM partition
+        is unpickled.
+    config:
+        An :class:`EngineConfig`; ``None`` uses defaults.
+    cache:
+        As for :class:`repro.service.TravelTimeService`: ``"default"``
+        builds a bounded shared cache per ``config``, ``None`` disables
+        cross-query caching, or pass a :class:`SubQueryCache`.
+    """
+    if network is None:
+        # Fail before load_any_index touches disk: unpickling a large
+        # sharded index only to reject the session would waste minutes.
+        raise ConfigurationError(
+            "open_db requires the road network the index was built over "
+            "— pass network=RoadNetwork or a path to its network.json"
+        )
+    loaded_network: RoadNetwork
+    if isinstance(network, RoadNetwork):
+        loaded_network = network
+    else:
+        loaded_network = cast(RoadNetwork, load_network(Path(network)))
+
+    index: IndexReader
+    if isinstance(path_or_index, (str, PathLike)):
+        index = cast(
+            IndexReader,
+            load_any_index(
+                Path(path_or_index),
+                expected_alphabet_size=getattr(
+                    loaded_network, "alphabet_size", None
+                ),
+            ),
+        )
+    else:
+        index = path_or_index
+    return TravelTimeDB(index, loaded_network, config=config, cache=cache)

@@ -40,11 +40,11 @@ import time
 from pathlib import Path
 from typing import List, Optional
 
-from .core.engine import QueryEngine
+from . import __version__
+from .api import EngineConfig, EstimatorMode, TripRequest, open_db
 from .core.intervals import FixedInterval, PeriodicInterval
 from .errors import ReproError
 from .core.partitioning import PARTITIONER_NAMES
-from .core.spq import StrictPathQuery
 from .network.generator import generate_network
 from .network.io import (
     load_network,
@@ -52,7 +52,6 @@ from .network.io import (
     save_network,
     save_trajectories,
 )
-from .service import SubQueryCache, TravelTimeService
 from .sntindex.index import SNTIndex
 from .sntindex.sharded import ShardedSNTIndex, load_any_index, read_any_meta
 from .trajectories.generator import generate_dataset
@@ -70,6 +69,11 @@ def build_parser() -> argparse.ArgumentParser:
             "Travel-time histogram retrieval over trajectory data "
             "(EDBT 2019 reproduction)"
         ),
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {__version__}",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -110,6 +114,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument(
         "--splitter", default="regular", choices=("regular", "longest_prefix")
+    )
+    query.add_argument(
+        "--estimator",
+        default=None,
+        choices=tuple(mode.value for mode in EstimatorMode),
+        help="cardinality-estimator mode (default: no pre-check)",
     )
 
     index = commands.add_parser(
@@ -181,6 +191,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument(
         "--splitter", default="regular", choices=("regular", "longest_prefix")
+    )
+    batch.add_argument(
+        "--estimator",
+        default=None,
+        choices=tuple(mode.value for mode in EstimatorMode),
+        help="cardinality-estimator mode (default: no pre-check)",
+    )
+    batch.add_argument(
+        "--stream",
+        action="store_true",
+        help="stream results as they complete (order-preserving; the "
+        "batch is never materialised as a list)",
     )
     return parser
 
@@ -350,15 +372,20 @@ def _cmd_query(args) -> int:
     path = _parse_path(args.path, network)
     interval = _interval_for(args.tod, args.window_min, index.t_max)
 
-    engine = QueryEngine(
+    db = open_db(
         index,
-        network,
-        partitioner=args.partitioner,
-        splitter=args.splitter,
+        network=network,
+        config=EngineConfig(
+            partitioner=args.partitioner, splitter=args.splitter
+        ),
     )
-    result = engine.trip_query(
-        StrictPathQuery(
-            path=path, interval=interval, user=args.user, beta=args.beta
+    result = db.query(
+        TripRequest(
+            path=path,
+            interval=interval,
+            user=args.user,
+            beta=args.beta,
+            estimator=args.estimator,
         )
     )
     histogram = result.histogram
@@ -409,6 +436,21 @@ def _read_batch_specs(args) -> List[tuple]:
     return specs
 
 
+def _result_line(path_text: str, result) -> str:
+    histogram = result.histogram
+    summary = (
+        f"median {histogram.quantile(0.5):7.1f}s  "
+        f"p90 {histogram.quantile(0.9):7.1f}s"
+        if not histogram.is_empty()
+        else "empty histogram"
+    )
+    return (
+        f"{path_text:24s} mean {result.estimated_mean:7.1f}s  {summary}  "
+        f"({len(result.outcomes)} sub-queries, "
+        f"{result.n_index_scans} scans, {result.n_cache_hits} hits)"
+    )
+
+
 def _cmd_batch(args) -> int:
     if args.workers < 1:
         raise SystemExit("--workers must be positive")
@@ -418,48 +460,56 @@ def _cmd_batch(args) -> int:
     index = _obtain_index(args, network)
     specs = _read_batch_specs(args)
 
-    queries = [
-        StrictPathQuery(
+    requests = [
+        TripRequest(
             path=_parse_path(path_text, network),
             interval=_interval_for(tod, args.window_min, index.t_max),
             beta=args.beta,
+            estimator=args.estimator,
         )
         for path_text, tod in specs
     ]
 
-    service = TravelTimeService(
+    db = open_db(
         index,
-        network,
-        cache=None if args.no_cache else SubQueryCache(),
-        n_workers=args.workers,
-        partitioner=args.partitioner,
-        splitter=args.splitter,
+        network=network,
+        cache=None if args.no_cache else "default",
+        config=EngineConfig(
+            partitioner=args.partitioner,
+            splitter=args.splitter,
+            n_workers=args.workers,
+        ),
     )
     started = time.perf_counter()
-    for _ in range(args.repeat):
-        results = service.trip_query_many(queries)
-    elapsed = time.perf_counter() - started
-
-    for (path_text, _), result in zip(specs, results):
-        histogram = result.histogram
-        summary = (
-            f"median {histogram.quantile(0.5):7.1f}s  "
-            f"p90 {histogram.quantile(0.9):7.1f}s"
-            if not histogram.is_empty()
-            else "empty histogram"
-        )
-        print(
-            f"{path_text:24s} mean {result.estimated_mean:7.1f}s  {summary}  "
-            f"({len(result.outcomes)} sub-queries, "
-            f"{result.n_index_scans} scans, {result.n_cache_hits} hits)"
-        )
-    n_answered = len(queries) * args.repeat
+    if args.stream:
+        # Order-preserving streaming: each answer prints as the fan-out
+        # completes it; the warm-up repeats run first so the printed
+        # (final) pass reflects the warmed cache like the batched path.
+        for _ in range(args.repeat - 1):
+            for _result in db.stream(requests):
+                pass
+        elapsed = 0.0
+        for (path_text, _), result in zip(specs, db.stream(requests)):
+            # Stamp elapsed at each arrival so the final print is
+            # outside the window.  Earlier prints necessarily interleave
+            # with in-flight workers — that consumer I/O is part of what
+            # streaming measures, so q/s here can trail the batched mode
+            # on a slow terminal.
+            elapsed = time.perf_counter() - started
+            print(_result_line(path_text, result))
+    else:
+        for _ in range(args.repeat):
+            results = db.query_many(requests)
+        elapsed = time.perf_counter() - started
+        for (path_text, _), result in zip(specs, results):
+            print(_result_line(path_text, result))
+    n_answered = len(requests) * args.repeat
     qps = n_answered / elapsed if elapsed > 0 else 0.0
     print(
         f"answered {n_answered} queries in {elapsed * 1000:.1f} ms "
         f"({qps:.0f} q/s, workers={args.workers})"
     )
-    stats = service.cache_stats()
+    stats = db.cache_stats()
     if stats is not None:
         print(f"cache: {stats.summary()}")
     shard_stats = getattr(index, "shard_stats", None)
@@ -474,8 +524,30 @@ def _cmd_batch(args) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+    """CLI entry point; returns the process exit code.
+
+    Exit codes (the documented CLI contract):
+
+    * ``0`` — success;
+    * ``1`` — any :class:`~repro.errors.ReproError` (bad saved index,
+      malformed request, ...): exactly one ``error: ...`` line on stderr;
+    * ``2`` — usage errors (argparse), including ``python -m repro``
+      with no arguments, which prints the usage text.
+    """
+    parser = build_parser()
+    if argv is None:
+        argv = sys.argv[1:]
+    if not argv:
+        # argparse would reject this too, but with a bare "arguments
+        # required" message; the documented contract is usage + exit 2.
+        parser.print_usage(sys.stderr)
+        print(
+            "repro: error: a command is required "
+            "(try 'repro --help')",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    args = parser.parse_args(argv)
     handlers = {
         "generate": _cmd_generate,
         "info": _cmd_info,
@@ -487,8 +559,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return handlers[args.command](args)
     except ReproError as error:
         # Library errors (bad saved index, malformed queries, ...) are
-        # user input problems, not crashes: one line, exit 1.
-        print(f"error: {error}", file=sys.stderr)
+        # user input problems, not crashes: exactly one line, exit 1 —
+        # for every ReproError subclass, multi-line payloads collapsed.
+        message = " ".join(str(error).split()) or type(error).__name__
+        print(f"error: {message}", file=sys.stderr)
         return 1
     except BrokenPipeError:
         # Downstream pager/head closed the pipe; standard CLI etiquette.

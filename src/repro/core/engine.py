@@ -18,14 +18,14 @@ Pipeline per query (Figure 2):
 from __future__ import annotations
 
 import time
+import warnings
 from collections import deque
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..config import DEFAULT_BUCKET_WIDTH_S, DEFAULT_INTERVAL_LADDER_S
-from ..errors import QueryError
+from ..errors import QueryError, RequestValidationError
 from ..histogram.histogram import Histogram
 from ..network.graph import RoadNetwork
 from ..sntindex.reader import IndexReader
@@ -35,12 +35,45 @@ from .partitioning import get_partitioner
 from .splitting import longest_prefix_splitter, modify_subquery, regular_split
 from .spq import StrictPathQuery
 
+if TYPE_CHECKING:  # the api layer sits above core; runtime imports are lazy
+    from ..api.config import EngineConfig
+    from ..api.request import TripRequest
+
 __all__ = [
     "SubQueryOutcome",
     "TripQueryResult",
     "QueryEngine",
     "PerTripCache",
 ]
+
+#: Constructor kwargs of the pre-EngineConfig ``QueryEngine`` signature,
+#: still accepted through the deprecation shim.
+_LEGACY_ENGINE_KWARGS = frozenset(
+    {
+        "partitioner",
+        "splitter",
+        "ladder",
+        "bucket_width_s",
+        "max_relaxations",
+        "shift_and_enlarge",
+        "beta_policy",
+    }
+)
+
+#: Sentinel distinguishing "use the engine default estimator" from an
+#: explicit ``None`` ("no estimator for this trip").
+_DEFAULT_ESTIMATOR = object()
+
+
+def _legacy_config(kwargs: Dict[str, Any]) -> "EngineConfig":
+    """Build an :class:`EngineConfig` from pre-redesign constructor kwargs.
+
+    Imported lazily: ``repro.api`` is the layer above core, so core only
+    touches it when a caller uses the deprecated signature.
+    """
+    from ..api.config import EngineConfig
+
+    return EngineConfig(**kwargs)
 
 
 class PerTripCache:
@@ -115,11 +148,94 @@ class TripQueryResult:
     #: same key simultaneously may each scan it once (answers are still
     #: identical; the sum can only over-count scans, never miss work).
     n_cache_hits: int = 0
+    #: The :class:`repro.api.TripRequest` this result answers, when the
+    #: query entered through the typed API (``None`` on legacy paths).
+    request: Optional["TripRequest"] = None
 
     @property
     def estimated_mean(self) -> float:
         """Sum of sub-query means — the paper's point estimate."""
         return float(sum(o.mean for o in self.outcomes))
+
+    # ------------------------------------------------------------------ #
+    # Wire form (external cache / HTTP tier contract)
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible wire form, inverse of :meth:`from_dict`.
+
+        Carries everything a remote consumer (or an external cache tier)
+        needs to reconstruct the answer: the convolved histogram, the
+        per-sub-query outcomes (query, raw travel times, histogram), the
+        accounting counters, and the originating request's wire form.
+        """
+
+        def histogram_payload(histogram: Histogram) -> Dict[str, Any]:
+            return {
+                "bucket_width": histogram.bucket_width,
+                "offset": histogram.offset,
+                "counts": [float(c) for c in histogram.counts],
+            }
+
+        def outcome_payload(outcome: SubQueryOutcome) -> Dict[str, Any]:
+            from ..api.request import _interval_to_dict
+
+            return {
+                "path": list(outcome.query.path),
+                "interval": _interval_to_dict(outcome.query.interval),
+                "user": outcome.query.user,
+                "beta": outcome.query.beta,
+                "shift_applied": outcome.query.shift_applied,
+                "values": [float(v) for v in outcome.values],
+                "histogram": histogram_payload(outcome.histogram),
+                "from_fallback": outcome.from_fallback,
+            }
+
+        return {
+            "histogram": histogram_payload(self.histogram),
+            "outcomes": [outcome_payload(o) for o in self.outcomes],
+            "n_index_scans": self.n_index_scans,
+            "n_estimator_skips": self.n_estimator_skips,
+            "elapsed_s": self.elapsed_s,
+            "n_cache_hits": self.n_cache_hits,
+            "request": self.request.to_dict() if self.request else None,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "TripQueryResult":
+        """Reconstruct a result from its wire form."""
+        from ..api.request import TripRequest, _interval_from_dict
+
+        def histogram_from(p: Dict[str, Any]) -> Histogram:
+            return Histogram(p["bucket_width"], p["offset"], p["counts"])
+
+        outcomes = [
+            SubQueryOutcome(
+                query=StrictPathQuery(
+                    path=tuple(o["path"]),
+                    interval=_interval_from_dict(o["interval"]),
+                    user=o.get("user"),
+                    beta=o.get("beta"),
+                    shift_applied=bool(o.get("shift_applied", False)),
+                ),
+                values=np.asarray(o["values"], dtype=np.float64),
+                histogram=histogram_from(o["histogram"]),
+                from_fallback=bool(o["from_fallback"]),
+            )
+            for o in payload["outcomes"]
+        ]
+        request = payload.get("request")
+        return cls(
+            histogram=histogram_from(payload["histogram"]),
+            outcomes=outcomes,
+            n_index_scans=int(payload["n_index_scans"]),
+            n_estimator_skips=int(payload["n_estimator_skips"]),
+            elapsed_s=float(payload["elapsed_s"]),
+            n_cache_hits=int(payload.get("n_cache_hits", 0)),
+            request=(
+                TripRequest.from_dict(request) if request is not None else None
+            ),
+        )
 
     @property
     def final_subpaths(self) -> List[Tuple[int, ...]]:
@@ -145,15 +261,11 @@ class QueryEngine:
         self,
         index: IndexReader,
         network: RoadNetwork,
-        partitioner: str = "pi_Z",
-        splitter: str = "regular",
-        ladder: Sequence[int] = DEFAULT_INTERVAL_LADDER_S,
-        bucket_width_s: float = DEFAULT_BUCKET_WIDTH_S,
+        config: Optional["EngineConfig"] = None,
+        *,
         estimator: Optional[CardinalityEstimator] = None,
-        max_relaxations: int = 10_000,
-        shift_and_enlarge: bool = True,
-        beta_policy=None,
         cache=None,
+        **legacy_kwargs,
     ):
         """
         Parameters
@@ -161,36 +273,59 @@ class QueryEngine:
         index, network:
             The index reader (monolithic or sharded SNT-index) and its
             road network.
-        partitioner:
-            ``pi`` method name (``pi_1``..``pi_3``, ``pi_C``, ``pi_Z``,
-            ``pi_ZC``, ``pi_N``, ``pi_MDM``).
-        splitter:
-            ``"regular"`` (sigma_R) or ``"longest_prefix"`` (sigma_L).
-        ladder:
-            The interval-size list ``A`` in seconds (ascending).
-        bucket_width_s:
-            Histogram bucket width ``h``.
+        config:
+            An :class:`repro.api.EngineConfig`; ``None`` uses defaults.
         estimator:
-            Optional :class:`CardinalityEstimator`; ``None`` disables the
-            pre-check (every sub-query goes straight to the index).
-        max_relaxations:
-            Safety valve against pathological relaxation loops.
-        shift_and_enlarge:
-            Apply Dai et al.'s interval adaptation to later sub-queries
-            (Procedure 6 line 4).  Disable for the ablation study.
-        beta_policy:
-            Optional per-sub-query cardinality policy (paper Section 7
-            future work; see :mod:`repro.core.policies`).  Applied to the
-            initial partitioning.
+            Optional :class:`CardinalityEstimator` instance used as the
+            engine default.  When omitted and ``config.estimator_mode``
+            is set, one is built from the mode.  A request's own
+            ``estimator`` mode always overrides the engine default.
         cache:
             Optional sub-query cache shared across trips (e.g.
             :class:`repro.service.SubQueryCache`).  ``None`` keeps the
             historical behaviour: a fresh :class:`PerTripCache` per
-            ``trip_query`` call.  A shared cache must be thread-safe when
-            the engine is used from multiple threads.
+            trip.  A shared cache must be thread-safe when the engine is
+            used from multiple threads.
+        **legacy_kwargs:
+            The pre-redesign kwargs (``partitioner``, ``splitter``,
+            ``ladder``, ``bucket_width_s``, ``max_relaxations``,
+            ``shift_and_enlarge``, ``beta_policy``), still accepted but
+            deprecated — pass an :class:`EngineConfig` instead.
         """
-        if splitter not in ("regular", "longest_prefix"):
-            raise QueryError(f"unknown splitter {splitter!r}")
+        if isinstance(config, str):
+            # Pre-redesign third positional: QueryEngine(index, net, "pi_Z").
+            if "partitioner" in legacy_kwargs:
+                raise TypeError("partitioner given twice")
+            legacy_kwargs["partitioner"] = config
+            config = None
+        if legacy_kwargs:
+            unknown = set(legacy_kwargs) - _LEGACY_ENGINE_KWARGS
+            if unknown:
+                raise TypeError(
+                    f"QueryEngine() got unexpected keyword arguments "
+                    f"{sorted(unknown)!r}"
+                )
+            if config is not None:
+                raise TypeError(
+                    "pass either config=EngineConfig(...) or the legacy "
+                    "keyword arguments, not both"
+                )
+            warnings.warn(
+                "QueryEngine(partitioner=..., splitter=..., ...) keyword "
+                "arguments are deprecated; pass "
+                "config=repro.EngineConfig(...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = _legacy_config(legacy_kwargs)
+        elif config is None:
+            config = _legacy_config({})
+        if not hasattr(config, "partitioner"):
+            raise TypeError(
+                f"config must be an EngineConfig; got "
+                f"{type(config).__name__} — pass "
+                "config=repro.EngineConfig(...)"
+            )
         # A mismatched pair answers silently wrong: edges beyond the
         # index's alphabet get empty ISA ranges and fall through to the
         # other network's estimateTT fallback.
@@ -203,15 +338,24 @@ class QueryEngine:
             )
         self.index = index
         self.network = network
-        self.partitioner_name = partitioner
-        self._partition = get_partitioner(partitioner)
-        self.splitter_name = splitter
-        self.ladder = tuple(ladder)
-        self.bucket_width_s = float(bucket_width_s)
+        self.config = config
+        self.partitioner_name = config.partitioner
+        self._partition = get_partitioner(config.partitioner)
+        self.splitter_name = config.splitter
+        self.ladder = tuple(config.ladder)
+        self.bucket_width_s = float(config.bucket_width_s)
+        self._max_relaxations = config.max_relaxations
+        self.shift_and_enlarge = config.shift_and_enlarge
+        self.beta_policy = config.beta_policy
+        #: Estimators built per requested mode, shared across trips.  A
+        #: CardinalityEstimator is stateless after construction, so one
+        #: instance per mode serves concurrent threads; the dict itself
+        #: is only mutated under the GIL (worst case two threads build
+        #: the same mode once each — identical objects, last write wins).
+        self._estimators: Dict[str, CardinalityEstimator] = {}
+        if estimator is None and config.estimator_mode is not None:
+            estimator = self._resolve_estimator(config.estimator_mode)
         self.estimator = estimator
-        self._max_relaxations = max_relaxations
-        self.shift_and_enlarge = shift_and_enlarge
-        self.beta_policy = beta_policy
         self.cache = cache
         self._bind_cache(cache)
 
@@ -228,11 +372,100 @@ class QueryEngine:
     # Public API
     # ------------------------------------------------------------------ #
 
+    def query(
+        self, request: "TripRequest", cache=None
+    ) -> TripQueryResult:
+        """Answer one typed :class:`repro.api.TripRequest`.
+
+        The unified entry point (also what :class:`repro.api.TravelTimeDB`
+        calls): the request's estimator mode overrides the engine default,
+        and the result carries the request as a back-reference.
+        """
+        if not hasattr(request, "to_spq"):
+            # The exact migration mistake the deprecation message invites:
+            # passing a legacy StrictPathQuery here.  Keep it typed.
+            raise RequestValidationError(
+                f"QueryEngine.query expects a TripRequest; got "
+                f"{type(request).__name__} — wrap legacy queries with "
+                "TripRequest.from_spq(...)"
+            )
+        result = self._run_task(
+            request.to_spq(), request.exclude_ids, request.estimator,
+            cache=cache,
+        )
+        result.request = request
+        return result
+
     def trip_query(
         self,
         query: StrictPathQuery,
         exclude_ids: Sequence[int] = (),
         cache=None,
+    ) -> TripQueryResult:
+        """Deprecated: use :meth:`query` with a
+        :class:`repro.api.TripRequest` (or :func:`repro.open_db`).
+
+        Procedure 6 semantics are unchanged — this delegates to the same
+        internal runner the typed API uses.
+        """
+        warnings.warn(
+            "QueryEngine.trip_query(StrictPathQuery, ...) is deprecated; "
+            "use QueryEngine.query(TripRequest) or the repro.open_db() "
+            "session facade",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._run_trip(query, exclude_ids=exclude_ids, cache=cache)
+
+    def _resolve_estimator(
+        self, mode
+    ) -> Optional[CardinalityEstimator]:
+        """Map a per-request estimator mode to an estimator instance.
+
+        ``None`` inherits the engine default; the ``"none"`` mode
+        (``EstimatorMode.NONE``) explicitly disables the pre-check; any
+        other mode is built once and shared across trips.
+        """
+        if mode is None:
+            return self.estimator
+        value = str(getattr(mode, "value", mode))
+        if value == "none":
+            return None
+        built = self._estimators.get(value)
+        if built is None:
+            built = CardinalityEstimator(
+                self.index,
+                mode=value,
+                user_selectivity=self.config.user_selectivity,
+            )
+            self._estimators[value] = built
+        return built
+
+    def _run_task(
+        self,
+        query: StrictPathQuery,
+        exclude_ids: Sequence[int],
+        estimator_mode,
+        cache=None,
+    ) -> TripQueryResult:
+        """One batch item: spq + exclusions + per-request estimator mode.
+
+        The shared execution primitive behind the service fan-out and the
+        streaming API (thread and fork workers both land here).
+        """
+        return self._run_trip(
+            query,
+            exclude_ids=exclude_ids,
+            cache=cache,
+            estimator=self._resolve_estimator(estimator_mode),
+        )
+
+    def _run_trip(
+        self,
+        query: StrictPathQuery,
+        exclude_ids: Sequence[int] = (),
+        cache=None,
+        estimator=_DEFAULT_ESTIMATOR,
     ) -> TripQueryResult:
         """Procedure 6: partition, retrieve, relax, convolve.
 
@@ -241,8 +474,11 @@ class QueryEngine:
         single-trip semantics.  A shared cache returns bit-identical
         histograms — cached retrievals re-enter the procedure at the
         exact point the index scan would have, so only ``n_index_scans``
-        (and ``n_cache_hits``) differ.
+        (and ``n_cache_hits``) differ.  ``estimator`` overrides the
+        engine default for this trip (``None`` disables the pre-check).
         """
+        if estimator is _DEFAULT_ESTIMATOR:
+            estimator = self.estimator
         started = time.perf_counter()
         split_fn = self._make_split_fn(exclude_ids)
         if cache is None:
@@ -304,9 +540,9 @@ class QueryEngine:
 
             # Cardinality estimator pre-check (Section 4.4).
             if (
-                self.estimator is not None
+                estimator is not None
                 and sub.beta is not None
-                and self.estimator.estimate(sub, isa_ranges=ranges) < sub.beta
+                and estimator.estimate(sub, isa_ranges=ranges) < sub.beta
             ):
                 n_skips += 1
                 relaxations += 1

@@ -53,6 +53,29 @@ class StrictPathQuery:
         if self.beta is not None and self.beta < 1:
             raise EmptyPathError("beta must be positive when given")
 
+    @classmethod
+    def _from_validated(
+        cls,
+        path: Tuple[int, ...],
+        interval: TimeInterval,
+        user: Optional[int],
+        beta: Optional[int],
+    ) -> "StrictPathQuery":
+        """Construct bypassing ``__post_init__`` canonicalisation.
+
+        Hot-path constructor for callers whose inputs are already
+        canonical — :class:`repro.api.TripRequest` validates path/beta
+        at request construction, and re-canonicalising every batch item
+        costs measurable warm-cache QPS (the bench guard's 5% budget).
+        """
+        query = object.__new__(cls)
+        object.__setattr__(query, "path", path)
+        object.__setattr__(query, "interval", interval)
+        object.__setattr__(query, "user", user)
+        object.__setattr__(query, "beta", beta)
+        object.__setattr__(query, "shift_applied", False)
+        return query
+
     @property
     def length(self) -> int:
         """``|P|``."""

@@ -18,7 +18,7 @@ class NetworkError(ReproError):
 class UnknownEdgeError(NetworkError):
     """Raised when an edge id is not part of the road network."""
 
-    def __init__(self, edge_id: int):
+    def __init__(self, edge_id: int) -> None:
         super().__init__(f"edge id {edge_id!r} is not part of the network")
         self.edge_id = edge_id
 
@@ -37,7 +37,7 @@ class IndexError_(ReproError):
 class UnknownTrajectoryError(IndexError_):
     """Raised when a trajectory id is outside the indexed id space."""
 
-    def __init__(self, traj_id: int):
+    def __init__(self, traj_id: int) -> None:
         super().__init__(f"unknown trajectory id {traj_id!r}")
         self.traj_id = traj_id
 
@@ -50,7 +50,7 @@ class MissingUserError(IndexError_):
     rather than unknown ids.
     """
 
-    def __init__(self, traj_id: int):
+    def __init__(self, traj_id: int) -> None:
         super().__init__(
             f"trajectory id {traj_id!r} has no indexed trajectory "
             "(gap in the user container)"
@@ -71,6 +71,22 @@ class ShardError(IndexError_):
 
 class QueryError(ReproError):
     """Raised for malformed strict path queries."""
+
+
+class RequestValidationError(QueryError):
+    """Raised when a :class:`repro.api.TripRequest` (or its wire form)
+    fails validation: empty path, malformed interval payload, unknown
+    estimator mode, or a non-positive cardinality requirement."""
+
+
+class ConfigurationError(QueryError, ValueError):
+    """Raised when an :class:`repro.api.EngineConfig` (or a session /
+    fan-out parameter such as ``n_workers``) is inconsistent.
+
+    Also a :class:`ValueError`: the pre-redesign surfaces raised bare
+    ``ValueError`` for these inputs, so existing ``except ValueError``
+    callers keep working while typed callers catch :class:`ReproError`.
+    """
 
 
 class EmptyPathError(QueryError):

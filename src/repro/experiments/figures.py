@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..api import EngineConfig, TripRequest
 from ..baselines.segment_level import SegmentLevelBaseline
 from ..baselines.speed_limit import SpeedLimitBaseline
 from ..config import DEFAULT_BUCKET_WIDTH_S, DEFAULT_INTERVAL_LADDER_S
@@ -104,10 +105,12 @@ def run_accuracy_config(
     engine = QueryEngine(
         workload.index,
         workload.network,
-        partitioner=partitioner,
-        splitter=splitter,
-        ladder=ladder,
-        bucket_width_s=bucket_width_s,
+        EngineConfig(
+            partitioner=partitioner,
+            splitter=splitter,
+            ladder=tuple(ladder),
+            bucket_width_s=bucket_width_s,
+        ),
         estimator=estimator,
     )
     queries = workload.queries[:max_queries] if max_queries else workload.queries
@@ -122,8 +125,9 @@ def run_accuracy_config(
     for spec in queries:
         query = spec.to_query(query_type, alpha_min_s, workload.t_max, beta)
         exclude = (spec.traj_id,) if exclude_self else ()
+        request = TripRequest.from_spq(query, exclude_ids=exclude)
         started = time.perf_counter()
-        result = engine.trip_query(query, exclude_ids=exclude)
+        result = engine.query(request)
         elapsed += time.perf_counter() - started
 
         estimates.append(result.estimated_mean)

@@ -19,8 +19,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..core.engine import QueryEngine
-from ..service import SubQueryCache, TravelTimeService
+from ..api import EngineConfig, TravelTimeDB, TripRequest, open_db
 from .workload import Workload
 
 __all__ = [
@@ -53,36 +52,37 @@ def measure_throughput(
 ) -> List[ThroughputResult]:
     """Run the same query batch under different worker-pool sizes.
 
-    Execution goes through :meth:`TravelTimeService.trip_query_many`
-    (uncached, so every run measures real index work); the service owns
+    Execution goes through :meth:`repro.api.TravelTimeDB.query_many`
+    (uncached, so every run measures real index work); the session owns
     the thread-pool fan-out over the shared immutable index.
     """
     if any(w < 1 for w in worker_counts):
         raise ValueError("worker counts must be positive")
     specs = workload.queries[:n_queries]
-    queries = [
-        spec.to_query("temporal", 900, workload.t_max, beta) for spec in specs
+    requests = [
+        TripRequest.from_spq(
+            spec.to_query("temporal", 900, workload.t_max, beta),
+            exclude_ids=(spec.traj_id,),
+        )
+        for spec in specs
     ]
-    exclude_ids = [(spec.traj_id,) for spec in specs]
 
     results = []
     for n_workers in worker_counts:
-        service = TravelTimeService(
+        db = open_db(
             workload.index,
-            workload.network,
+            network=workload.network,
             cache=None,
-            partitioner=partitioner,
+            config=EngineConfig(partitioner=partitioner),
         )
         started = time.perf_counter()
-        answered = service.trip_query_many(
-            queries, exclude_ids=exclude_ids, n_workers=n_workers
-        )
+        answered = db.query_many(requests, n_workers=n_workers)
         elapsed = time.perf_counter() - started
-        assert len(answered) == len(queries)
+        assert len(answered) == len(requests)
         results.append(
             ThroughputResult(
                 n_workers=n_workers,
-                n_queries=len(queries),
+                n_queries=len(requests),
                 elapsed_s=elapsed,
             )
         )
@@ -125,12 +125,13 @@ def measure_batch_service(
     shared cache is built for (commuters re-asking the same trips).
     Modes:
 
-    * ``sequential`` — one ``QueryEngine.trip_query`` call per trip
-      (per-trip cache only), the paper's Procedure 6 baseline;
-    * ``batched`` — ``trip_query_many`` with ``n_workers`` threads, no
+    * ``sequential`` — one ``db.query`` call per trip (per-trip cache
+      only), the paper's Procedure 6 baseline;
+    * ``batched`` — ``db.query_many`` with ``n_workers`` threads, no
       shared cache (pure fan-out);
-    * ``cached-cold`` — ``trip_query_many`` on one thread with an empty
-      shared :class:`SubQueryCache` (repeats hit within the pass);
+    * ``cached-cold`` — ``db.query_many`` on one thread with an empty
+      shared :class:`~repro.service.SubQueryCache` (repeats hit within
+      the pass);
     * ``cached-warm`` — the same batch again on the warm cache.
 
     Returns the per-mode results plus a flag confirming all modes
@@ -144,11 +145,14 @@ def measure_batch_service(
     if repeat < 1 or n_queries < 1:
         raise ValueError("n_queries and repeat must be positive")
     specs = workload.queries[:n_queries]
-    base_queries = [
-        spec.to_query("temporal", 900, workload.t_max, beta) for spec in specs
+    base_requests = [
+        TripRequest.from_spq(
+            spec.to_query("temporal", 900, workload.t_max, beta),
+            exclude_ids=(spec.traj_id,),
+        )
+        for spec in specs
     ]
-    queries = base_queries * repeat
-    exclude_ids = [(spec.traj_id,) for spec in specs] * repeat
+    requests = base_requests * repeat
 
     def shard_snapshot():
         stats_fn = getattr(workload.index, "shard_stats", None)
@@ -190,41 +194,28 @@ def measure_batch_service(
             tally(mode, answers[mode], elapsed, before, shard_snapshot())
         )
 
-    engine = QueryEngine(
-        workload.index, workload.network, partitioner=partitioner
+    config = EngineConfig(partitioner=partitioner)
+    sequential_db = open_db(
+        workload.index, network=workload.network, cache=None, config=config
     )
     run_mode(
         "sequential",
-        lambda: [
-            engine.trip_query(query, exclude_ids=excluded)
-            for query, excluded in zip(queries, exclude_ids)
-        ],
+        lambda: [sequential_db.query(request) for request in requests],
     )
 
-    fanout = TravelTimeService(
-        workload.index, workload.network, cache=None, partitioner=partitioner
+    fanout: TravelTimeDB = open_db(
+        workload.index, network=workload.network, cache=None, config=config
     )
     run_mode(
         "batched",
-        lambda: fanout.trip_query_many(
-            queries, exclude_ids=exclude_ids, n_workers=n_workers
-        ),
+        lambda: fanout.query_many(requests, n_workers=n_workers),
     )
 
-    cached = TravelTimeService(
-        workload.index,
-        workload.network,
-        cache=SubQueryCache(),
-        partitioner=partitioner,
+    cached = open_db(
+        workload.index, network=workload.network, config=config
     )
-    run_mode(
-        "cached-cold",
-        lambda: cached.trip_query_many(queries, exclude_ids=exclude_ids),
-    )
-    run_mode(
-        "cached-warm",
-        lambda: cached.trip_query_many(queries, exclude_ids=exclude_ids),
-    )
+    run_mode("cached-cold", lambda: cached.query_many(requests))
+    run_mode("cached-warm", lambda: cached.query_many(requests))
 
     reference = answers["sequential"]
     identical = all(

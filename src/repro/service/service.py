@@ -2,8 +2,12 @@
 
 :class:`TravelTimeService` wraps one :class:`IndexReader` — the
 monolithic :class:`SNTIndex` or the time-sliced
-:class:`~repro.sntindex.ShardedSNTIndex` — plus a :class:`QueryEngine`
-configuration and answers *batches* of trip queries:
+:class:`~repro.sntindex.ShardedSNTIndex` — plus an
+:class:`~repro.api.EngineConfig` and executes *batches* of trip tasks.
+It is the batch executor behind the typed
+:class:`repro.api.TravelTimeDB` facade; the public
+``trip_query``/``trip_query_many`` methods are deprecation shims over
+the same internals (prefer ``repro.open_db``):
 
 * a cross-query :class:`SubQueryCache` shares FM-index backward searches,
   retrieval results, and histograms between trips (commuter workloads
@@ -34,19 +38,29 @@ across partitioners, splitters, and estimator configurations.
 
 from __future__ import annotations
 
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
-from typing import List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple, Union
 
-from ..core.engine import QueryEngine, TripQueryResult
+from ..core.engine import QueryEngine, TripQueryResult, _legacy_config
 from ..core.spq import StrictPathQuery
 from ..forkpool import fork_map
 from ..network.graph import RoadNetwork
 from ..sntindex.reader import IndexReader
 from ..sntindex.sharded import load_any_index
+from ..errors import ConfigurationError
 from .cache import CacheStats, SubQueryCache
 
+if TYPE_CHECKING:  # the api layer sits above the service; imports are lazy
+    from ..api.config import EngineConfig
+
 __all__ = ["TravelTimeService"]
+
+#: One batch item: (strict path query, excluded ids, estimator mode).
+#: The estimator mode is the per-request override (``None`` = engine
+#: default), threaded through thread and fork workers alike.
+TripTask = Tuple[StrictPathQuery, Tuple[int, ...], object]
 
 
 #: One fresh shared cache per forked worker process.  The parent's
@@ -61,9 +75,9 @@ _CHILD_CACHE: Optional[SubQueryCache] = None
 
 
 def _answer_forked(payload) -> TripQueryResult:
-    """Fork-side worker: answer one trip of an inherited batch."""
+    """Fork-side worker: answer one task of an inherited batch."""
     global _CHILD_CACHE
-    engine, query, excluded = payload
+    engine, (query, excluded, estimator_mode) = payload
     cache = None
     if engine.cache is not None:
         if _CHILD_CACHE is None:
@@ -72,7 +86,7 @@ def _answer_forked(payload) -> TripQueryResult:
     # cache=None with an uncached engine keeps the per-trip default;
     # passing the engine's own (inherited) shared cache is what must
     # never happen here.
-    return engine.trip_query(query, exclude_ids=excluded, cache=cache)
+    return engine._run_task(query, excluded, estimator_mode, cache=cache)
 
 
 class TravelTimeService:
@@ -84,19 +98,26 @@ class TravelTimeService:
         The index reader (monolithic or sharded) and its road network
         (as for ``QueryEngine``).
     cache:
-        ``"default"`` builds a bounded :class:`SubQueryCache`; ``None``
-        disables cross-query caching (every trip uses the engine's
-        per-trip cache); or pass a pre-configured :class:`SubQueryCache`
-        to control the LRU bounds or share one cache between services
+        ``"default"`` builds a bounded :class:`SubQueryCache` (sized by
+        ``config.cache_entries``, or disabled when
+        ``config.cache_enabled`` is false); ``None`` disables
+        cross-query caching (every trip uses the engine's per-trip
+        cache); or pass a pre-configured :class:`SubQueryCache` to
+        control the LRU bounds or share one cache between services
         *over the same index and network* — the cache binds permanently
         to the first (index, network) pair it serves and rejects any
         other.
     n_workers:
-        Default thread-pool width for :meth:`trip_query_many`.  ``1``
-        keeps execution on the calling thread.
+        Default fan-out width for batches.  ``None`` uses
+        ``config.n_workers``; ``1`` keeps execution on the calling
+        thread.
+    config:
+        An :class:`repro.api.EngineConfig`; ``None`` uses defaults.
+    estimator:
+        Optional engine-default :class:`CardinalityEstimator` instance.
     **engine_kwargs:
-        Forwarded to :class:`repro.core.engine.QueryEngine` (partitioner,
-        splitter, ladder, bucket_width_s, estimator, ...).
+        Deprecated pre-redesign engine kwargs (partitioner, splitter,
+        ladder, bucket_width_s, ...) — pass ``config`` instead.
     """
 
     def __init__(
@@ -104,21 +125,54 @@ class TravelTimeService:
         index: IndexReader,
         network: RoadNetwork,
         cache: Union[SubQueryCache, None, str] = "default",
-        n_workers: int = 1,
+        n_workers: Optional[int] = None,
+        config: Optional["EngineConfig"] = None,
+        *,
+        estimator=None,
         **engine_kwargs,
     ):
+        if engine_kwargs:
+            if config is not None:
+                raise TypeError(
+                    "pass either config=EngineConfig(...) or the legacy "
+                    "engine keyword arguments, not both"
+                )
+            warnings.warn(
+                "TravelTimeService(partitioner=..., ...) engine keyword "
+                "arguments are deprecated; pass "
+                "config=repro.EngineConfig(...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = _legacy_config(engine_kwargs)
+        if config is None:
+            config = _legacy_config({})
+        if n_workers is None:
+            n_workers = config.n_workers
         if n_workers < 1:
-            raise ValueError("n_workers must be positive")
+            # ConfigurationError is also a ValueError (legacy contract).
+            raise ConfigurationError("n_workers must be positive")
         if cache == "default":
-            cache = SubQueryCache()
+            cache = (
+                SubQueryCache(
+                    max_ranges=config.cache_entries,
+                    max_results=config.cache_entries,
+                    max_histograms=config.cache_entries,
+                )
+                if config.cache_enabled
+                else None
+            )
         elif isinstance(cache, str):
-            raise ValueError(
+            raise ConfigurationError(
                 f"cache must be a SubQueryCache, None, or 'default'; "
                 f"got {cache!r}"
             )
         self.cache: Optional[SubQueryCache] = cache
         self.n_workers = n_workers
-        self.engine = QueryEngine(index, network, cache=cache, **engine_kwargs)
+        self.config = config
+        self.engine = QueryEngine(
+            index, network, config, estimator=estimator, cache=cache
+        )
 
     @property
     def index(self) -> IndexReader:
@@ -157,8 +211,16 @@ class TravelTimeService:
         query: StrictPathQuery,
         exclude_ids: Sequence[int] = (),
     ) -> TripQueryResult:
-        """Answer one trip through the shared cache."""
-        return self.engine.trip_query(query, exclude_ids=exclude_ids)
+        """Deprecated: use :meth:`repro.api.TravelTimeDB.query` with a
+        :class:`~repro.api.TripRequest`.  Answers one trip through the
+        shared cache, unchanged."""
+        warnings.warn(
+            "TravelTimeService.trip_query is deprecated; use "
+            "repro.open_db(...).query(TripRequest(...))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.engine._run_task(query, tuple(exclude_ids), None)
 
     def trip_query_many(
         self,
@@ -209,6 +271,13 @@ class TravelTimeService:
         execution mode — the batch API is deterministic so callers can
         zip results back onto their requests.
         """
+        warnings.warn(
+            "TravelTimeService.trip_query_many is deprecated; use "
+            "repro.open_db(...).query_many([TripRequest(...), ...]) or "
+            ".stream(...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if exclude_ids is None:
             exclude_ids = [()] * len(queries)
         if len(exclude_ids) != len(queries):
@@ -216,53 +285,69 @@ class TravelTimeService:
                 f"got {len(queries)} queries but {len(exclude_ids)} "
                 "exclude_ids entries"
             )
+        tasks: List[TripTask] = [
+            (query, tuple(excluded), None)
+            for query, excluded in zip(queries, exclude_ids)
+        ]
+        return self._run_batch(
+            tasks, n_workers=n_workers, use_processes=use_processes
+        )
+
+    # ------------------------------------------------------------------ #
+    # Internal batch executor (shared with the typed API)
+    # ------------------------------------------------------------------ #
+
+    def _run_batch(
+        self,
+        tasks: Sequence[TripTask],
+        n_workers: Optional[int] = None,
+        use_processes: bool = False,
+    ) -> List[TripQueryResult]:
+        """Execute a batch of tasks with the configured fan-out.
+
+        Results come back in submission order regardless of worker count
+        or execution mode, so callers can zip them onto their requests.
+        """
         workers = self.n_workers if n_workers is None else n_workers
         if workers < 1:
-            raise ValueError("n_workers must be positive")
-        workers = min(workers, max(1, len(queries)))
+            raise ConfigurationError("n_workers must be positive")
+        workers = min(workers, max(1, len(tasks)))
 
         if use_processes and workers > 1:
-            return self._trip_query_many_forked(
-                queries, exclude_ids, workers
-            )
+            return self._run_batch_forked(tasks, workers)
 
-        def answer(position: int) -> TripQueryResult:
-            return self.engine.trip_query(
-                queries[position], exclude_ids=exclude_ids[position]
-            )
+        def answer(task: TripTask) -> TripQueryResult:
+            query, excluded, estimator_mode = task
+            return self.engine._run_task(query, excluded, estimator_mode)
 
         if workers == 1:
-            return [answer(i) for i in range(len(queries))]
-        # trip_query touches no engine state and the shared cache is
+            return [answer(task) for task in tasks]
+        # Task execution touches no engine state and the shared cache is
         # locked, so one engine serves every worker; map() preserves
         # submission order.
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(answer, range(len(queries))))
+            return list(pool.map(answer, tasks))
 
-    def _trip_query_many_forked(
+    def _run_batch_forked(
         self,
-        queries: Sequence[StrictPathQuery],
-        exclude_ids: Sequence[Sequence[int]],
+        tasks: Sequence[TripTask],
         workers: int,
     ) -> List[TripQueryResult]:
         """Process fan-out: fork workers that inherit the service state.
 
-        The engine, queries, and exclusions travel to the workers via
-        fork copy-on-write (locks and numpy payloads never cross a
-        pickle on the way in); ``TripQueryResult`` payloads come back.
-        No pickled fallback exists — the engine holds cache locks — so
-        on platforms without ``fork`` this raises ``RuntimeError``; use
-        thread fan-out there.
+        The engine and tasks travel to the workers via fork
+        copy-on-write (locks and numpy payloads never cross a pickle on
+        the way in); ``TripQueryResult`` payloads come back.  No pickled
+        fallback exists — the engine holds cache locks — so on platforms
+        without ``fork`` this raises ``RuntimeError``; use thread
+        fan-out there.
         """
-        payloads = [
-            (self.engine, query, excluded)
-            for query, excluded in zip(queries, exclude_ids)
-        ]
+        payloads = [(self.engine, task) for task in tasks]
         return fork_map(
             _answer_forked,
             payloads,
             workers,
-            chunksize=max(1, len(queries) // (workers * 4)),
+            chunksize=max(1, len(tasks) // (workers * 4)),
         )
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,453 @@
+"""Session facade tests: `open_db`, query/query_many/stream equivalence,
+result wire form, and the deprecation shims.
+
+The acceptance property (ISSUE 3): for random workloads,
+``db.query_many(reqs)``, ``list(db.stream(reqs))``, and the legacy
+``TravelTimeService.trip_query_many(...)`` produce bit-identical
+histograms / means / scan counts, and every request survives its wire
+form round trip.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import (
+    EngineConfig,
+    EstimatorMode,
+    SNTIndex,
+    StrictPathQuery,
+    TravelTimeDB,
+    TravelTimeService,
+    TripQueryResult,
+    TripRequest,
+    generate_dataset,
+    open_db,
+)
+from repro.core.intervals import FixedInterval, PeriodicInterval
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def world():
+    dataset = generate_dataset("tiny", seed=3)
+    index = SNTIndex.build(
+        dataset.trajectories, dataset.network.alphabet_size
+    )
+    return dataset, index
+
+
+def random_requests(dataset, index, seed, n=12, estimator=None):
+    """A random mixed workload: periodic + fixed intervals, user filters,
+    exclusions, varying beta."""
+    rng = np.random.default_rng(seed)
+    eligible = [t for t in dataset.trajectories if len(t) >= 4]
+    chosen = rng.choice(len(eligible), size=min(n, len(eligible)),
+                        replace=False)
+    requests = []
+    for position in chosen:
+        trip = eligible[int(position)]
+        length = int(rng.integers(2, min(len(trip), 8)))
+        if rng.random() < 0.5:
+            interval = PeriodicInterval.around(
+                trip.start_time, int(rng.choice((900, 1800)))
+            )
+        else:
+            interval = FixedInterval(0, index.t_max)
+        requests.append(
+            TripRequest(
+                path=trip.path[:length],
+                interval=interval,
+                user=trip.user_id if rng.random() < 0.3 else None,
+                exclude_ids=(trip.traj_id,) if rng.random() < 0.5 else (),
+                beta=int(rng.choice((5, 10, 20))) if rng.random() < 0.7
+                else None,
+                estimator=estimator,
+            )
+        )
+    return requests
+
+
+def assert_bit_identical(actual, expected):
+    assert len(actual) == len(expected)
+    for result, reference in zip(actual, expected):
+        assert result.histogram == reference.histogram
+        assert result.estimated_mean == reference.estimated_mean
+        assert result.n_index_scans == reference.n_index_scans
+        assert result.n_estimator_skips == reference.n_estimator_skips
+        assert len(result.outcomes) == len(reference.outcomes)
+        for out_actual, out_expected in zip(
+            result.outcomes, reference.outcomes
+        ):
+            assert np.array_equal(out_actual.values, out_expected.values)
+
+
+class TestOpenDb:
+    def test_from_reader_and_from_saved_path_agree(self, world, tmp_path):
+        dataset, index = world
+        index.save(tmp_path / "idx")
+        in_memory = open_db(index, network=dataset.network)
+        from_disk = open_db(str(tmp_path / "idx"), network=dataset.network)
+        requests = random_requests(dataset, index, seed=1, n=4)
+        assert_bit_identical(
+            from_disk.query_many(requests), in_memory.query_many(requests)
+        )
+
+    def test_network_loadable_from_path(self, world, tmp_path):
+        from repro.network import save_network
+
+        dataset, index = world
+        save_network(dataset.network, tmp_path / "network.json")
+        db = open_db(index, network=tmp_path / "network.json")
+        request = random_requests(dataset, index, seed=2, n=1)[0]
+        assert db.query(request).histogram is not None
+
+    def test_context_manager_clears_cache(self, world):
+        dataset, index = world
+        request = random_requests(dataset, index, seed=4, n=1)[0]
+        with open_db(index, network=dataset.network) as db:
+            db.query(request)
+            assert db.cache_stats().ranges.size > 0
+        assert db.cache_stats().ranges.size == 0
+
+    def test_close_leaves_caller_provided_cache_warm(self, world):
+        from repro import SubQueryCache
+
+        dataset, index = world
+        shared = SubQueryCache()
+        request = random_requests(dataset, index, seed=15, n=1)[0]
+        with open_db(index, network=dataset.network, cache=shared) as db:
+            db.query(request)
+            warm_entries = db.cache_stats().ranges.size
+            assert warm_entries > 0
+        # The shared cache outlives the session: another session over
+        # the same index may still be serving warm hits from it.
+        assert shared.stats().ranges.size == warm_entries
+
+    def test_missing_network_fails_fast(self, world):
+        _, index = world
+        with pytest.raises(ConfigurationError, match="network"):
+            open_db(index)
+
+    def test_missing_network_rejected_before_index_load(
+        self, world, tmp_path
+    ):
+        # The check must fire before load_any_index touches disk: the
+        # path doesn't even exist, yet the error is about the network.
+        with pytest.raises(ConfigurationError, match="network"):
+            open_db(tmp_path / "never-created-index")
+
+    def test_rejects_non_request(self, world):
+        from repro.errors import RequestValidationError
+
+        dataset, index = world
+        db = open_db(index, network=dataset.network)
+        spq = StrictPathQuery(path=(1,), interval=FixedInterval(0, 10))
+        with pytest.raises(RequestValidationError, match="TripRequest"):
+            db.query(spq)
+
+    def test_repr_mentions_configuration(self, world):
+        dataset, index = world
+        db = open_db(
+            index, network=dataset.network,
+            config=EngineConfig(partitioner="pi_1"),
+        )
+        assert "pi_1" in repr(db)
+        assert isinstance(db, TravelTimeDB)
+
+
+class TestRoundTripProperty:
+    """The ISSUE 3 acceptance property over several random workloads."""
+
+    @pytest.mark.parametrize("seed", (11, 23, 47))
+    def test_query_many_stream_and_legacy_bit_identical(self, world, seed):
+        dataset, index = world
+        requests = random_requests(dataset, index, seed=seed)
+
+        # Fresh session per surface: identical cold-cache scan counts
+        # require sequential execution on an empty cache each time.
+        config = EngineConfig(partitioner="pi_Z")
+        via_many = open_db(
+            index, network=dataset.network, config=config
+        ).query_many(requests)
+        via_stream = list(
+            open_db(index, network=dataset.network, config=config).stream(
+                iter(requests)
+            )
+        )
+        legacy_service = TravelTimeService(
+            index, dataset.network, config=config
+        )
+        with pytest.warns(DeprecationWarning):
+            via_legacy = legacy_service.trip_query_many(
+                [r.to_spq() for r in requests],
+                exclude_ids=[r.exclude_ids for r in requests],
+            )
+
+        assert_bit_identical(via_stream, via_many)
+        assert_bit_identical(via_legacy, via_many)
+
+        for request in requests:
+            assert TripRequest.from_dict(request.to_dict()) == request
+
+    @pytest.mark.parametrize("estimator", (None, "CSS-Fast"))
+    def test_fanout_matches_sequential(self, world, estimator):
+        dataset, index = world
+        requests = random_requests(
+            dataset, index, seed=99, estimator=estimator
+        )
+        config = EngineConfig()
+        sequential = open_db(
+            index, network=dataset.network, cache=None, config=config
+        ).query_many(requests)
+        fanned = open_db(
+            index, network=dataset.network, config=config
+        ).query_many(requests, n_workers=4)
+        streamed = list(
+            open_db(index, network=dataset.network, config=config).stream(
+                requests, n_workers=4, window=3
+            )
+        )
+        # Concurrent fan-out can over-count scans on racy same-key
+        # misses, so only the answers are compared here.
+        for results in (fanned, streamed):
+            for result, reference in zip(results, sequential):
+                assert result.histogram == reference.histogram
+                assert result.estimated_mean == reference.estimated_mean
+
+
+class TestStreaming:
+    def test_results_carry_request_backrefs_in_order(self, world):
+        dataset, index = world
+        requests = random_requests(dataset, index, seed=5, n=6)
+        db = open_db(index, network=dataset.network)
+        for surface in (
+            db.query_many(requests),
+            list(db.stream(requests, n_workers=3)),
+        ):
+            assert [r.request for r in surface] == requests
+
+    def test_stream_is_lazy_and_bounded(self, world):
+        dataset, index = world
+        base = random_requests(dataset, index, seed=6, n=3)
+        db = open_db(index, network=dataset.network)
+        consumed = []
+
+        def producer():
+            for request in base:
+                consumed.append(request)
+                yield request
+
+        stream = db.stream(producer(), n_workers=1)
+        assert consumed == []  # nothing pulled before iteration
+        first = next(stream)
+        assert first.request is base[0]
+        assert len(consumed) == 1  # sequential mode pulls one at a time
+        stream.close()
+
+    def test_stream_window_backpressure(self, world):
+        dataset, index = world
+        base = random_requests(dataset, index, seed=7, n=8)
+        db = open_db(index, network=dataset.network)
+        consumed = []
+
+        def producer():
+            for request in base:
+                consumed.append(request)
+                yield request
+
+        stream = db.stream(producer(), n_workers=2, window=2)
+        first = next(stream)
+        assert first.request is base[0]
+        # With a window of 2, at most window + 1 requests have been
+        # pulled from the producer after one result is consumed.
+        assert len(consumed) <= 3
+        rest = list(stream)
+        assert [r.request for r in [first] + rest] == base
+
+    def test_stream_rejects_bad_workers_and_window(self, world):
+        dataset, index = world
+        db = open_db(index, network=dataset.network)
+        with pytest.raises(ConfigurationError):
+            db.stream([], n_workers=0)
+        with pytest.raises(ConfigurationError):
+            db.stream([], window=0)
+
+
+class TestResultWireForm:
+    def test_result_round_trip(self, world):
+        dataset, index = world
+        request = random_requests(dataset, index, seed=8, n=1)[0]
+        db = open_db(index, network=dataset.network)
+        result = db.query(request)
+        restored = TripQueryResult.from_dict(result.to_dict())
+        assert restored.histogram == result.histogram
+        assert restored.estimated_mean == result.estimated_mean
+        assert restored.n_index_scans == result.n_index_scans
+        assert restored.request == request
+        for out_restored, out_original in zip(
+            restored.outcomes, result.outcomes
+        ):
+            assert np.array_equal(out_restored.values, out_original.values)
+            assert out_restored.query == out_original.query
+
+    def test_result_round_trip_preserves_shift_flags(self, world):
+        # pi_1 partitions per edge, so a periodic multi-edge query
+        # shift-and-enlarges every sub-query after the first; the wire
+        # form must carry that flag or reconstructed queries drift.
+        dataset, index = world
+        trip = max(dataset.trajectories, key=len)
+        request = TripRequest(
+            path=trip.path[:5],
+            interval=PeriodicInterval.around(trip.start_time, 1800),
+        )
+        db = open_db(
+            index, network=dataset.network,
+            config=EngineConfig(partitioner="pi_1"),
+        )
+        result = db.query(request)
+        flags = [o.query.shift_applied for o in result.outcomes]
+        assert any(flags), "expected shifted sub-queries from pi_1"
+        restored = TripQueryResult.from_dict(result.to_dict())
+        assert [
+            o.query.shift_applied for o in restored.outcomes
+        ] == flags
+        assert [o.query for o in restored.outcomes] == [
+            o.query for o in result.outcomes
+        ]
+
+    def test_result_wire_form_is_json_compatible(self, world):
+        import json
+
+        dataset, index = world
+        request = random_requests(dataset, index, seed=9, n=1)[0]
+        result = open_db(index, network=dataset.network).query(request)
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert TripQueryResult.from_dict(payload).histogram == (
+            result.histogram
+        )
+
+
+class TestDeprecationShims:
+    def test_engine_query_rejects_legacy_spq_with_typed_error(self, world):
+        from repro import QueryEngine
+        from repro.errors import RequestValidationError
+
+        dataset, index = world
+        engine = QueryEngine(index, dataset.network)
+        spq = StrictPathQuery(path=(1,), interval=FixedInterval(0, 10))
+        with pytest.raises(RequestValidationError, match="from_spq"):
+            engine.query(spq)
+
+    def test_engine_trip_query_warns_and_matches(self, world):
+        from repro import QueryEngine
+
+        dataset, index = world
+        request = random_requests(dataset, index, seed=10, n=1)[0]
+        engine = QueryEngine(index, dataset.network)
+        with pytest.warns(DeprecationWarning):
+            legacy = engine.trip_query(
+                request.to_spq(), exclude_ids=request.exclude_ids
+            )
+        modern = engine.query(request)
+        assert legacy.histogram == modern.histogram
+        assert legacy.request is None
+        assert modern.request is request
+
+    def test_legacy_engine_constructor_kwargs_warn(self, world):
+        from repro import QueryEngine
+
+        dataset, index = world
+        with pytest.warns(DeprecationWarning):
+            engine = QueryEngine(index, dataset.network, partitioner="pi_1")
+        assert engine.config.partitioner == "pi_1"
+
+    def test_legacy_service_kwargs_warn(self, world):
+        dataset, index = world
+        with pytest.warns(DeprecationWarning):
+            service = TravelTimeService(
+                index, dataset.network, partitioner="pi_1"
+            )
+        assert service.config.partitioner == "pi_1"
+
+    def test_service_trip_query_warns(self, world):
+        dataset, index = world
+        service = TravelTimeService(index, dataset.network)
+        request = random_requests(dataset, index, seed=12, n=1)[0]
+        with pytest.warns(DeprecationWarning):
+            result = service.trip_query(request.to_spq())
+        assert result.histogram is not None
+
+    def test_new_constructors_do_not_warn(self, world):
+        from repro import QueryEngine
+
+        dataset, index = world
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            QueryEngine(index, dataset.network, EngineConfig())
+            TravelTimeService(index, dataset.network, config=EngineConfig())
+            open_db(index, network=dataset.network)
+
+    def test_legacy_positional_partitioner_still_works(self, world):
+        from repro import QueryEngine
+
+        dataset, index = world
+        with pytest.warns(DeprecationWarning):
+            engine = QueryEngine(index, dataset.network, "pi_1")
+        assert engine.partitioner_name == "pi_1"
+
+    def test_non_config_positional_rejected_with_clear_error(self, world):
+        from repro import QueryEngine
+
+        dataset, index = world
+        with pytest.raises(TypeError, match="EngineConfig"):
+            QueryEngine(index, dataset.network, 42)
+
+    def test_mixing_config_and_legacy_kwargs_rejected(self, world):
+        from repro import QueryEngine
+
+        dataset, index = world
+        with pytest.raises(TypeError):
+            QueryEngine(
+                index, dataset.network, EngineConfig(), partitioner="pi_1"
+            )
+        with pytest.raises(TypeError):
+            TravelTimeService(
+                index, dataset.network, config=EngineConfig(),
+                partitioner="pi_1",
+            )
+
+
+class TestPerRequestEstimator:
+    def test_request_mode_overrides_engine_default(self, world):
+        dataset, index = world
+        db = open_db(
+            index,
+            network=dataset.network,
+            cache=None,
+            config=EngineConfig(estimator_mode="CSS-Fast"),
+        )
+        base = random_requests(dataset, index, seed=13, n=6)
+        request = next((r for r in base if r.beta), base[0])
+        if request.beta is None:
+            request = TripRequest(
+                path=request.path, interval=request.interval, beta=10
+            )
+        with_default = db.query(request)
+        disabled = db.query(request.with_estimator(EstimatorMode.NONE))
+        # Disabling the estimator must not change the shape of a query
+        # that never skipped; when skips fired, the counters must differ.
+        if with_default.n_estimator_skips:
+            assert disabled.n_estimator_skips == 0
+        else:
+            assert disabled.histogram == with_default.histogram
+
+    def test_estimators_are_cached_per_mode(self, world):
+        dataset, index = world
+        db = open_db(index, network=dataset.network)
+        request = random_requests(dataset, index, seed=14, n=1)[0]
+        first = db.query(request.with_estimator("ISA"))
+        second = db.query(request.with_estimator("ISA"))
+        assert first.histogram == second.histogram
+        assert len(db.engine._estimators) == 1
