@@ -17,11 +17,12 @@ Not a paper figure — these quantify the reproduction's own decisions:
 import numpy as np
 import pytest
 
-from repro import QueryEngine, StrictPathQuery
+from repro import EngineConfig, QueryEngine, StrictPathQuery
 from repro.core import zone_beta_policy
 from repro.experiments import format_table, run_accuracy_config
 
 from .conftest import bench_queries
+from tests.typed_api import run_trip
 
 
 def run_with_engine(workload, engine, beta=20, n=None, exclude_self=True):
@@ -37,7 +38,7 @@ def run_with_engine(workload, engine, beta=20, n=None, exclude_self=True):
         query = spec.to_query("temporal", 900, workload.t_max, beta)
         exclude = (spec.traj_id,) if exclude_self else ()
         started = time.perf_counter()
-        result = engine.trip_query(query, exclude_ids=exclude)
+        result = run_trip(engine, query, exclude_ids=exclude)
         elapsed += time.perf_counter() - started
         estimates.append(result.estimated_mean)
         truths.append(spec.true_duration)
@@ -46,16 +47,18 @@ def run_with_engine(workload, engine, beta=20, n=None, exclude_self=True):
 
 def test_ablation_shift_and_enlarge(workload, benchmark, capsys):
     with_adapt = QueryEngine(
-        workload.index, workload.network, partitioner="pi_Z",
-        shift_and_enlarge=True,
+        workload.index,
+        workload.network,
+        EngineConfig(partitioner="pi_Z", shift_and_enlarge=True),
     )
     without = QueryEngine(
-        workload.index, workload.network, partitioner="pi_Z",
-        shift_and_enlarge=False,
+        workload.index,
+        workload.network,
+        EngineConfig(partitioner="pi_Z", shift_and_enlarge=False),
     )
     spec = max(workload.queries, key=lambda s: len(s.path))
     query = spec.to_query("temporal", 900, workload.t_max, 20)
-    benchmark(lambda: with_adapt.trip_query(query, exclude_ids=(spec.traj_id,)))
+    benchmark(lambda: run_trip(with_adapt, query, exclude_ids=(spec.traj_id,)))
 
     smape_on, ms_on = run_with_engine(workload, with_adapt)
     smape_off, ms_off = run_with_engine(workload, without)
@@ -70,10 +73,12 @@ def test_ablation_shift_and_enlarge(workload, benchmark, capsys):
 
 
 def test_ablation_self_exclusion(workload, benchmark, capsys):
-    engine = QueryEngine(workload.index, workload.network, partitioner="pi_Z")
+    engine = QueryEngine(
+        workload.index, workload.network, EngineConfig(partitioner="pi_Z")
+    )
     spec = max(workload.queries, key=lambda s: len(s.path))
     query = spec.to_query("temporal", 900, workload.t_max, 20)
-    benchmark(lambda: engine.trip_query(query))
+    benchmark(lambda: run_trip(engine, query))
 
     smape_excluded, _ = run_with_engine(workload, engine, exclude_self=True)
     smape_included, _ = run_with_engine(workload, engine, exclude_self=False)
@@ -89,15 +94,19 @@ def test_ablation_self_exclusion(workload, benchmark, capsys):
 
 def test_ablation_zone_beta_policy(workload, benchmark, capsys):
     uniform = QueryEngine(
-        workload.index, workload.network, partitioner="pi_Z",
+        workload.index, workload.network, EngineConfig(partitioner="pi_Z")
     )
     zoned = QueryEngine(
-        workload.index, workload.network, partitioner="pi_Z",
-        beta_policy=zone_beta_policy(workload.network, rural_factor=0.5),
+        workload.index,
+        workload.network,
+        EngineConfig(
+            partitioner="pi_Z",
+            beta_policy=zone_beta_policy(workload.network, rural_factor=0.5),
+        ),
     )
     spec = max(workload.queries, key=lambda s: len(s.path))
     query = spec.to_query("temporal", 900, workload.t_max, 20)
-    benchmark(lambda: zoned.trip_query(query, exclude_ids=(spec.traj_id,)))
+    benchmark(lambda: run_trip(zoned, query, exclude_ids=(spec.traj_id,)))
 
     smape_uniform, ms_uniform = run_with_engine(workload, uniform)
     smape_zoned, ms_zoned = run_with_engine(workload, zoned)
@@ -118,18 +127,20 @@ def test_ablation_interval_ladder(workload, benchmark, capsys):
     results = []
     for label, ladder in (("paper A", full_ladder), ("2-step", coarse_ladder)):
         engine = QueryEngine(
-            workload.index, workload.network, partitioner="pi_Z",
-            ladder=ladder,
+            workload.index,
+            workload.network,
+            EngineConfig(partitioner="pi_Z", ladder=ladder),
         )
         s, ms = run_with_engine(workload, engine)
         results.append([label, f"{s:.2f}", f"{ms:.2f}"])
     engine = QueryEngine(
-        workload.index, workload.network, partitioner="pi_Z",
-        ladder=coarse_ladder,
+        workload.index,
+        workload.network,
+        EngineConfig(partitioner="pi_Z", ladder=coarse_ladder),
     )
     spec = max(workload.queries, key=lambda s: len(s.path))
     query = spec.to_query("temporal", 900, workload.t_max, 20)
-    benchmark(lambda: engine.trip_query(query, exclude_ids=(spec.traj_id,)))
+    benchmark(lambda: run_trip(engine, query, exclude_ids=(spec.traj_id,)))
 
     print("\n" + format_table(
         ["ladder", "sMAPE %", "ms/query"],

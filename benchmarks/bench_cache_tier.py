@@ -1,0 +1,175 @@
+"""Cross-process shared cache tier benchmark (ISSUE 4 acceptance bar).
+
+The claim: a **second, fresh process** answering a repeated-path
+workload through a warm :class:`~repro.service.SharedCacheTier` beats
+its own cold run — the whole point of the tier is that sub-query work
+done by one process (a fork worker, an earlier CLI run, another serving
+process) is never redone by the next one.
+
+Method: the parent saves the index, warms the tier once, and then
+measures two *forked child processes* answering the identical batch:
+
+* the **cold child** uses a fresh in-process cache (the pre-tier
+  behaviour of every new process);
+* the **warm child** opens the shared tier and must answer with zero
+  index scans — every retrieval is a shared hit — and measurably less
+  wall-clock than the cold child.
+
+Answers are asserted bit-identical to an uncached engine either way.
+Results are also written as JSON to ``REPRO_BENCH_JSON`` (when set) so
+CI can archive the numbers as an artifact.
+
+Environment knobs (see ``conftest.py`` for the shared ones):
+
+* ``REPRO_BENCH_TIER_SPEEDUP`` — minimum warm-over-cold child speedup
+  (default ``1.1``; the zero-scan assertion is the hard functional
+  guarantee, the speedup bar guards the constant factor).
+* ``REPRO_BENCH_JSON`` — path for the JSON results artifact.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro import EngineConfig, TripRequest, open_db
+from repro.forkpool import fork_map
+
+from .conftest import bench_queries, bench_scale
+
+#: Child measurements per mode; the minimum damps scheduler noise.
+ROUNDS = 3
+
+
+def speedup_bar() -> float:
+    return float(os.environ.get("REPRO_BENCH_TIER_SPEEDUP", "1.1"))
+
+
+def _write_artifact(payload: dict) -> None:
+    target = os.environ.get("REPRO_BENCH_JSON")
+    if not target:
+        return
+    existing = {}
+    if os.path.exists(target):
+        with open(target) as handle:
+            existing = json.load(handle)
+    existing.update(payload)
+    with open(target, "w") as handle:
+        json.dump(existing, handle, indent=2)
+
+
+def _answer_batch(payload):
+    """Child-side measurement: open a session, answer the batch.
+
+    Runs in a freshly forked process, so the in-process cache layer
+    starts cold either way; only the shared store (when ``spec`` points
+    at the tier) carries state in.
+    """
+    index_dir, network, requests, spec = payload
+    db = open_db(index_dir, network=network, config=EngineConfig(cache=spec))
+    started = time.perf_counter()
+    results = db.query_many(requests)
+    elapsed = time.perf_counter() - started
+    return (
+        elapsed,
+        sum(r.n_index_scans for r in results),
+        sum(r.n_cache_hits for r in results),
+        [r.histogram.as_dict() for r in results],
+    )
+
+
+def test_fresh_process_warm_tier_beats_cold_run(
+    workload, tmp_path, capsys
+):
+    index_dir = tmp_path / "index"
+    workload.index.save(index_dir)
+    tier_dir = tmp_path / "tier"
+    shared_spec = f"shared:{tier_dir}"
+
+    # The repeated-path workload is repeated *across processes*: the
+    # parent answers it once, then every child answers the same batch.
+    # Longest paths first — they carry the most index work per query, so
+    # the cold/warm contrast is the sub-query scans, not fixed overhead.
+    n_queries = min(20, bench_queries())
+    specs = sorted(
+        workload.queries, key=lambda s: len(s.path), reverse=True
+    )[:n_queries]
+    requests = [
+        TripRequest.from_spq(
+            spec.to_query("temporal", 900, workload.t_max, 20),
+            exclude_ids=(spec.traj_id,),
+        )
+        for spec in specs
+    ]
+
+    # Ground truth + tier warm-up in the parent.
+    uncached = open_db(
+        index_dir, network=workload.network, cache=None
+    )
+    expected = [r.histogram.as_dict() for r in uncached.query_many(requests)]
+    warmer = open_db(
+        index_dir,
+        network=workload.network,
+        config=EngineConfig(cache=shared_spec),
+    )
+    warm_up = warmer.query_many(requests)
+    assert [r.histogram.as_dict() for r in warm_up] == expected
+
+    # Each measurement is one forked child answering the whole batch;
+    # the minimum over ROUNDS children is the per-mode time.
+    def child_run(spec: str):
+        best = None
+        for _ in range(ROUNDS):
+            (result,) = fork_map(
+                _answer_batch,
+                [(index_dir, workload.network, requests, spec)],
+                workers=1,
+            )
+            if best is None or result[0] < best[0]:
+                best = result
+        return best
+
+    cold_s, cold_scans, cold_hits, cold_histograms = child_run("memory")
+    warm_s, warm_scans, warm_hits, warm_histograms = child_run(shared_spec)
+
+    # Bit-identical answers, tier on or off, in a fresh process.
+    assert cold_histograms == expected
+    assert warm_histograms == expected
+    # The functional guarantee: the warm child never touches the index.
+    assert warm_scans == 0
+    assert warm_hits > 0
+    assert cold_scans > 0
+
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    print(
+        f"\nFresh-process repeated-path batch of {len(requests)}: "
+        f"cold {cold_s * 1000:.1f} ms ({cold_scans} scans), warm shared "
+        f"tier {warm_s * 1000:.1f} ms ({warm_hits} shared hits) -> "
+        f"{speedup:.2f}x"
+    )
+    _write_artifact(
+        {
+            "cache_tier": {
+                "scale": bench_scale(),
+                "n_requests": len(requests),
+                "cold_child_s": cold_s,
+                "warm_child_s": warm_s,
+                "cold_scans": cold_scans,
+                "warm_shared_hits": warm_hits,
+                "speedup": speedup,
+                "bar": speedup_bar(),
+            }
+        }
+    )
+    if bench_scale() == "tiny":
+        # At tiny scale an index scan costs about as much as a store
+        # read, so wall clock cannot discriminate; the zero-scan
+        # assertion above already proved the tier served everything.
+        # The speedup bar is held from `small` (the CI scale) upwards.
+        print("tiny scale: speedup bar skipped (scan ~ store-read cost)")
+        return
+    assert speedup >= speedup_bar(), (
+        f"fresh process with warm shared tier reached only {speedup:.2f}x "
+        f"over its own cold run (bar: {speedup_bar():.2f}x)"
+    )

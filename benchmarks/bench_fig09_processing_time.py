@@ -13,7 +13,13 @@ Absolute times are not comparable to the paper's C++ numbers (DESIGN.md
 import numpy as np
 import pytest
 
-from repro import PeriodicInterval, QueryEngine, StrictPathQuery
+from repro import (
+    EngineConfig,
+    PeriodicInterval,
+    QueryEngine,
+    StrictPathQuery,
+    TripRequest,
+)
 from repro.experiments import format_series
 
 from .conftest import bench_betas, bench_one_query, series_by_method
@@ -86,7 +92,9 @@ def test_sigma_l_slower_than_sigma_r(sweep_results, workload, benchmark):
 
 def test_bench_single_trip_query(workload, benchmark):
     """Raw per-query latency of the headline configuration."""
-    engine = QueryEngine(workload.index, workload.network, partitioner="pi_Z")
+    engine = QueryEngine(
+        workload.index, workload.network, EngineConfig(partitioner="pi_Z")
+    )
     spec = max(workload.queries, key=lambda s: len(s.path))
     query = StrictPathQuery(
         path=spec.path,
@@ -95,7 +103,9 @@ def test_bench_single_trip_query(workload, benchmark):
     )
 
     def run():
-        return engine.trip_query(query, exclude_ids=(spec.traj_id,))
+        return engine.query(
+            TripRequest.from_spq(query, exclude_ids=(spec.traj_id,))
+        )
 
     result = benchmark(run)
     assert result.histogram.total > 0

@@ -16,7 +16,15 @@ import os
 import numpy as np
 import pytest
 
-from repro import SNTIndex
+from repro import (
+    CardinalityEstimator,
+    EngineConfig,
+    PeriodicInterval,
+    QueryEngine,
+    SNTIndex,
+    StrictPathQuery,
+    TripRequest,
+)
 from repro.experiments import (
     estimator_report,
     format_table,
@@ -44,7 +52,6 @@ def qerror_report(workload):
 
 
 def test_figure11a_qerror(qerror_report, workload, benchmark, capsys):
-    from repro import PeriodicInterval
     from repro.sntindex import count_matches
 
     spec = workload.queries[0]
@@ -74,17 +81,19 @@ def test_figure11a_qerror(qerror_report, workload, benchmark, capsys):
 
 def test_figure11b_runtime(workload, benchmark, capsys):
     """ms/query across partition grains, with and without the estimator."""
-    from repro import CardinalityEstimator, QueryEngine
+
 
     engine = QueryEngine(
         workload.index,
         workload.network,
-        partitioner="pi_Z",
+        EngineConfig(partitioner="pi_Z"),
         estimator=CardinalityEstimator(workload.index, "CSS-Fast"),
     )
     spec = max(workload.queries, key=lambda s: len(s.path))
     query = spec.to_query("temporal", 900, workload.t_max, 20)
-    benchmark(lambda: engine.trip_query(query, exclude_ids=(spec.traj_id,)))
+
+    request = TripRequest.from_spq(query, exclude_ids=(spec.traj_id,))
+    benchmark(lambda: engine.query(request))
 
     n_queries = min(25, bench_queries())
     grains = fig11_partition_grains()
@@ -141,20 +150,23 @@ def test_figure11b_runtime(workload, benchmark, capsys):
     assert savings_full["CSS-Fast"] <= savings_full["none"] * 1.25
 
     # The mechanism itself must hold: the estimator prunes index scans.
-    from repro import CardinalityEstimator, QueryEngine
 
-    plain = QueryEngine(workload.index, workload.network, partitioner="pi_Z")
+
+    plain = QueryEngine(
+        workload.index, workload.network, EngineConfig(partitioner="pi_Z")
+    )
     pruned = QueryEngine(
         workload.index,
         workload.network,
-        partitioner="pi_Z",
+        EngineConfig(partitioner="pi_Z"),
         estimator=CardinalityEstimator(workload.index, "CSS-Acc"),
     )
     scans_plain = scans_pruned = skips = 0
     for spec in workload.queries[:n_queries]:
         query = spec.to_query("temporal", 900, workload.t_max, 20)
-        r_plain = plain.trip_query(query, exclude_ids=(spec.traj_id,))
-        r_pruned = pruned.trip_query(query, exclude_ids=(spec.traj_id,))
+        request = TripRequest.from_spq(query, exclude_ids=(spec.traj_id,))
+        r_plain = plain.query(request)
+        r_pruned = pruned.query(request)
         scans_plain += r_plain.n_index_scans
         scans_pruned += r_pruned.n_index_scans
         skips += r_pruned.n_estimator_skips
@@ -168,7 +180,6 @@ def test_figure11b_runtime(workload, benchmark, capsys):
 
 def test_figure11c_accuracy_effect(workload, benchmark, capsys):
     """sMAPE with each estimator mode: effects are minuscule."""
-    from repro import CardinalityEstimator, PeriodicInterval, StrictPathQuery
 
     estimator = CardinalityEstimator(workload.index, "ISA")
     spec = workload.queries[0]
@@ -206,7 +217,6 @@ def test_figure11c_accuracy_effect(workload, benchmark, capsys):
 
 def test_bench_estimate_call(workload, benchmark):
     """Latency of one cardinality estimate (CSS-Acc)."""
-    from repro import CardinalityEstimator, PeriodicInterval, StrictPathQuery
 
     estimator = CardinalityEstimator(workload.index, "CSS-Acc")
     spec = workload.queries[0]

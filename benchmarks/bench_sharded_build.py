@@ -39,7 +39,6 @@ from repro import (
     SNTIndex,
     StrictPathQuery,
     SubQueryCache,
-    TravelTimeService,
     generate_dataset,
 )
 
@@ -147,13 +146,18 @@ def test_sharded_warm_cache_qps_parity(dataset, capsys):
     ] * repeat
     exclude_ids = [(trip.traj_id,) for trip in specs] * repeat
 
+    from repro import TravelTimeDB, TripRequest
+
+    requests = [
+        TripRequest.from_spq(query, exclude_ids=excluded)
+        for query, excluded in zip(queries, exclude_ids)
+    ]
+
     def warm_qps(index) -> float:
-        service = TravelTimeService(
-            index, dataset.network, cache=SubQueryCache()
-        )
-        service.trip_query_many(queries, exclude_ids=exclude_ids)  # warm
+        db = TravelTimeDB(index, dataset.network, cache=SubQueryCache())
+        db.query_many(requests)  # warm
         started = time.perf_counter()
-        answered = service.trip_query_many(queries, exclude_ids=exclude_ids)
+        answered = db.query_many(requests)
         elapsed = time.perf_counter() - started
         assert len(answered) == len(queries)
         return len(queries) / elapsed if elapsed > 0 else float("inf")

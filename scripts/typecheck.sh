@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
-# Strict type checking, scoped to the typed API surface (ISSUE 3):
-# src/repro/api (TripRequest / EngineConfig / TravelTimeDB) and the
-# error hierarchy.  The api layer calls into the not-yet-annotated
-# core/service/sntindex modules, so untyped *calls* are allowed and
-# imports are followed silently; everything the api package itself
-# defines is held to --strict.
+# Strict type checking, scoped to the typed API surface (ISSUE 3) plus
+# the cache-tier backend layer (ISSUE 4): src/repro/api (TripRequest /
+# EngineConfig / TravelTimeDB), the error hierarchy, and
+# service/cachetier.py (CacheBackend / SharedCacheTier).  These call
+# into the not-yet-annotated core/service/sntindex modules, so untyped
+# *calls* are allowed and imports are followed silently; everything the
+# checked files themselves define is held to --strict.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 if ! python -m mypy --version >/dev/null 2>&1; then
@@ -16,4 +17,4 @@ exec python -m mypy --strict \
   --allow-untyped-calls \
   --allow-subclassing-any \
   --no-warn-return-any \
-  src/repro/api src/repro/errors.py
+  src/repro/api src/repro/errors.py src/repro/service/cachetier.py

@@ -60,7 +60,13 @@ from .network import (
     generate_network,
     shortest_path,
 )
-from .service import CacheStats, SubQueryCache, TravelTimeService
+from .service import (
+    CacheBackend,
+    CacheStats,
+    SharedCacheTier,
+    SubQueryCache,
+    TravelTimeService,
+)
 from .sntindex import (
     IndexReader,
     ShardedSNTIndex,
@@ -143,4 +149,6 @@ __all__ = [
     "TravelTimeService",
     "SubQueryCache",
     "CacheStats",
+    "CacheBackend",
+    "SharedCacheTier",
 ]

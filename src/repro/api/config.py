@@ -12,6 +12,7 @@ external cache tier.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, replace
 from typing import Any, Callable, Optional, Tuple, Union
 
@@ -67,6 +68,15 @@ class EngineConfig:
         :class:`~repro.service.SubQueryCache`.
     cache_entries:
         Per-section LRU bound of that cache (``None`` = unbounded).
+    cache:
+        Cache-backend spec consumed by
+        :func:`repro.service.cachetier.resolve_cache_backend`:
+        ``None`` keeps the legacy ``cache_enabled`` behaviour,
+        ``"memory"`` the in-process LRU, ``"off"`` no shared cache,
+        ``"shared"`` a cross-process :class:`SharedCacheTier` under the
+        index directory, ``"shared:<dir>"`` one at an explicit
+        directory.  Serving plumbing only — the spec never changes
+        answers, so it is excluded from :meth:`cache_identity`.
 
     All validation failures raise :class:`ConfigurationError` (a
     :class:`~repro.errors.QueryError`), never a bare ``ValueError``.
@@ -84,6 +94,7 @@ class EngineConfig:
     n_workers: int = 1
     cache_enabled: bool = True
     cache_entries: Optional[int] = 65_536
+    cache: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.partitioner not in PARTITIONER_NAMES:
@@ -127,7 +138,64 @@ class EngineConfig:
             raise ConfigurationError(
                 "cache_entries must be positive or None (unbounded)"
             )
+        if self.cache is not None:
+            if not isinstance(self.cache, str):
+                raise ConfigurationError(
+                    "cache must be None, 'memory', 'off', 'shared', or "
+                    f"'shared:<dir>'; got {self.cache!r}"
+                )
+            if self.cache not in ("memory", "off", "shared") and not (
+                self.cache.startswith("shared:")
+                and len(self.cache) > len("shared:")
+            ):
+                raise ConfigurationError(
+                    "cache must be None, 'memory', 'off', 'shared', or "
+                    f"'shared:<dir>'; got {self.cache!r}"
+                )
+            if self.cache.startswith("shared") and self.beta_policy is not None:
+                # Fail at construction, not first query: a callable has
+                # no cross-process identity, so a shared tier could
+                # serve another policy's (differently-shaped) entries.
+                raise ConfigurationError(
+                    "a shared cache tier cannot be combined with a "
+                    "beta_policy (callables have no cross-process "
+                    "identity); use cache='memory' or drop the policy"
+                )
 
     def replace(self, **changes: Any) -> "EngineConfig":
         """A copy with the given fields changed (re-validated)."""
         return replace(self, **changes)
+
+    def cache_identity(self) -> str:
+        """Stable cross-process fingerprint of the answer-shaping fields.
+
+        Part of every :class:`~repro.service.cachetier.SharedCacheTier`
+        key (the ROADMAP external-cache-tier contract: request wire form
+        + EngineConfig identity + index epoch).  Two processes whose
+        configs agree on every field that can change an answer produce
+        the same identity and therefore share entries; serving knobs
+        (``n_workers``, the ``cache*`` plumbing) are excluded, since
+        they never change what a query returns.  ``beta_policy`` is a
+        callable and has no cross-process identity, so configs carrying
+        one are rejected.
+        """
+        if self.beta_policy is not None:
+            raise ConfigurationError(
+                "an EngineConfig with a beta_policy has no stable "
+                "cross-process cache identity"
+            )
+        mode = self.estimator_mode
+        return json.dumps(
+            {
+                "partitioner": self.partitioner,
+                "splitter": self.splitter,
+                "ladder": list(self.ladder),
+                "bucket_width_s": self.bucket_width_s,
+                "estimator_mode": mode.value if mode is not None else None,
+                "user_selectivity": self.user_selectivity,
+                "max_relaxations": self.max_relaxations,
+                "shift_and_enlarge": self.shift_and_enlarge,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )

@@ -41,7 +41,8 @@ from ..core.engine import QueryEngine, TripQueryResult
 from ..errors import ConfigurationError, RequestValidationError
 from ..network.graph import RoadNetwork
 from ..network.io import load_network
-from ..service.cache import CacheStats, SubQueryCache
+from ..service.cache import CacheStats
+from ..service.cachetier import CacheBackend
 from ..service.service import TravelTimeService, TripTask
 from ..sntindex.reader import IndexReader
 from ..sntindex.sharded import load_any_index
@@ -74,7 +75,7 @@ class TravelTimeDB:
         index: IndexReader,
         network: Optional[RoadNetwork],
         config: Optional[EngineConfig] = None,
-        cache: Union[SubQueryCache, None, str] = "default",
+        cache: Union[CacheBackend, None, str] = "default",
     ) -> None:
         if network is None:
             # Fail fast with the typed error surface: partitioners and
@@ -136,13 +137,16 @@ class TravelTimeDB:
     def close(self) -> None:
         """Release session resources.
 
-        Clears the session's own cache; a caller-provided (possibly
-        shared) :class:`SubQueryCache` is left untouched — other
-        sessions may still be serving warm hits from it.  Use
-        :meth:`clear_cache` to empty it explicitly.
+        Closes the session's own cache backend: an in-process
+        :class:`SubQueryCache` empties, a cross-process
+        :class:`~repro.service.cachetier.SharedCacheTier` releases its
+        store connection but *keeps its entries* (warming later
+        sessions is the point of the tier).  A caller-provided backend
+        is left untouched — other sessions may still be serving warm
+        hits from it.  Use :meth:`clear_cache` to empty one explicitly.
         """
         if self._owns_cache:
-            self.clear_cache()
+            self._service.close_cache()
 
     def __repr__(self) -> str:
         return (
@@ -270,7 +274,7 @@ def open_db(
     path_or_index: Union[PathSource, IndexReader],
     network: Union[RoadNetwork, PathSource, None] = None,
     config: Optional[EngineConfig] = None,
-    cache: Union[SubQueryCache, None, str] = "default",
+    cache: Union[CacheBackend, None, str] = "default",
 ) -> TravelTimeDB:
     """Open a travel-time query session — the one public entry point.
 
@@ -290,8 +294,11 @@ def open_db(
         An :class:`EngineConfig`; ``None`` uses defaults.
     cache:
         As for :class:`repro.service.TravelTimeService`: ``"default"``
-        builds a bounded shared cache per ``config``, ``None`` disables
-        cross-query caching, or pass a :class:`SubQueryCache`.
+        resolves the backend from ``config`` (its ``cache`` spec can
+        select the cross-process shared tier), ``None`` disables
+        cross-query caching, or pass a backend
+        (:class:`SubQueryCache` /
+        :class:`~repro.service.cachetier.SharedCacheTier`) directly.
     """
     if network is None:
         # Fail before load_any_index touches disk: unpickling a large

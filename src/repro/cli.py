@@ -187,6 +187,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the shared sub-query cache",
     )
     batch.add_argument(
+        "--cache-dir",
+        default=None,
+        help="answer through the cross-process shared cache tier stored "
+        "in this directory (created if missing); separate runs — and "
+        "forked workers — warm each other's caches",
+    )
+    batch.add_argument(
         "--partitioner", default="pi_Z", choices=PARTITIONER_NAMES
     )
     batch.add_argument(
@@ -456,6 +463,8 @@ def _cmd_batch(args) -> int:
         raise SystemExit("--workers must be positive")
     if args.repeat < 1:
         raise SystemExit("--repeat must be positive")
+    if args.cache_dir is not None and args.no_cache:
+        raise SystemExit("--cache-dir and --no-cache are mutually exclusive")
     network = load_network(Path(args.world) / NETWORK_FILE)
     index = _obtain_index(args, network)
     specs = _read_batch_specs(args)
@@ -478,6 +487,11 @@ def _cmd_batch(args) -> int:
             partitioner=args.partitioner,
             splitter=args.splitter,
             n_workers=args.workers,
+            cache=(
+                f"shared:{args.cache_dir}"
+                if args.cache_dir is not None
+                else None
+            ),
         ),
     )
     started = time.perf_counter()
@@ -512,6 +526,9 @@ def _cmd_batch(args) -> int:
     stats = db.cache_stats()
     if stats is not None:
         print(f"cache: {stats.summary()}")
+    tier_stats = getattr(db.engine.cache, "tier_stats", None)
+    if tier_stats is not None:
+        print(f"shared tier: {tier_stats().summary()}")
     shard_stats = getattr(index, "shard_stats", None)
     if shard_stats is not None:
         routing = shard_stats()

@@ -25,7 +25,11 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import QueryError, RequestValidationError
+from ..errors import (
+    QueryError,
+    ReproDeprecationWarning,
+    RequestValidationError,
+)
 from ..histogram.histogram import Histogram
 from ..network.graph import RoadNetwork
 from ..sntindex.reader import IndexReader
@@ -170,13 +174,6 @@ class TripQueryResult:
         accounting counters, and the originating request's wire form.
         """
 
-        def histogram_payload(histogram: Histogram) -> Dict[str, Any]:
-            return {
-                "bucket_width": histogram.bucket_width,
-                "offset": histogram.offset,
-                "counts": [float(c) for c in histogram.counts],
-            }
-
         def outcome_payload(outcome: SubQueryOutcome) -> Dict[str, Any]:
             from ..api.request import _interval_to_dict
 
@@ -187,12 +184,12 @@ class TripQueryResult:
                 "beta": outcome.query.beta,
                 "shift_applied": outcome.query.shift_applied,
                 "values": [float(v) for v in outcome.values],
-                "histogram": histogram_payload(outcome.histogram),
+                "histogram": outcome.histogram.to_wire(),
                 "from_fallback": outcome.from_fallback,
             }
 
         return {
-            "histogram": histogram_payload(self.histogram),
+            "histogram": self.histogram.to_wire(),
             "outcomes": [outcome_payload(o) for o in self.outcomes],
             "n_index_scans": self.n_index_scans,
             "n_estimator_skips": self.n_estimator_skips,
@@ -206,9 +203,6 @@ class TripQueryResult:
         """Reconstruct a result from its wire form."""
         from ..api.request import TripRequest, _interval_from_dict
 
-        def histogram_from(p: Dict[str, Any]) -> Histogram:
-            return Histogram(p["bucket_width"], p["offset"], p["counts"])
-
         outcomes = [
             SubQueryOutcome(
                 query=StrictPathQuery(
@@ -219,14 +213,14 @@ class TripQueryResult:
                     shift_applied=bool(o.get("shift_applied", False)),
                 ),
                 values=np.asarray(o["values"], dtype=np.float64),
-                histogram=histogram_from(o["histogram"]),
+                histogram=Histogram.from_wire(o["histogram"]),
                 from_fallback=bool(o["from_fallback"]),
             )
             for o in payload["outcomes"]
         ]
         request = payload.get("request")
         return cls(
-            histogram=histogram_from(payload["histogram"]),
+            histogram=Histogram.from_wire(payload["histogram"]),
             outcomes=outcomes,
             n_index_scans=int(payload["n_index_scans"]),
             n_estimator_skips=int(payload["n_estimator_skips"]),
@@ -314,7 +308,7 @@ class QueryEngine:
                 "QueryEngine(partitioner=..., splitter=..., ...) keyword "
                 "arguments are deprecated; pass "
                 "config=repro.EngineConfig(...) instead",
-                DeprecationWarning,
+                ReproDeprecationWarning,
                 stacklevel=2,
             )
             config = _legacy_config(legacy_kwargs)
@@ -412,7 +406,7 @@ class QueryEngine:
             "QueryEngine.trip_query(StrictPathQuery, ...) is deprecated; "
             "use QueryEngine.query(TripRequest) or the repro.open_db() "
             "session facade",
-            DeprecationWarning,
+            ReproDeprecationWarning,
             stacklevel=2,
         )
         return self._run_trip(query, exclude_ids=exclude_ids, cache=cache)

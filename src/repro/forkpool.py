@@ -21,6 +21,8 @@ import threading
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, List, Optional, Sequence
 
+from .errors import ConfigurationError
+
 __all__ = ["fork_map"]
 
 _STATE: dict = {}
@@ -49,8 +51,19 @@ def fork_map(
     function applied to pickled payloads) — or raises ``RuntimeError``
     when no fallback is given (e.g. the payloads hold unpicklable
     state).  Raises ``RuntimeError`` likewise when another ``fork_map``
-    is already in flight on this process.
+    is already in flight on this process, and
+    :class:`~repro.errors.ConfigurationError` (a ``ValueError``) for a
+    non-positive worker count — up front, instead of the opaque
+    ``ValueError`` ``ProcessPoolExecutor`` would raise mid-flight.
     """
+    if not isinstance(workers, int) or isinstance(workers, bool):
+        raise ConfigurationError(
+            f"fork_map workers must be a positive int; got {workers!r}"
+        )
+    if workers < 1:
+        raise ConfigurationError(
+            f"fork_map workers must be positive; got {workers}"
+        )
     workers = min(workers, len(payloads))
     if not payloads:
         return []

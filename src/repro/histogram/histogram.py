@@ -73,6 +73,33 @@ class Histogram:
     # Introspection
     # ------------------------------------------------------------------ #
 
+    # ------------------------------------------------------------------ #
+    # Wire form (external cache / HTTP tier contract)
+    # ------------------------------------------------------------------ #
+
+    def to_wire(self) -> Dict[str, object]:
+        """JSON-compatible wire form, inverse of :meth:`from_wire`.
+
+        The single definition of the histogram payload used by
+        ``TripQueryResult.to_dict`` and the cross-process
+        :class:`~repro.service.cachetier.SharedCacheTier` — float64
+        counts round-trip exactly through JSON ``repr``, so a
+        deserialised histogram is bit-identical.
+        """
+        return {
+            "bucket_width": self.bucket_width,
+            "offset": self.offset,
+            "counts": [float(c) for c in self.counts],
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Dict[str, object]) -> "Histogram":
+        return cls(
+            payload["bucket_width"],  # type: ignore[arg-type]
+            payload["offset"],  # type: ignore[arg-type]
+            payload["counts"],  # type: ignore[arg-type]
+        )
+
     @property
     def total(self) -> float:
         """Total mass (number of observations for count histograms)."""

@@ -1,6 +1,12 @@
 """Serving layer: batched queries, shared caches, index persistence."""
 
 from .cache import CacheStats, LRUCache, SectionStats, SubQueryCache
+from .cachetier import (
+    CacheBackend,
+    SharedCacheTier,
+    SharedTierStats,
+    resolve_cache_backend,
+)
 from .service import TravelTimeService
 
 __all__ = [
@@ -9,4 +15,8 @@ __all__ = [
     "LRUCache",
     "CacheStats",
     "SectionStats",
+    "CacheBackend",
+    "SharedCacheTier",
+    "SharedTierStats",
+    "resolve_cache_backend",
 ]

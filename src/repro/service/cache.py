@@ -109,6 +109,14 @@ class LRUCache:
                     self._data.popitem(last=False)
                     self._evictions += 1
 
+    @property
+    def max_entries(self) -> Optional[int]:
+        """The configured entry bound (``None`` = unbounded).
+
+        Immutable after construction, so readable without the lock —
+        e.g. by a forked child whose inherited lock may be held."""
+        return self._max
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._data)
@@ -196,10 +204,21 @@ class SubQueryCache:
         caller configured here.
         """
         return SubQueryCache(
-            max_ranges=self._ranges._max,
-            max_results=self._results._max,
-            max_histograms=self._histograms._max,
+            max_ranges=self._ranges.max_entries,
+            max_results=self._results.max_entries,
+            max_histograms=self._histograms.max_entries,
         )
+
+    def spawn_for_worker(self) -> "SubQueryCache":
+        """The :class:`~repro.service.cachetier.CacheBackend` fork hook.
+
+        An in-process cache cannot be shared with a forked worker (see
+        :meth:`spawn_empty`), so the worker gets a fresh empty cache
+        with the same bounds; the cross-process
+        :class:`~repro.service.cachetier.SharedCacheTier` instead hands
+        the worker a new handle onto the shared store.
+        """
+        return self.spawn_empty()
 
     def sync_epoch(self, index) -> None:
         """Drop entries cached against an earlier state of ``index``.
@@ -261,6 +280,11 @@ class SubQueryCache:
         self._ranges.clear()
         self._results.clear()
         self._histograms.clear()
+
+    def close(self) -> None:
+        """Release resources (the in-process cache just empties itself;
+        the shared tier keeps its store and closes its connection)."""
+        self.clear()
 
     def stats(self) -> CacheStats:
         return CacheStats(

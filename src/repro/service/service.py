@@ -49,8 +49,9 @@ from ..forkpool import fork_map
 from ..network.graph import RoadNetwork
 from ..sntindex.reader import IndexReader
 from ..sntindex.sharded import load_any_index
-from ..errors import ConfigurationError
-from .cache import CacheStats, SubQueryCache
+from ..errors import ConfigurationError, ReproDeprecationWarning
+from .cache import CacheStats
+from .cachetier import CacheBackend, resolve_cache_backend
 
 if TYPE_CHECKING:  # the api layer sits above the service; imports are lazy
     from ..api.config import EngineConfig
@@ -63,15 +64,17 @@ __all__ = ["TravelTimeService"]
 TripTask = Tuple[StrictPathQuery, Tuple[int, ...], object]
 
 
-#: One fresh shared cache per forked worker process.  The parent's
-#: SubQueryCache must not be touched from a fork: its locks may have
-#: been snapshotted mid-critical-section by a concurrently running
-#: thread batch, and a child blocking on an inherited locked lock hangs
-#: forever.  A child-built cache (``spawn_empty`` — same LRU bounds the
-#: caller configured) starts with unlocked locks and still gives the
-#: worker cross-trip sharing within its chunk — the "cache warms per
-#: worker process" semantics the service documents.
-_CHILD_CACHE: Optional[SubQueryCache] = None
+#: One worker-side cache per forked worker process.  The parent's
+#: backend must not be touched from a fork: its locks may have been
+#: snapshotted mid-critical-section by a concurrently running thread
+#: batch, and a child blocking on an inherited locked lock hangs
+#: forever.  ``spawn_for_worker`` (called in the child, lock-free)
+#: decides what the worker gets instead: an in-process SubQueryCache
+#: yields a fresh empty cache with the same LRU bounds — cross-trip
+#: sharing within the worker's chunk only — while a SharedCacheTier
+#: yields a new handle onto the same cross-process store, so workers
+#: warm each other and later processes.
+_CHILD_CACHE: Optional[CacheBackend] = None
 
 
 def _answer_forked(payload) -> TripQueryResult:
@@ -81,10 +84,10 @@ def _answer_forked(payload) -> TripQueryResult:
     cache = None
     if engine.cache is not None:
         if _CHILD_CACHE is None:
-            _CHILD_CACHE = engine.cache.spawn_empty()
+            _CHILD_CACHE = engine.cache.spawn_for_worker()
         cache = _CHILD_CACHE
     # cache=None with an uncached engine keeps the per-trip default;
-    # passing the engine's own (inherited) shared cache is what must
+    # passing the engine's own (inherited) shared backend is what must
     # never happen here.
     return engine._run_task(query, excluded, estimator_mode, cache=cache)
 
@@ -98,15 +101,17 @@ class TravelTimeService:
         The index reader (monolithic or sharded) and its road network
         (as for ``QueryEngine``).
     cache:
-        ``"default"`` builds a bounded :class:`SubQueryCache` (sized by
-        ``config.cache_entries``, or disabled when
-        ``config.cache_enabled`` is false); ``None`` disables
-        cross-query caching (every trip uses the engine's per-trip
-        cache); or pass a pre-configured :class:`SubQueryCache` to
-        control the LRU bounds or share one cache between services
-        *over the same index and network* — the cache binds permanently
-        to the first (index, network) pair it serves and rejects any
-        other.
+        ``"default"`` resolves the backend from ``config`` (the
+        ``config.cache`` spec — in-process :class:`SubQueryCache`,
+        cross-process :class:`~repro.service.cachetier.SharedCacheTier`,
+        or none; with ``config.cache=None`` the legacy
+        ``cache_enabled``/``cache_entries`` knobs apply); ``None``
+        disables cross-query caching (every trip uses the engine's
+        per-trip cache); or pass a pre-configured backend
+        (:class:`SubQueryCache` / ``SharedCacheTier``) to control the
+        bounds or share one cache between services *over the same index
+        and network* — the cache binds permanently to the first
+        (index, network) pair it serves and rejects any other.
     n_workers:
         Default fan-out width for batches.  ``None`` uses
         ``config.n_workers``; ``1`` keeps execution on the calling
@@ -124,7 +129,7 @@ class TravelTimeService:
         self,
         index: IndexReader,
         network: RoadNetwork,
-        cache: Union[SubQueryCache, None, str] = "default",
+        cache: Union[CacheBackend, None, str] = "default",
         n_workers: Optional[int] = None,
         config: Optional["EngineConfig"] = None,
         *,
@@ -141,7 +146,7 @@ class TravelTimeService:
                 "TravelTimeService(partitioner=..., ...) engine keyword "
                 "arguments are deprecated; pass "
                 "config=repro.EngineConfig(...) instead",
-                DeprecationWarning,
+                ReproDeprecationWarning,
                 stacklevel=2,
             )
             config = _legacy_config(engine_kwargs)
@@ -153,21 +158,13 @@ class TravelTimeService:
             # ConfigurationError is also a ValueError (legacy contract).
             raise ConfigurationError("n_workers must be positive")
         if cache == "default":
-            cache = (
-                SubQueryCache(
-                    max_ranges=config.cache_entries,
-                    max_results=config.cache_entries,
-                    max_histograms=config.cache_entries,
-                )
-                if config.cache_enabled
-                else None
-            )
+            cache = resolve_cache_backend(config, index)
         elif isinstance(cache, str):
             raise ConfigurationError(
-                f"cache must be a SubQueryCache, None, or 'default'; "
-                f"got {cache!r}"
+                f"cache must be a cache backend (SubQueryCache / "
+                f"SharedCacheTier), None, or 'default'; got {cache!r}"
             )
-        self.cache: Optional[SubQueryCache] = cache
+        self.cache: Optional[CacheBackend] = cache
         self.n_workers = n_workers
         self.config = config
         self.engine = QueryEngine(
@@ -217,7 +214,7 @@ class TravelTimeService:
         warnings.warn(
             "TravelTimeService.trip_query is deprecated; use "
             "repro.open_db(...).query(TripRequest(...))",
-            DeprecationWarning,
+            ReproDeprecationWarning,
             stacklevel=2,
         )
         return self.engine._run_task(query, tuple(exclude_ids), None)
@@ -275,7 +272,7 @@ class TravelTimeService:
             "TravelTimeService.trip_query_many is deprecated; use "
             "repro.open_db(...).query_many([TripRequest(...), ...]) or "
             ".stream(...)",
-            DeprecationWarning,
+            ReproDeprecationWarning,
             stacklevel=2,
         )
         if exclude_ids is None:
@@ -361,3 +358,10 @@ class TravelTimeService:
     def clear_cache(self) -> None:
         if self.cache is not None:
             self.cache.clear()
+
+    def close_cache(self) -> None:
+        """Release the cache backend: an in-process cache empties, a
+        shared tier closes its store connection but keeps its entries
+        (other processes may still be serving warm hits from them)."""
+        if self.cache is not None:
+            self.cache.close()

@@ -483,7 +483,7 @@ def load_index(
         ) from error
 
     stats_meta = meta["build_stats"]
-    return SNTIndex(
+    index = SNTIndex(
         partitions=partitions,
         forest=forest,
         users=arrays["users"],
@@ -500,3 +500,7 @@ def load_index(
             n_traversals=int(stats_meta["n_traversals"]),
         ),
     )
+    # Where this index came from on disk — lets serving layers place
+    # per-index artifacts (e.g. the shared cache tier) alongside it.
+    index.source_path = source
+    return index

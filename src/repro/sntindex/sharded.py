@@ -56,6 +56,7 @@ import json
 import pickle
 import threading
 import time
+import uuid
 from bisect import bisect_right
 from dataclasses import dataclass
 from pathlib import Path
@@ -582,6 +583,14 @@ class ShardedSNTIndex:
         self.partition_days = int(partition_days)
         self.tod_bucket_s = int(tod_bucket_s)
         self.epoch = int(epoch)
+        #: Distinguishes *which* mutation produced the current epoch.
+        #: Epochs are per-object ordinal counters, so two processes that
+        #: independently append different tails to copies of one saved
+        #: index both land on the same epoch number; the token makes the
+        #: (epoch, content) pair unique so a shared cache tier never
+        #: conflates their entries.  Empty for unmutated (disk) state —
+        #: that state is shared content, so sharing its entries is safe.
+        self.epoch_token = ""
         self._build_wall_seconds = build_wall_seconds
         self._rebuild_router()
 
@@ -911,6 +920,7 @@ class ShardedSNTIndex:
         self._staged = staged
         self.t_max = new_t_max
         self.epoch += 1
+        self.epoch_token = uuid.uuid4().hex
         self._rebuild_router()
         return len(batch)
 
@@ -1029,6 +1039,11 @@ def save_sharded_index(
             "t_max": index.t_max,
             "tod_bucket_s": index.tod_bucket_s,
             "epoch": index.epoch,
+            # Which mutation produced this epoch (see __init__): without
+            # it, two saves of differently-appended copies of one base
+            # index would reload indistinguishable at the same epoch and
+            # collide in a shared cache tier.
+            "epoch_token": index.epoch_token,
             "shards": shard_dirs,
             "staging": staging_manifest,
             "extra": dict(extra or {}),
@@ -1208,7 +1223,7 @@ def load_sharded_index(
                 f"failed to read staged trajectories from {source}: "
                 f"{error}"
             ) from error
-    return ShardedSNTIndex(
+    index = ShardedSNTIndex(
         sealed=sealed,
         staging=staging,
         t_min=int(manifest["t_min"]),
@@ -1220,6 +1235,13 @@ def load_sharded_index(
         staged_trajectories=staged,
         epoch=int(manifest["epoch"]),
     )
+    # Restore the mutation lineage (pre-PR-4 manifests lack the field;
+    # "" marks unmutated state, matching a fresh build).
+    index.epoch_token = str(manifest.get("epoch_token", ""))
+    # Where this index came from on disk — lets serving layers place
+    # per-index artifacts (e.g. the shared cache tier) alongside it.
+    index.source_path = source
+    return index
 
 
 # ---------------------------------------------------------------------- #

@@ -6,16 +6,20 @@ import pytest
 
 from repro import (
     CardinalityEstimator,
+    EngineConfig,
     FixedInterval,
     PeriodicInterval,
     QueryEngine,
     SNTIndex,
     StrictPathQuery,
+    TripRequest,
     generate_dataset,
     naive_travel_times,
 )
 from repro.errors import QueryError
 from repro.sntindex import get_travel_times
+
+from tests.typed_api import run_trip
 
 
 @pytest.fixture(scope="module")
@@ -85,7 +89,7 @@ class TestTripQuery:
     @pytest.fixture(scope="class")
     def engine(self, world):
         dataset, index = world
-        return QueryEngine(index, dataset.network, partitioner="pi_Z")
+        return QueryEngine(index, dataset.network, EngineConfig(partitioner="pi_Z"))
 
     def long_trip(self, dataset, min_len=8):
         return next(tr for tr in dataset.trajectories if len(tr) >= min_len)
@@ -93,7 +97,7 @@ class TestTripQuery:
     def test_returns_nonempty_histogram(self, world, engine):
         dataset, _ = world
         trip = self.long_trip(dataset)
-        result = engine.trip_query(
+        result = run_trip(engine,
             StrictPathQuery(
                 path=trip.path,
                 interval=PeriodicInterval.around(trip.start_time, 900),
@@ -107,7 +111,7 @@ class TestTripQuery:
     def test_final_subpaths_cover_path_in_order(self, world, engine):
         dataset, _ = world
         trip = self.long_trip(dataset)
-        result = engine.trip_query(
+        result = run_trip(engine,
             StrictPathQuery(
                 path=trip.path,
                 interval=PeriodicInterval.around(trip.start_time, 900),
@@ -123,7 +127,7 @@ class TestTripQuery:
     def test_estimated_mean_positive(self, world, engine):
         dataset, _ = world
         trip = self.long_trip(dataset)
-        result = engine.trip_query(
+        result = run_trip(engine,
             StrictPathQuery(
                 path=trip.path,
                 interval=PeriodicInterval.around(trip.start_time, 900),
@@ -145,17 +149,19 @@ class TestTripQuery:
         for name in (
             "pi_1", "pi_2", "pi_3", "pi_C", "pi_Z", "pi_ZC", "pi_N", "pi_MDM",
         ):
-            engine = QueryEngine(index, dataset.network, partitioner=name)
-            result = engine.trip_query(query, exclude_ids=(trip.traj_id,))
+            engine = QueryEngine(index, dataset.network, EngineConfig(partitioner=name))
+            result = run_trip(engine, query, exclude_ids=(trip.traj_id,))
             assert result.histogram.total > 0, name
 
     def test_longest_prefix_splitter_runs(self, world):
         dataset, index = world
         trip = self.long_trip(dataset)
         engine = QueryEngine(
-            index, dataset.network, partitioner="pi_N", splitter="longest_prefix"
+            index,
+            dataset.network,
+            EngineConfig(partitioner="pi_N", splitter="longest_prefix"),
         )
-        result = engine.trip_query(
+        result = run_trip(engine,
             StrictPathQuery(
                 path=trip.path,
                 interval=PeriodicInterval.around(trip.start_time, 900),
@@ -172,8 +178,8 @@ class TestTripQuery:
     def test_user_filter_query(self, world):
         dataset, index = world
         trip = self.long_trip(dataset)
-        engine = QueryEngine(index, dataset.network, partitioner="pi_MDM")
-        result = engine.trip_query(
+        engine = QueryEngine(index, dataset.network, EngineConfig(partitioner="pi_MDM"))
+        result = run_trip(engine,
             StrictPathQuery(
                 path=trip.path,
                 interval=PeriodicInterval.around(trip.start_time, 900),
@@ -187,8 +193,8 @@ class TestTripQuery:
     def test_spq_only_query(self, world):
         dataset, index = world
         trip = self.long_trip(dataset)
-        engine = QueryEngine(index, dataset.network, partitioner="pi_N")
-        result = engine.trip_query(
+        engine = QueryEngine(index, dataset.network, EngineConfig(partitioner="pi_N"))
+        result = run_trip(engine,
             StrictPathQuery(
                 path=trip.path,
                 interval=FixedInterval(0, index.t_max),
@@ -201,7 +207,9 @@ class TestTripQuery:
     def test_unknown_splitter_rejected(self, world):
         dataset, index = world
         with pytest.raises(QueryError):
-            QueryEngine(index, dataset.network, splitter="alphabetical")
+            QueryEngine(
+                index, dataset.network, EngineConfig(splitter="alphabetical")
+            )
 
     def test_estimator_skips_reduce_scans(self, world):
         dataset, index = world
@@ -211,15 +219,15 @@ class TestTripQuery:
             interval=PeriodicInterval.around(trip.start_time, 900),
             beta=30,
         )
-        plain = QueryEngine(index, dataset.network, partitioner="pi_N")
+        plain = QueryEngine(index, dataset.network, EngineConfig(partitioner="pi_N"))
         with_est = QueryEngine(
             index,
             dataset.network,
-            partitioner="pi_N",
+            EngineConfig(partitioner="pi_N"),
             estimator=CardinalityEstimator(index, "CSS-Acc"),
         )
-        r_plain = plain.trip_query(query, exclude_ids=(trip.traj_id,))
-        r_est = with_est.trip_query(query, exclude_ids=(trip.traj_id,))
+        r_plain = run_trip(plain, query, exclude_ids=(trip.traj_id,))
+        r_est = run_trip(with_est, query, exclude_ids=(trip.traj_id,))
         assert r_est.n_estimator_skips > 0
         assert r_est.n_index_scans <= r_plain.n_index_scans
         # Both produce answers for the same path.
@@ -230,14 +238,14 @@ class TestTripQuery:
     def test_deterministic_given_same_inputs(self, world):
         dataset, index = world
         trip = self.long_trip(dataset)
-        engine = QueryEngine(index, dataset.network, partitioner="pi_C")
+        engine = QueryEngine(index, dataset.network, EngineConfig(partitioner="pi_C"))
         query = StrictPathQuery(
             path=trip.path,
             interval=PeriodicInterval.around(trip.start_time, 900),
             beta=10,
         )
-        r1 = engine.trip_query(query, exclude_ids=(trip.traj_id,))
-        r2 = engine.trip_query(query, exclude_ids=(trip.traj_id,))
+        r1 = run_trip(engine, query, exclude_ids=(trip.traj_id,))
+        r2 = run_trip(engine, query, exclude_ids=(trip.traj_id,))
         assert r1.histogram == r2.histogram
         assert r1.estimated_mean == r2.estimated_mean
 
@@ -253,8 +261,8 @@ class TestEngineFallbacks:
         unused = [e for e in network.edge_ids() if e not in traversed]
         if not unused:
             pytest.skip("every edge traversed at this scale")
-        engine = QueryEngine(index, network, partitioner="pi_N")
-        result = engine.trip_query(
+        engine = QueryEngine(index, network, EngineConfig(partitioner="pi_N"))
+        result = run_trip(engine,
             StrictPathQuery(
                 path=(unused[0],),
                 interval=PeriodicInterval.around(8 * 3600, 900),

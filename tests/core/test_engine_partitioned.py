@@ -3,12 +3,16 @@
 import pytest
 
 from repro import (
+    EngineConfig,
     PeriodicInterval,
     QueryEngine,
     SNTIndex,
     StrictPathQuery,
+    TripRequest,
     generate_dataset,
 )
+
+from tests.typed_api import run_trip
 
 
 @pytest.fixture(scope="module")
@@ -34,9 +38,11 @@ def test_partition_count(world):
 @pytest.mark.parametrize("partitioner", ["pi_Z", "pi_C", "pi_N"])
 def test_trip_queries_identical(world, partitioner):
     dataset, full, weekly = world
-    engine_full = QueryEngine(full, dataset.network, partitioner=partitioner)
+    engine_full = QueryEngine(
+        full, dataset.network, EngineConfig(partitioner=partitioner)
+    )
     engine_weekly = QueryEngine(
-        weekly, dataset.network, partitioner=partitioner
+        weekly, dataset.network, EngineConfig(partitioner=partitioner)
     )
     trips = [tr for tr in dataset.trajectories if len(tr) >= 8][:15]
     for trip in trips:
@@ -45,8 +51,8 @@ def test_trip_queries_identical(world, partitioner):
             interval=PeriodicInterval.around(trip.start_time, 900),
             beta=10,
         )
-        a = engine_full.trip_query(query, exclude_ids=(trip.traj_id,))
-        b = engine_weekly.trip_query(query, exclude_ids=(trip.traj_id,))
+        a = run_trip(engine_full, query, exclude_ids=(trip.traj_id,))
+        b = run_trip(engine_weekly, query, exclude_ids=(trip.traj_id,))
         assert a.histogram == b.histogram
         assert a.estimated_mean == pytest.approx(b.estimated_mean)
         assert [o.query.path for o in a.outcomes] == [
@@ -61,11 +67,11 @@ def test_estimator_works_on_partitioned_index(world):
     engine = QueryEngine(
         weekly,
         dataset.network,
-        partitioner="pi_Z",
+        EngineConfig(partitioner="pi_Z"),
         estimator=CardinalityEstimator(weekly, "CSS-Acc"),
     )
     trip = next(tr for tr in dataset.trajectories if len(tr) >= 8)
-    result = engine.trip_query(
+    result = run_trip(engine,
         StrictPathQuery(
             path=trip.path,
             interval=PeriodicInterval.around(trip.start_time, 900),

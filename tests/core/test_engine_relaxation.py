@@ -9,15 +9,19 @@ import numpy as np
 import pytest
 
 from repro import (
+    EngineConfig,
     FixedInterval,
     PeriodicInterval,
     QueryEngine,
     SNTIndex,
     StrictPathQuery,
+    TripRequest,
 )
 from repro.config import SECONDS_PER_DAY
 from repro.network import Edge, RoadCategory, RoadNetwork, ZoneType
 from repro.trajectories import Trajectory, TrajectoryPoint, TrajectorySet
+
+from tests.typed_api import run_trip
 
 EIGHT = 8 * 3600
 
@@ -66,8 +70,8 @@ class TestWideningRelaxation:
             for d in range(5)
         ]
         index = build(rows, network)
-        engine = QueryEngine(index, network, partitioner="pi_N")
-        result = engine.trip_query(
+        engine = QueryEngine(index, network, EngineConfig(partitioner="pi_N"))
+        result = run_trip(engine,
             StrictPathQuery(
                 path=(1, 2),
                 interval=PeriodicInterval(start_tod=EIGHT - 450, duration=900),
@@ -89,8 +93,8 @@ class TestWideningRelaxation:
             for d in range(5)
         ]
         index = build(rows, network)
-        engine = QueryEngine(index, network, partitioner="pi_N")
-        result = engine.trip_query(
+        engine = QueryEngine(index, network, EngineConfig(partitioner="pi_N"))
+        result = run_trip(engine,
             StrictPathQuery(
                 path=(1, 2),
                 interval=PeriodicInterval.around(EIGHT + 450, 900),
@@ -112,8 +116,8 @@ class TestSplitRelaxation:
             for d in range(4)
         ]
         index = build(rows, network)
-        engine = QueryEngine(index, network, partitioner="pi_N")
-        result = engine.trip_query(
+        engine = QueryEngine(index, network, EngineConfig(partitioner="pi_N"))
+        result = run_trip(engine,
             StrictPathQuery(
                 path=(1, 2, 3, 4),
                 interval=PeriodicInterval.around(EIGHT, 900),
@@ -133,8 +137,8 @@ class TestSplitRelaxation:
             for d in range(4)
         ]
         index = build(rows, network)
-        engine = QueryEngine(index, network, partitioner="pi_N")
-        result = engine.trip_query(
+        engine = QueryEngine(index, network, EngineConfig(partitioner="pi_N"))
+        result = run_trip(engine,
             StrictPathQuery(
                 path=(1, 2, 3, 4),
                 interval=PeriodicInterval.around(EIGHT, 900),
@@ -153,8 +157,8 @@ class TestUserDropAndFallback:
             for d in range(4)
         ]
         index = build(rows, network)
-        engine = QueryEngine(index, network, partitioner="pi_N")
-        result = engine.trip_query(
+        engine = QueryEngine(index, network, EngineConfig(partitioner="pi_N"))
+        result = run_trip(engine,
             StrictPathQuery(
                 path=(1,),
                 interval=PeriodicInterval.around(EIGHT, 900),
@@ -174,8 +178,8 @@ class TestUserDropAndFallback:
             for d in range(4)
         ]
         index = build(rows, network)
-        engine = QueryEngine(index, network, partitioner="pi_N")
-        result = engine.trip_query(
+        engine = QueryEngine(index, network, EngineConfig(partitioner="pi_N"))
+        result = run_trip(engine,
             StrictPathQuery(
                 path=(2,),  # edge 2 has no data at all
                 interval=PeriodicInterval.around(EIGHT, 900),
@@ -194,8 +198,8 @@ class TestUserDropAndFallback:
             for d in range(4)
         ]
         index = build(rows, network)
-        engine = QueryEngine(index, network, partitioner="pi_N")
-        result = engine.trip_query(
+        engine = QueryEngine(index, network, EngineConfig(partitioner="pi_N"))
+        result = run_trip(engine,
             StrictPathQuery(
                 path=(2,),
                 interval=PeriodicInterval.around(EIGHT, 900),
@@ -238,8 +242,8 @@ class TestShiftAndEnlarge:
 
     def test_second_subquery_interval_shifted(self):
         network, index = self.make_world()
-        engine = QueryEngine(index, network, partitioner="pi_Z")
-        result = engine.trip_query(
+        engine = QueryEngine(index, network, EngineConfig(partitioner="pi_Z"))
+        result = run_trip(engine,
             StrictPathQuery(
                 path=(1, 2),
                 interval=PeriodicInterval.around(EIGHT + 450, 900),
@@ -261,18 +265,22 @@ class TestShiftAndEnlarge:
     def test_disabled_adaptation_misses_offset_traffic(self):
         network, index = self.make_world()
         adaptive = QueryEngine(
-            index, network, partitioner="pi_Z", shift_and_enlarge=True
+            index,
+            network,
+            EngineConfig(partitioner="pi_Z", shift_and_enlarge=True),
         )
         static = QueryEngine(
-            index, network, partitioner="pi_Z", shift_and_enlarge=False
+            index,
+            network,
+            EngineConfig(partitioner="pi_Z", shift_and_enlarge=False),
         )
         query = StrictPathQuery(
             path=(1, 2),
             interval=PeriodicInterval.around(EIGHT + 450, 900),
             beta=3,
         )
-        adaptive_result = adaptive.trip_query(query)
-        static_result = static.trip_query(query)
+        adaptive_result = run_trip(adaptive, query)
+        static_result = run_trip(static, query)
         # Without adaptation the second sub-query needs widening: its
         # final interval is strictly larger.
         assert (
@@ -294,12 +302,12 @@ class TestEstimatorPruning:
         engine = QueryEngine(
             index,
             network,
-            partitioner="pi_N",
+            EngineConfig(partitioner="pi_N"),
             estimator=CardinalityEstimator(index, "CSS-Acc"),
         )
         # beta far above the data: the estimator prunes every periodic
         # attempt before any scan.
-        result = engine.trip_query(
+        result = run_trip(engine,
             StrictPathQuery(
                 path=(1, 2),
                 interval=PeriodicInterval.around(EIGHT, 900),

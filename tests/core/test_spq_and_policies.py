@@ -114,10 +114,12 @@ class TestBetaPolicies:
     def test_engine_applies_policy(self):
         # Engine-level integration on the tiny dataset.
         from repro import (
+            EngineConfig,
             PeriodicInterval,
             QueryEngine,
             SNTIndex,
             StrictPathQuery,
+            TripRequest,
             generate_dataset,
         )
         from repro.core import zone_beta_policy as make_policy
@@ -139,15 +141,17 @@ class TestBetaPolicies:
         engine = QueryEngine(
             index,
             dataset.network,
-            partitioner="pi_Z",
-            beta_policy=make_policy(dataset.network, rural_factor=0.25),
+            EngineConfig(
+                partitioner="pi_Z",
+                beta_policy=make_policy(dataset.network, rural_factor=0.25),
+            ),
         )
-        result = engine.trip_query(
-            StrictPathQuery(
+        result = engine.query(
+            TripRequest(
                 path=trip.path,
                 interval=PeriodicInterval.around(trip.start_time, 900),
                 beta=20,
-            ),
-            exclude_ids=(trip.traj_id,),
+                exclude_ids=(trip.traj_id,),
+            )
         )
         assert result.histogram.total > 0

@@ -132,8 +132,12 @@ class TestEngineConvolve:
                 for d, u, seq in TRAJECTORIES
             ]
         )
+        from repro import EngineConfig
+
         index = SNTIndex.build(trajectories, alphabet_size=7)
-        return QueryEngine(index, network=None, bucket_width_s=BUCKET_WIDTH)
+        return QueryEngine(
+            index, network=None, config=EngineConfig(bucket_width_s=BUCKET_WIDTH)
+        )
 
     def test_no_outcomes_yields_empty_histogram(self, engine):
         result = engine._convolve([])

@@ -44,6 +44,10 @@ class TestLRUCache:
         with pytest.raises(ValueError):
             LRUCache(4).put("a", None)
 
+    def test_max_entries_is_public(self):
+        assert LRUCache(7).max_entries == 7
+        assert LRUCache(None).max_entries is None
+
     def test_invalid_bound_rejected(self):
         with pytest.raises(ValueError):
             LRUCache(0)

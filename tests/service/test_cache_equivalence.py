@@ -1,20 +1,29 @@
 """Cache/batch equivalence: the fast paths are bit-identical to Procedure 6.
 
-The serving layer (``TravelTimeService.trip_query_many`` + shared
-``SubQueryCache``) must return *exactly* what sequential
-``QueryEngine.trip_query`` returns — same histograms, same per-sub-query
-values, same point estimates — across partitioners, splitters, and
-estimator configurations.  The only permitted difference is accounting:
-cached runs trade index scans for cache hits, and the sum
+The serving layer (``TravelTimeDB.query_many`` over the shared
+``SubQueryCache``) must return *exactly* what a sequential uncached
+engine returns — same histograms, same per-sub-query values, same point
+estimates — across partitioners, splitters, and estimator
+configurations.  The only permitted difference is accounting: cached
+runs trade index scans for cache hits, and the sum
 ``n_index_scans + n_cache_hits`` is invariant.
 """
 
 import numpy as np
 import pytest
 
-from repro import CardinalityEstimator, QueryEngine, SubQueryCache
+from repro import (
+    CardinalityEstimator,
+    EngineConfig,
+    QueryEngine,
+    SubQueryCache,
+    TravelTimeDB,
+    TripRequest,
+)
 from repro.experiments import build_workload
 from repro.service import TravelTimeService
+
+from tests.typed_api import as_requests, run_trip
 
 PARTITIONERS = ("pi_1", "pi_Z", "pi_ZC")
 SPLITTERS = ("regular", "longest_prefix")
@@ -66,31 +75,23 @@ def test_batched_cached_equals_sequential(
     workload, jobs, partitioner, splitter
 ):
     queries, exclude_ids = jobs
-    engine = QueryEngine(
-        workload.index,
-        workload.network,
-        partitioner=partitioner,
-        splitter=splitter,
-    )
+    config = EngineConfig(partitioner=partitioner, splitter=splitter)
+    # A bare QueryEngine is uncached (its cache parameter defaults to
+    # per-trip); config.cache_enabled only matters to session layers.
+    engine = QueryEngine(workload.index, workload.network, config)
     sequential = [
-        engine.trip_query(query, exclude_ids=excluded)
+        run_trip(engine, query, exclude_ids=excluded)
         for query, excluded in zip(queries, exclude_ids)
     ]
 
-    service = TravelTimeService(
-        workload.index,
-        workload.network,
-        partitioner=partitioner,
-        splitter=splitter,
-    )
+    db = TravelTimeDB(workload.index, workload.network, config=config)
+    requests = as_requests(queries, exclude_ids)
     # Cold pass single-threaded: the exact scans-vs-hits accounting is
     # only guaranteed without concurrent same-key misses.  The warm pass
     # fans out — every retrieval is a hit, so the accounting is exact
     # again and the fan-out path is exercised.
-    cold = service.trip_query_many(queries, exclude_ids=exclude_ids)
-    warm = service.trip_query_many(
-        queries, exclude_ids=exclude_ids, n_workers=3
-    )
+    cold = db.query_many(requests)
+    warm = db.query_many(requests, n_workers=3)
     assert_equivalent(sequential, cold)
     assert_equivalent(sequential, warm)
     # The warm pass answers the whole batch from cache.
@@ -114,14 +115,14 @@ def test_equivalence_with_cardinality_estimator(
         workload.index, workload.network, estimator=estimator
     )
     sequential = [
-        engine.trip_query(query, exclude_ids=excluded)
+        run_trip(engine, query, exclude_ids=excluded)
         for query, excluded in zip(queries, exclude_ids)
     ]
-    service = TravelTimeService(
-        workload.index, workload.network, estimator=estimator
-    )
-    cold = service.trip_query_many(queries, exclude_ids=exclude_ids)
-    warm = service.trip_query_many(queries, exclude_ids=exclude_ids)
+    config = EngineConfig(estimator_mode=estimator_mode)
+    db = TravelTimeDB(workload.index, workload.network, config=config)
+    requests = as_requests(queries, exclude_ids)
+    cold = db.query_many(requests)
+    warm = db.query_many(requests)
     assert_equivalent(sequential, cold)
     assert_equivalent(sequential, warm)
     if estimator_mode is not None:
@@ -134,13 +135,10 @@ def test_equivalence_with_cardinality_estimator(
 
 def test_results_preserve_submission_order(workload, jobs):
     queries, exclude_ids = jobs
-    service = TravelTimeService(workload.index, workload.network)
-    single = service.trip_query_many(
-        queries, exclude_ids=exclude_ids, n_workers=1
-    )
-    fanned = service.trip_query_many(
-        queries, exclude_ids=exclude_ids, n_workers=4
-    )
+    db = TravelTimeDB(workload.index, workload.network)
+    requests = as_requests(queries, exclude_ids)
+    single = db.query_many(requests, n_workers=1)
+    fanned = db.query_many(requests, n_workers=4)
     for a, b in zip(single, fanned):
         assert a.histogram == b.histogram
         assert [o.query.path for o in a.outcomes] == [
@@ -151,31 +149,29 @@ def test_results_preserve_submission_order(workload, jobs):
 def test_exclude_ids_are_part_of_the_cache_key(workload, jobs):
     """Different exclusions must never share a cached result."""
     queries, exclude_ids = jobs
-    service = TravelTimeService(workload.index, workload.network)
+    db = TravelTimeDB(workload.index, workload.network)
     engine = QueryEngine(workload.index, workload.network)
-    excluded = service.trip_query_many(queries, exclude_ids=exclude_ids)
-    included = service.trip_query_many(queries)  # no exclusions, warm cache
+    excluded = db.query_many(as_requests(queries, exclude_ids))
+    included = db.query_many(as_requests(queries))  # no exclusions, warm
     for query, excl, with_excl, without_excl in zip(
         queries, exclude_ids, excluded, included
     ):
-        assert with_excl.histogram == engine.trip_query(
-            query, exclude_ids=excl
+        assert with_excl.histogram == run_trip(
+            engine, query, exclude_ids=excl
         ).histogram
-        assert without_excl.histogram == engine.trip_query(query).histogram
+        assert without_excl.histogram == run_trip(engine, query).histogram
 
 
 def test_cache_disabled_service_matches_too(workload, jobs):
     queries, exclude_ids = jobs
     engine = QueryEngine(workload.index, workload.network)
     sequential = [
-        engine.trip_query(query, exclude_ids=excluded)
+        run_trip(engine, query, exclude_ids=excluded)
         for query, excluded in zip(queries, exclude_ids)
     ]
-    service = TravelTimeService(workload.index, workload.network, cache=None)
-    results = service.trip_query_many(
-        queries, exclude_ids=exclude_ids, n_workers=2
-    )
-    assert service.cache_stats() is None
+    db = TravelTimeDB(workload.index, workload.network, cache=None)
+    results = db.query_many(as_requests(queries, exclude_ids), n_workers=2)
+    assert db.cache_stats() is None
     for expected, actual in zip(sequential, results):
         assert actual.histogram == expected.histogram
         assert actual.n_cache_hits == 0
@@ -186,10 +182,11 @@ def test_shared_cache_across_services(workload, jobs):
     """One SubQueryCache can back several service instances."""
     queries, exclude_ids = jobs
     shared = SubQueryCache()
-    first = TravelTimeService(workload.index, workload.network, cache=shared)
-    second = TravelTimeService(workload.index, workload.network, cache=shared)
-    first.trip_query_many(queries, exclude_ids=exclude_ids)
-    warm = second.trip_query_many(queries, exclude_ids=exclude_ids)
+    first = TravelTimeDB(workload.index, workload.network, cache=shared)
+    second = TravelTimeDB(workload.index, workload.network, cache=shared)
+    requests = as_requests(queries, exclude_ids)
+    first.query_many(requests)
+    warm = second.query_many(requests)
     assert sum(result.n_index_scans for result in warm) == 0
 
 
@@ -216,10 +213,13 @@ def test_shared_cache_rejects_different_index_or_network(workload):
 
 
 def test_mismatched_exclude_ids_length_raises(workload, jobs):
+    """The deprecated batch shim still validates its parallel lists
+    (shim behaviour: the warning and the legacy ValueError contract)."""
     queries, _ = jobs
     service = TravelTimeService(workload.index, workload.network)
-    with pytest.raises(ValueError):
-        service.trip_query_many(queries, exclude_ids=[()])
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(ValueError):
+            service.trip_query_many(queries, exclude_ids=[()])
 
 
 def test_engine_rejects_mismatched_index_network_pair(workload):

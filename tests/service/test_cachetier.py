@@ -1,0 +1,494 @@
+"""The cross-process shared cache tier (ISSUE 4).
+
+Three contracts are enforced here:
+
+1. **Protocol** — ``SubQueryCache`` and ``SharedCacheTier`` both satisfy
+   ``CacheBackend``; LRU eviction and hit/miss accounting are observable
+   through the protocol alone, whichever backend is plugged in.
+2. **Bit-identity** — answers with the shared tier on are exactly the
+   uncached answers, across thread and fork fan-out, and across a second
+   *fresh* handle (a new process's view of the store).
+3. **Epoch invalidation across processes** — entries written before an
+   ``append()`` are never served after the epoch bump, even by handles
+   (or forked workers) that never observed the append call.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    EngineConfig,
+    QueryEngine,
+    ShardedSNTIndex,
+    StrictPathQuery,
+    SubQueryCache,
+    TrajectorySet,
+    TravelTimeDB,
+    TripRequest,
+    generate_dataset,
+)
+from repro.core.intervals import FixedInterval, PeriodicInterval
+from repro.errors import ConfigurationError
+from repro.forkpool import fork_map
+from repro.service import CacheBackend, SharedCacheTier, resolve_cache_backend
+from repro.sntindex.procedures import TravelTimeResult
+
+PARTITION_DAYS = 7
+
+
+@pytest.fixture(scope="module")
+def world():
+    dataset = generate_dataset("tiny", seed=0)
+    from repro import SNTIndex
+
+    index = SNTIndex.build(
+        dataset.trajectories, dataset.network.alphabet_size
+    )
+    trips = [tr for tr in dataset.trajectories if len(tr) >= 6]
+    return dataset, index, trips
+
+
+def requests_for(trips, count=6):
+    return [
+        TripRequest(
+            path=trip.path,
+            interval=PeriodicInterval.around(trip.start_time, 900),
+            beta=10,
+            exclude_ids=(trip.traj_id,),
+        )
+        for trip in trips[:count]
+    ]
+
+
+def assert_bit_identical(expected, actual):
+    assert actual.histogram == expected.histogram
+    assert actual.histogram.as_dict() == expected.histogram.as_dict()
+    assert actual.estimated_mean == expected.estimated_mean
+    assert len(actual.outcomes) == len(expected.outcomes)
+    for out_expected, out_actual in zip(expected.outcomes, actual.outcomes):
+        assert out_actual.query == out_expected.query
+        assert np.array_equal(out_actual.values, out_expected.values)
+        assert out_actual.histogram == out_expected.histogram
+        assert out_actual.from_fallback == out_expected.from_fallback
+
+
+# --------------------------------------------------------------------- #
+# Protocol conformance + LRU/stat accounting through the protocol
+# --------------------------------------------------------------------- #
+
+
+def backend_factories(tmp_path):
+    return {
+        "memory": lambda: SubQueryCache(
+            max_ranges=2, max_results=2, max_histograms=2
+        ),
+        "shared": lambda: SharedCacheTier(
+            tmp_path / "tier", config=EngineConfig(), max_entries=2
+        ),
+    }
+
+
+@pytest.mark.parametrize("kind", ("memory", "shared"))
+def test_backends_satisfy_protocol(kind, tmp_path):
+    backend = backend_factories(tmp_path)[kind]()
+    assert isinstance(backend, CacheBackend)
+
+
+@pytest.mark.parametrize("kind", ("memory", "shared"))
+def test_lru_eviction_and_stats_through_protocol(kind, tmp_path):
+    """Eviction and hit/miss counters behave identically through the
+    CacheBackend protocol, whichever implementation is plugged in."""
+    backend: CacheBackend = backend_factories(tmp_path)[kind]()
+    paths = [(1, 2), (3, 4), (5, 6)]
+    for i, path in enumerate(paths):
+        assert backend.get_ranges(path) is None  # miss, counted
+        backend.put_ranges(path, [(0, i, i + 1)])
+    stats = backend.stats()
+    assert stats.ranges.misses == 3
+    assert stats.ranges.max_size == 2
+    assert stats.ranges.size == 2  # in-memory layer is LRU-bounded
+    assert stats.ranges.evictions == 1
+
+    # The most recent entries are hits in both backends.
+    assert backend.get_ranges((5, 6)) == [(0, 2, 3)]
+    assert backend.get_ranges((3, 4)) == [(0, 1, 2)]
+    stats = backend.stats()
+    assert stats.ranges.hits == 2
+    if kind == "memory":
+        # The evicted entry is gone for good in-process...
+        assert backend.get_ranges((1, 2)) is None
+    else:
+        # ... but the shared store still holds it (store is unbounded,
+        # epoch-collected): an L1 eviction is not a data loss.
+        assert backend.get_ranges((1, 2)) == [(0, 0, 1)]
+        assert backend.tier_stats().shared_hits["ranges"] >= 1
+
+    backend.clear()
+    assert backend.get_ranges((3, 4)) is None
+
+
+def test_result_wire_form_round_trips_bit_identically():
+    values = np.asarray([1.5, 2.25, 1e-7, 12345.6789], dtype=np.float64)
+    result = TravelTimeResult(
+        values=values, n_matched=7, from_fallback=False, insufficient=False
+    )
+    back = TravelTimeResult.from_wire(result.to_wire())
+    assert np.array_equal(back.values, result.values)
+    assert back.values.dtype == np.float64
+    assert not back.values.flags.writeable  # cached values are immutable
+    assert back.n_matched == 7
+    assert (back.from_fallback, back.insufficient) == (False, False)
+
+
+# --------------------------------------------------------------------- #
+# resolve_cache_backend / config spec
+# --------------------------------------------------------------------- #
+
+
+def test_cache_spec_resolution(world, tmp_path):
+    dataset, index, _ = world
+    assert resolve_cache_backend(EngineConfig(cache="off"), index) is None
+    assert (
+        resolve_cache_backend(
+            EngineConfig(cache_enabled=False), index
+        )
+        is None
+    )
+    memory = resolve_cache_backend(EngineConfig(cache="memory"), index)
+    assert isinstance(memory, SubQueryCache)
+    tier = resolve_cache_backend(
+        EngineConfig(cache=f"shared:{tmp_path / 'tier'}"), index
+    )
+    assert isinstance(tier, SharedCacheTier)
+    # 'shared' without a disk-loaded index has no directory to live in.
+    with pytest.raises(ConfigurationError, match="not loaded from disk"):
+        resolve_cache_backend(EngineConfig(cache="shared"), index)
+
+
+def test_cache_spec_validation():
+    with pytest.raises(ConfigurationError, match="cache must be"):
+        EngineConfig(cache="bogus")
+    with pytest.raises(ConfigurationError, match="cache must be"):
+        EngineConfig(cache="shared:")
+    with pytest.raises(ConfigurationError, match="beta_policy"):
+        EngineConfig(cache="shared", beta_policy=lambda path, beta: beta)
+
+
+def test_cache_identity_excludes_serving_knobs():
+    base = EngineConfig()
+    assert base.cache_identity() == base.replace(
+        n_workers=4, cache_entries=16
+    ).cache_identity()
+    assert (
+        base.cache_identity()
+        != base.replace(bucket_width_s=42.0).cache_identity()
+    )
+    with pytest.raises(ConfigurationError, match="beta_policy"):
+        EngineConfig(beta_policy=lambda path, beta: beta).cache_identity()
+
+
+def test_differently_configured_sessions_never_share_entries(
+    world, tmp_path
+):
+    """Same directory, different EngineConfig identity: zero shared hits."""
+    dataset, index, trips = world
+    requests = requests_for(trips, 3)
+    spec = f"shared:{tmp_path / 'tier'}"
+    db_a = TravelTimeDB(
+        index, dataset.network, config=EngineConfig(cache=spec)
+    )
+    db_a.query_many(requests)
+    db_b = TravelTimeDB(
+        index,
+        dataset.network,
+        config=EngineConfig(cache=spec, bucket_width_s=60.0),
+    )
+    results = db_b.query_many(requests)
+    assert sum(r.n_cache_hits for r in results) == 0
+    tier = db_b.engine.cache
+    assert sum(tier.tier_stats().shared_hits.values()) == 0
+
+
+def test_tier_rejects_store_of_different_world(world, tmp_path):
+    dataset, index, trips = world
+    other = generate_dataset("tiny", seed=1)
+    from repro import SNTIndex
+
+    other_index = SNTIndex.build(
+        other.trajectories, other.network.alphabet_size
+    )
+    spec = EngineConfig(cache=f"shared:{tmp_path / 'tier'}")
+    TravelTimeDB(index, dataset.network, config=spec).query_many(
+        requests_for(trips, 1)
+    )
+    with pytest.raises(ValueError, match="fingerprint"):
+        TravelTimeDB(other_index, other.network, config=spec).query_many(
+            requests_for([tr for tr in other.trajectories if len(tr) >= 6], 1)
+        )
+
+
+# --------------------------------------------------------------------- #
+# Bit-identity with the tier on/off, across thread and fork fan-out
+# --------------------------------------------------------------------- #
+
+
+def test_tier_answers_bit_identical_across_fanout_modes(world, tmp_path):
+    dataset, index, trips = world
+    requests = requests_for(trips, 6)
+    uncached = TravelTimeDB(index, dataset.network, cache=None)
+    expected = uncached.query_many(requests)
+
+    spec = EngineConfig(cache=f"shared:{tmp_path / 'tier'}")
+    db = TravelTimeDB(index, dataset.network, config=spec)
+    for results in (
+        db.query_many(requests),                      # cold, sequential
+        db.query_many(requests, n_workers=3),         # warm, threads
+        db.query_many(
+            requests, n_workers=2, use_processes=True
+        ),                                            # warm, forked
+    ):
+        for want, got in zip(expected, results):
+            assert_bit_identical(want, got)
+
+    # A second fresh handle (another process's view of the store)
+    # answers the whole workload from shared hits, still bit-identical.
+    db2 = TravelTimeDB(index, dataset.network, config=spec)
+    warm = db2.query_many(requests)
+    assert sum(r.n_index_scans for r in warm) == 0
+    for want, got in zip(expected, warm):
+        assert_bit_identical(want, got)
+
+
+def test_forked_workers_write_through_the_shared_tier(world, tmp_path):
+    """Fork fan-out must open the tier (not an empty spawn): entries a
+    worker computes are visible to fresh sessions afterwards."""
+    dataset, index, trips = world
+    requests = requests_for(trips, 4)
+    spec = EngineConfig(cache=f"shared:{tmp_path / 'tier'}")
+    db = TravelTimeDB(index, dataset.network, config=spec)
+    db.query_many(requests, n_workers=2, use_processes=True)
+
+    fresh = TravelTimeDB(index, dataset.network, config=spec)
+    warm = fresh.query_many(requests)
+    assert sum(r.n_index_scans for r in warm) == 0
+    assert sum(r.n_cache_hits for r in warm) > 0
+
+
+def test_spawn_for_worker_shares_store_without_parent_state(tmp_path):
+    tier = SharedCacheTier(tmp_path / "tier", config=EngineConfig())
+    tier.put_ranges((1, 2), [(0, 0, 5)])
+    worker_view = tier.spawn_for_worker()
+    assert worker_view is not tier
+    assert worker_view.get_ranges((1, 2)) == [(0, 0, 5)]
+    # The in-process SubQueryCache spawns empty instead.
+    cache = SubQueryCache(max_ranges=7)
+    spawned = cache.spawn_for_worker()
+    assert spawned.stats().ranges.size == 0
+    assert spawned.stats().ranges.max_size == 7
+
+
+# --------------------------------------------------------------------- #
+# Epoch invalidation observed across processes
+# --------------------------------------------------------------------- #
+
+
+def _split_for_append(dataset):
+    """Older-bucket trajectories as the base corpus, the newest partition
+    bucket as the appendable tail (mirrors the sharded-equivalence
+    suite's split: buckets are anchored at the corpus t_min)."""
+    trajectories = list(dataset.trajectories)
+    t_min = min(tr.start_time for tr in trajectories)
+    window = PARTITION_DAYS * 86_400
+    buckets = sorted(
+        {(tr.start_time - t_min) // window for tr in trajectories}
+    )
+    cut = buckets[-1]
+    base = [
+        tr for tr in trajectories if (tr.start_time - t_min) // window < cut
+    ]
+    tail = [
+        tr for tr in trajectories if (tr.start_time - t_min) // window == cut
+    ]
+    return base, tail
+
+
+def test_rebuilt_index_over_changed_data_never_shares(world, tmp_path):
+    """An in-memory rebuild over *changed* trajectory data (e.g. the CLI
+    re-building after the world file was edited) restarts at epoch 0
+    with no token — the content-derived base lineage must still keep it
+    apart from the previous build's entries."""
+    dataset, index, trips = world
+    from repro import SNTIndex, TrajectorySet
+
+    shrunk = SNTIndex.build(
+        TrajectorySet(list(dataset.trajectories)[:-20]),
+        dataset.network.alphabet_size,
+    )
+    assert shrunk.epoch == index.epoch == 0  # indistinguishable by epoch
+    requests = requests_for(trips, 3)
+    spec = EngineConfig(cache=f"shared:{tmp_path / 'tier'}")
+    TravelTimeDB(index, dataset.network, config=spec).query_many(requests)
+    results = TravelTimeDB(shrunk, dataset.network, config=spec).query_many(
+        requests
+    )
+    assert sum(r.n_cache_hits for r in results) == 0  # nothing crossed
+    expected = TravelTimeDB(shrunk, dataset.network, cache=None).query_many(
+        requests
+    )
+    for want, got in zip(expected, results):
+        assert_bit_identical(want, got)
+
+
+def test_epoch_bump_invalidates_across_handles(world, tmp_path):
+    """Two handles onto one store: entries stamped before an epoch bump
+    are unreachable afterwards, whichever handle reads."""
+    dataset, _, _ = world
+    base, tail = _split_for_append(dataset)
+    sharded = ShardedSNTIndex.build(
+        TrajectorySet(base),
+        dataset.network.alphabet_size,
+        n_shards=2,
+        partition_days=PARTITION_DAYS,
+    )
+    config = EngineConfig()
+    writer = SharedCacheTier(tmp_path / "tier", config=config)
+    reader = SharedCacheTier(tmp_path / "tier", config=config)
+    writer.bind_index(sharded, dataset.network)
+    reader.bind_index(sharded, dataset.network)
+
+    key = ((1, 2), FixedInterval(0, 100), None, None, ())
+    writer.put_result(
+        key,
+        TravelTimeResult(
+            values=np.asarray([1.0]), n_matched=1, from_fallback=False
+        ),
+    )
+    assert reader.get_result(key) is not None  # visible across handles
+
+    sharded.append(tail)  # bumps the epoch
+    writer.sync_epoch(sharded)
+    assert writer.get_result(key) is None  # stale entry unreachable
+    # The reader handle syncs independently and must not see it either.
+    reader.sync_epoch(sharded)
+    assert reader.get_result(key) is None
+
+
+def test_same_epoch_number_different_appends_never_share(world, tmp_path):
+    """Epoch numbers are per-object ordinal counters: two sessions that
+    independently append *different* tails to copies of one saved index
+    both land on epoch N+1, but must never serve each other's entries
+    (the ``epoch_token`` lineage keeps them apart)."""
+    dataset, _, _ = world
+    base, tail = _split_for_append(dataset)
+    built = ShardedSNTIndex.build(
+        TrajectorySet(base),
+        dataset.network.alphabet_size,
+        n_shards=2,
+        partition_days=PARTITION_DAYS,
+    )
+    saved = built.save(tmp_path / "index")
+    from repro import load_any_index
+
+    index_a = load_any_index(saved)
+    index_b = load_any_index(saved)
+    half = len(tail) // 2 or 1
+    index_a.append(tail[:half])
+    index_b.append(tail)  # a *different* mutation, same epoch number
+    assert index_a.epoch == index_b.epoch
+
+    spec = EngineConfig(cache=f"shared:{tmp_path / 'tier'}")
+    trips = [tr for tr in base if len(tr) >= 6]
+    requests = requests_for(trips, 3)
+    db_a = TravelTimeDB(index_a, dataset.network, config=spec)
+    db_a.query_many(requests)  # populates the store at (N+1, lineage A)
+    db_b = TravelTimeDB(index_b, dataset.network, config=spec)
+    results_b = db_b.query_many(requests)
+    assert sum(r.n_cache_hits for r in results_b) == 0  # nothing crossed
+    expected = TravelTimeDB(index_b, dataset.network, cache=None).query_many(
+        requests
+    )
+    for want, got in zip(expected, results_b):
+        assert_bit_identical(want, got)
+
+    # The lineage survives persistence: saving both mutated states and
+    # reloading must keep them distinguishable (else two saved states at
+    # the same epoch would collide after a cold start).
+    reloaded_a = load_any_index(index_a.save(tmp_path / "saved-a"))
+    reloaded_b = load_any_index(index_b.save(tmp_path / "saved-b"))
+    assert reloaded_a.epoch == reloaded_b.epoch
+    assert reloaded_a.epoch_token == index_a.epoch_token
+    assert reloaded_b.epoch_token == index_b.epoch_token
+    assert reloaded_a.epoch_token != reloaded_b.epoch_token
+
+
+def test_append_invalidation_observed_by_forked_process(world, tmp_path):
+    """End to end: warm the tier, append, and let a *forked worker
+    process* answer the same workload — stale shared entries must never
+    be served, so the worker's answers equal a fresh uncached engine
+    over the appended index."""
+    dataset, _, _ = world
+    base, tail = _split_for_append(dataset)
+    sharded = ShardedSNTIndex.build(
+        TrajectorySet(base),
+        dataset.network.alphabet_size,
+        n_shards=2,
+        partition_days=PARTITION_DAYS,
+    )
+    trips = [tr for tr in base if len(tr) >= 6]
+    requests = requests_for(trips, 5)
+    spec = EngineConfig(cache=f"shared:{tmp_path / 'tier'}")
+
+    db = TravelTimeDB(sharded, dataset.network, config=spec)
+    pre_append = db.query_many(requests)  # warms the shared store
+    assert sum(r.n_index_scans for r in pre_append) > 0
+
+    sharded.append(tail)
+
+    def answer_in_child(request):
+        # Fresh tier handle in the worker, as a separate serving process
+        # (or a fork fan-out worker) would build it.
+        child_db = TravelTimeDB(sharded, dataset.network, config=spec)
+        return child_db.query(request)
+
+    forked = fork_map(answer_in_child, requests, workers=2)
+    uncached = TravelTimeDB(sharded, dataset.network, cache=None)
+    expected = uncached.query_many(requests)
+    changed = 0
+    for want, got, before in zip(expected, forked, pre_append):
+        assert_bit_identical(want, got)
+        if want.histogram != before.histogram:
+            changed += 1
+    # The append actually changed some answers — otherwise serving a
+    # stale entry would be indistinguishable from a correct one.
+    assert changed > 0
+
+
+# --------------------------------------------------------------------- #
+# Lifecycle
+# --------------------------------------------------------------------- #
+
+
+def test_close_keeps_entries_clear_drops_them(world, tmp_path):
+    dataset, index, trips = world
+    requests = requests_for(trips, 3)
+    spec = EngineConfig(cache=f"shared:{tmp_path / 'tier'}")
+    with TravelTimeDB(index, dataset.network, config=spec) as db:
+        db.query_many(requests)
+    # close() ran; the store must still warm the next session.
+    db2 = TravelTimeDB(index, dataset.network, config=spec)
+    warm = db2.query_many(requests)
+    assert sum(r.n_index_scans for r in warm) == 0
+    # clear() drops this configuration's entries for good.
+    db2.clear_cache()
+    db3 = TravelTimeDB(index, dataset.network, config=spec)
+    cold = db3.query_many(requests)
+    assert sum(r.n_index_scans for r in cold) > 0
+
+
+def test_tier_binding_rejects_second_index_per_handle(world, tmp_path):
+    dataset, index, _ = world
+    tier = SharedCacheTier(tmp_path / "tier", config=EngineConfig())
+    tier.bind_index(index, dataset.network)
+    tier.bind_index(index, dataset.network)  # same pair: fine
+    with pytest.raises(ValueError, match="bound to a different"):
+        tier.bind_index(index, None)

@@ -13,11 +13,13 @@ import numpy as np
 import pytest
 
 from repro import (
+    EngineConfig,
     FixedInterval,
     PeriodicInterval,
     QueryEngine,
     SNTIndex,
     StrictPathQuery,
+    TripRequest,
 )
 from repro import Edge, RoadCategory, RoadNetwork, ZoneType
 from repro.errors import IndexError_, PersistenceError
@@ -31,6 +33,8 @@ from tests.paper_vectors import (
     TRAJECTORIES,
     WORKED_QUERY_PATH,
 )
+
+from tests.typed_api import run_trip
 
 A, B, C, D, E, F = 1, 2, 3, 4, 5, 6
 
@@ -120,12 +124,11 @@ class TestPaperExampleRoundTrip:
         query = StrictPathQuery(
             path=WORKED_QUERY_PATH, interval=FixedInterval(0, 15), user=1
         )
-        before = QueryEngine(
-            paper_index, network, partitioner="pi_1", bucket_width_s=1.0
-        ).trip_query(query)
-        after = QueryEngine(
-            loaded_paper_index, network, partitioner="pi_1", bucket_width_s=1.0
-        ).trip_query(query)
+        config = EngineConfig(partitioner="pi_1", bucket_width_s=1.0)
+        before = run_trip(QueryEngine(paper_index, network, config), query)
+        after = run_trip(
+            QueryEngine(loaded_paper_index, network, config), query
+        )
         assert after.histogram == before.histogram
         assert after.estimated_mean == before.estimated_mean
         assert after.n_index_scans == before.n_index_scans
@@ -159,11 +162,15 @@ class TestPartitionedWorldRoundTrip:
                 interval=PeriodicInterval.around(trip.start_time, 900),
                 beta=10,
             )
-            before = QueryEngine(index, dataset.network).trip_query(
-                query, exclude_ids=(trip.traj_id,)
+            before = run_trip(
+                QueryEngine(index, dataset.network),
+                query,
+                exclude_ids=(trip.traj_id,),
             )
-            after = QueryEngine(loaded, dataset.network).trip_query(
-                query, exclude_ids=(trip.traj_id,)
+            after = run_trip(
+                QueryEngine(loaded, dataset.network),
+                query,
+                exclude_ids=(trip.traj_id,),
             )
             assert after.histogram == before.histogram
             assert after.estimated_mean == before.estimated_mean
@@ -182,11 +189,17 @@ class TestPartitionedWorldRoundTrip:
             interval=PeriodicInterval.around(trip.start_time, 900),
             beta=10,
         )
-        (result,) = service.trip_query_many(
-            [query], exclude_ids=[(trip.traj_id,)]
-        )
-        expected = QueryEngine(index, dataset.network).trip_query(
-            query, exclude_ids=(trip.traj_id,)
+        # Shim behaviour on purpose: from_saved is a service-layer
+        # classmethod, and the public batch surface of the service is
+        # the deprecated shim — assert it still warns and delegates.
+        with pytest.warns(DeprecationWarning):
+            (result,) = service.trip_query_many(
+                [query], exclude_ids=[(trip.traj_id,)]
+            )
+        expected = run_trip(
+            QueryEngine(index, dataset.network),
+            query,
+            exclude_ids=(trip.traj_id,),
         )
         assert result.histogram == expected.histogram
 

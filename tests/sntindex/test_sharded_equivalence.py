@@ -18,6 +18,7 @@ from hypothesis import strategies as st
 
 from repro import (
     CardinalityEstimator,
+    EngineConfig,
     FixedInterval,
     PeriodicInterval,
     QueryEngine,
@@ -26,12 +27,17 @@ from repro import (
     StrictPathQuery,
     SubQueryCache,
     TrajectorySet,
+    TravelTimeDB,
     TravelTimeService,
+    TripRequest,
     generate_dataset,
 )
 from repro.config import SECONDS_PER_DAY
 from repro.errors import IndexError_, PersistenceError, ShardError
 from repro.sntindex.sharded import load_any_index, read_any_meta
+
+from tests.typed_api import as_requests, run_trip
+
 
 PARTITION_DAYS = 7
 N_SHARDS = 3
@@ -71,8 +77,7 @@ def engines(world):
                 QueryEngine(
                     index,
                     dataset.network,
-                    partitioner=partitioner,
-                    splitter=splitter,
+                    EngineConfig(partitioner=partitioner, splitter=splitter),
                     estimator=(
                         CardinalityEstimator(index, mode)
                         if mode is not None
@@ -198,8 +203,8 @@ def test_random_workloads_bit_identical(world, engines, data):
         path=trip.path, interval=interval, user=user, beta=beta
     )
     engine_mono, engine_sharded = engines(partitioner, splitter, mode)
-    expected = engine_mono.trip_query(query, exclude_ids=(trip.traj_id,))
-    actual = engine_sharded.trip_query(query, exclude_ids=(trip.traj_id,))
+    expected = run_trip(engine_mono, query, exclude_ids=(trip.traj_id,))
+    actual = run_trip(engine_sharded, query, exclude_ids=(trip.traj_id,))
     assert_bit_identical(expected, actual)
 
 
@@ -220,7 +225,7 @@ def test_fixed_interval_prunes_shards(world):
         interval=FixedInterval(first.t_lo, first.t_hi - 1),
         beta=None,
     )
-    engine.trip_query(query)
+    run_trip(engine, query)
     after = sharded.shard_stats()
     assert after.n_shards_pruned > before.n_shards_pruned
     assert after.per_shard_scans[last.label] == before.per_shard_scans[
@@ -272,8 +277,12 @@ def test_append_is_bit_identical_to_full_rebuild(world):
     assert sharded.has_staging
     assert sharded.n_partitions == mono.n_partitions
 
-    engine_mono = QueryEngine(mono, dataset.network, splitter="regular")
-    engine_sharded = QueryEngine(sharded, dataset.network, splitter="regular")
+    engine_mono = QueryEngine(
+        mono, dataset.network, EngineConfig(splitter="regular")
+    )
+    engine_sharded = QueryEngine(
+        sharded, dataset.network, EngineConfig(splitter="regular")
+    )
     for trip in trips[:20]:
         query = StrictPathQuery(
             path=trip.path,
@@ -281,8 +290,8 @@ def test_append_is_bit_identical_to_full_rebuild(world):
             beta=10,
         )
         assert_bit_identical(
-            engine_mono.trip_query(query, exclude_ids=(trip.traj_id,)),
-            engine_sharded.trip_query(query, exclude_ids=(trip.traj_id,)),
+            run_trip(engine_mono, query, exclude_ids=(trip.traj_id,)),
+            run_trip(engine_sharded, query, exclude_ids=(trip.traj_id,)),
         )
 
     # Sealing the staging shard is pure bookkeeping: answers and epoch
@@ -298,8 +307,8 @@ def test_append_is_bit_identical_to_full_rebuild(world):
         beta=10,
     )
     assert_bit_identical(
-        engine_mono.trip_query(query, exclude_ids=(trips[0].traj_id,)),
-        engine_sharded.trip_query(query, exclude_ids=(trips[0].traj_id,)),
+        run_trip(engine_mono, query, exclude_ids=(trips[0].traj_id,)),
+        run_trip(engine_sharded, query, exclude_ids=(trips[0].traj_id,)),
     )
 
 
@@ -367,7 +376,7 @@ def test_append_invalidates_shared_cache(world):
         partition_days=PARTITION_DAYS,
     )
     cache = SubQueryCache()
-    service = TravelTimeService(sharded, dataset.network, cache=cache)
+    db = TravelTimeDB(sharded, dataset.network, cache=cache)
     queries = [
         StrictPathQuery(
             path=trip.path,
@@ -376,16 +385,16 @@ def test_append_invalidates_shared_cache(world):
         )
         for trip in trips[:10]
     ]
-    service.trip_query_many(queries)  # warm the cache (pre-append state)
+    db.query_many(as_requests(queries))  # warm the cache (pre-append state)
     assert cache.stats().ranges.size > 0
 
     for tail in tails:
         sharded.append(tail)
-    post_append = service.trip_query_many(queries)
+    post_append = db.query_many(as_requests(queries))
 
     engine_mono = QueryEngine(mono, dataset.network)
     for query, actual in zip(queries, post_append):
-        assert_bit_identical(engine_mono.trip_query(query), actual)
+        assert_bit_identical(run_trip(engine_mono, query), actual)
 
 
 def test_router_stats_survive_appends(world):
@@ -404,7 +413,7 @@ def test_router_stats_survive_appends(world):
         interval=FixedInterval(first.t_lo, first.t_hi - 1),
         beta=None,
     )
-    engine.trip_query(query)
+    run_trip(engine, query)
     before = sharded.shard_stats()
     assert before.n_dispatches > 0 and before.n_shards_pruned > 0
     for tail in tails:
@@ -548,14 +557,14 @@ def test_parallel_build_equals_inline_build(world):
             beta=10,
         )
         assert_bit_identical(
-            engine_mono.trip_query(query, exclude_ids=(trip.traj_id,)),
-            engine_parallel.trip_query(query, exclude_ids=(trip.traj_id,)),
+            run_trip(engine_mono, query, exclude_ids=(trip.traj_id,)),
+            run_trip(engine_parallel, query, exclude_ids=(trip.traj_id,)),
         )
 
 
 def test_process_fanout_matches_threaded_batches(world):
     dataset, mono, sharded, trips = world
-    service = TravelTimeService(sharded, dataset.network, cache=None)
+    db = TravelTimeDB(sharded, dataset.network, cache=None)
     queries = [
         StrictPathQuery(
             path=trip.path,
@@ -565,10 +574,9 @@ def test_process_fanout_matches_threaded_batches(world):
         for trip in trips[:8]
     ]
     exclude_ids = [(trip.traj_id,) for trip in trips[:8]]
-    threaded = service.trip_query_many(queries, exclude_ids=exclude_ids)
-    forked = service.trip_query_many(
-        queries, exclude_ids=exclude_ids, n_workers=2, use_processes=True
-    )
+    requests = as_requests(queries, exclude_ids)
+    threaded = db.query_many(requests)
+    forked = db.query_many(requests, n_workers=2, use_processes=True)
     for expected, actual in zip(threaded, forked):
         assert_bit_identical(expected, actual)
 
@@ -615,8 +623,8 @@ def test_sharded_persistence_roundtrip(world, tmp_path):
             beta=10,
         )
         assert_bit_identical(
-            engine_mono.trip_query(query, exclude_ids=(trip.traj_id,)),
-            engine_loaded.trip_query(query, exclude_ids=(trip.traj_id,)),
+            run_trip(engine_mono, query, exclude_ids=(trip.traj_id,)),
+            run_trip(engine_loaded, query, exclude_ids=(trip.traj_id,)),
         )
 
     # Appends keep working after a cold start: the staged tail was
@@ -657,8 +665,10 @@ def test_sharded_load_rejects_wrong_alphabet(world, tmp_path):
 
 def test_service_cold_start_from_sharded_dir(world, tmp_path):
     dataset, mono, sharded, trips = world
+    import repro
+
     target = sharded.save(tmp_path / "sharded-index")
-    service = TravelTimeService.from_saved(target, dataset.network)
+    db = repro.open_db(target, network=dataset.network)
     engine_mono = QueryEngine(mono, dataset.network)
     query = StrictPathQuery(
         path=trips[0].path,
@@ -666,6 +676,8 @@ def test_service_cold_start_from_sharded_dir(world, tmp_path):
         beta=10,
     )
     assert_bit_identical(
-        engine_mono.trip_query(query, exclude_ids=(trips[0].traj_id,)),
-        service.trip_query(query, exclude_ids=(trips[0].traj_id,)),
+        run_trip(engine_mono, query, exclude_ids=(trips[0].traj_id,)),
+        db.query(
+            TripRequest.from_spq(query, exclude_ids=(trips[0].traj_id,))
+        ),
     )

@@ -253,6 +253,33 @@ class TestBatchCommand:
                      "--no-cache"]) == 0
         assert "cache:" not in capsys.readouterr().out
 
+    def test_cache_dir_warms_across_runs(self, world_dir, tmp_path, capsys):
+        """Two separate batch runs share the on-disk tier: the second
+        answers without touching the index, identically."""
+        paths = self.paths_arg(world_dir)
+        args = ["batch", "--world", str(world_dir), "--paths", paths,
+                "--tod", "08:00", "--cache-dir", str(tmp_path / "tier")]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "shared tier:" in first
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "0 scans" in second and "shared hits" in second
+
+        def answer_lines(text):
+            return [line for line in text.splitlines() if " mean " in line]
+
+        first_answers = answer_lines(first)
+        assert first_answers  # the filter actually matched something
+        assert [line.split("(")[0] for line in answer_lines(second)] == [
+            line.split("(")[0] for line in first_answers
+        ]
+
+    def test_cache_dir_conflicts_with_no_cache(self, world_dir, tmp_path):
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(["batch", "--world", str(world_dir), "--paths", "1,2",
+                  "--no-cache", "--cache-dir", str(tmp_path / "tier")])
+
     def test_empty_batch_rejected(self, world_dir):
         with pytest.raises(SystemExit):
             main(["batch", "--world", str(world_dir), "--paths", ";;"])

@@ -94,20 +94,20 @@ class TestPublicAPI:
         """The module docstring's example must actually work."""
         from repro import (
             PeriodicInterval,
-            QueryEngine,
             SNTIndex,
-            StrictPathQuery,
+            TripRequest,
             generate_dataset,
+            open_db,
         )
 
         dataset = generate_dataset("tiny", seed=0)
         index = SNTIndex.build(
             dataset.trajectories, dataset.network.alphabet_size
         )
-        engine = QueryEngine(index, dataset.network)
+        db = open_db(index, network=dataset.network)
         trip = dataset.trajectories[100]
-        result = engine.trip_query(
-            StrictPathQuery(
+        result = db.query(
+            TripRequest(
                 path=trip.path,
                 interval=PeriodicInterval.around(trip.start_time, 900),
                 beta=20,
@@ -125,6 +125,9 @@ class TestErrorHierarchy:
             if (
                 isinstance(obj, type)
                 and issubclass(obj, Exception)
+                # Warning categories (ReproDeprecationWarning) live in
+                # the warnings hierarchy, not the error hierarchy.
+                and not issubclass(obj, Warning)
                 and obj is not errors.ReproError
                 and obj.__module__ == "repro.errors"
             ):

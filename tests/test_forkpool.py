@@ -1,0 +1,32 @@
+"""fork_map input validation (the fan-out primitive behind builds and
+process batches)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ReproError
+from repro.forkpool import fork_map
+
+
+def _double(x):
+    return x * 2
+
+
+def test_fork_map_maps_in_order():
+    assert fork_map(_double, [1, 2, 3], workers=2) == [2, 4, 6]
+
+
+def test_fork_map_empty_payloads():
+    assert fork_map(_double, [], workers=2) == []
+
+
+@pytest.mark.parametrize("workers", (0, -1, True, 1.5, "4"))
+def test_fork_map_rejects_bad_worker_counts(workers):
+    """A clear typed error up front, not ProcessPoolExecutor's opaque
+    ValueError mid-flight.  ConfigurationError is both a ReproError and
+    a ValueError (the legacy contract)."""
+    with pytest.raises(ConfigurationError, match="workers"):
+        fork_map(_double, [1, 2], workers=workers)
+    with pytest.raises(ValueError):
+        fork_map(_double, [1, 2], workers=workers)
+    with pytest.raises(ReproError):
+        fork_map(_double, [1, 2], workers=workers)

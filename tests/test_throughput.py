@@ -32,14 +32,19 @@ def test_all_queries_processed_across_workers(workload):
 
 def test_concurrent_readers_do_not_corrupt_results(workload):
     """Same answers single- and multi-threaded (index is immutable)."""
-    from repro import QueryEngine
+    from repro import EngineConfig, QueryEngine, TripRequest
 
-    engine = QueryEngine(workload.index, workload.network, partitioner="pi_Z")
+    engine = QueryEngine(
+        workload.index, workload.network, EngineConfig(partitioner="pi_Z")
+    )
     spec = workload.queries[0]
-    query = spec.to_query("temporal", 900, workload.t_max, 10)
-    before = engine.trip_query(query, exclude_ids=(spec.traj_id,))
+    request = TripRequest.from_spq(
+        spec.to_query("temporal", 900, workload.t_max, 10),
+        exclude_ids=(spec.traj_id,),
+    )
+    before = engine.query(request)
     measure_throughput(workload, worker_counts=(4,), n_queries=10)
-    after = engine.trip_query(query, exclude_ids=(spec.traj_id,))
+    after = engine.query(request)
     assert before.histogram == after.histogram
 
 

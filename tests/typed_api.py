@@ -1,0 +1,24 @@
+"""Shared helpers lifting legacy query shapes into the typed API.
+
+The PR-3 shims (``trip_query``/``trip_query_many``) are deprecated and
+the suite promotes repro deprecations to errors, so tests that still
+*construct* legacy ``StrictPathQuery`` objects route them through the
+typed surface with these two helpers instead of calling the shims.
+"""
+
+from repro import TripRequest
+
+
+def run_trip(engine, query, exclude_ids=()):
+    """Answer one legacy StrictPathQuery through the typed API."""
+    return engine.query(TripRequest.from_spq(query, exclude_ids=exclude_ids))
+
+
+def as_requests(queries, exclude_ids=None):
+    """Lift legacy (queries, exclude_ids) pairs into TripRequests."""
+    if exclude_ids is None:
+        exclude_ids = [()] * len(queries)
+    return [
+        TripRequest.from_spq(query, exclude_ids=excluded)
+        for query, excluded in zip(queries, exclude_ids)
+    ]
