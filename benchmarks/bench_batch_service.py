@@ -39,7 +39,7 @@ def test_batch_service_speedup(workload, benchmark, capsys):
     results, identical = measure_batch_service(
         workload, n_queries=n_queries, repeat=REPEAT, n_workers=4
     )
-    assert identical, "service answers diverged from sequential trip_query"
+    assert identical, "service answers diverged from the sequential loop"
 
     by_mode = {r.mode: r for r in results}
     base = by_mode["sequential"].queries_per_second

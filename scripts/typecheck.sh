@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Strict type checking, scoped to the typed API surface (ISSUE 3) plus
-# the cache-tier backend layer (ISSUE 4): src/repro/api (TripRequest /
-# EngineConfig / TravelTimeDB), the error hierarchy, and
-# service/cachetier.py (CacheBackend / SharedCacheTier).  These call
-# into the not-yet-annotated core/service/sntindex modules, so untyped
+# the cache-tier backend layer (ISSUE 4) and the staged query pipeline
+# (ISSUE 5): src/repro/api (TripRequest / EngineConfig / TravelTimeDB),
+# the error hierarchy, service/cachetier.py (CacheBackend /
+# SharedCacheTier), and core/plan.py + core/exec.py (the planner, the
+# trip machine, and the deduplicating batch executor).  These call into
+# the not-yet-annotated core/service/sntindex modules, so untyped
 # *calls* are allowed and imports are followed silently; everything the
 # checked files themselves define is held to --strict.
 set -euo pipefail
@@ -17,4 +19,5 @@ exec python -m mypy --strict \
   --allow-untyped-calls \
   --allow-subclassing-any \
   --no-warn-return-any \
-  src/repro/api src/repro/errors.py src/repro/service/cachetier.py
+  src/repro/api src/repro/errors.py src/repro/service/cachetier.py \
+  src/repro/core/plan.py src/repro/core/exec.py

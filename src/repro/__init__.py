@@ -40,6 +40,7 @@ from .core import (
     ESTIMATOR_MODES,
     PARTITIONER_NAMES,
     CardinalityEstimator,
+    DedupStats,
     FixedInterval,
     PeriodicInterval,
     QueryEngine,
@@ -140,6 +141,7 @@ __all__ = [
     "QueryEngine",
     "TripQueryResult",
     "SubQueryOutcome",
+    "DedupStats",
     "CardinalityEstimator",
     "ESTIMATOR_MODES",
     "PARTITIONER_NAMES",

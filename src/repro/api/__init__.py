@@ -7,9 +7,10 @@
   the index reader, configuration, and shared cache, and answers
   ``query``, ``query_many``, and order-preserving streaming batches.
 
-The legacy surfaces (``QueryEngine.trip_query``,
-``TravelTimeService.trip_query_many``) delegate here and emit
-``DeprecationWarning``; see README "API" for the deprecation policy.
+This is the *only* public query surface: the PR-3 legacy shims were
+removed on the deprecation schedule (README "API"), so every workload —
+library, CLI, experiments, benchmarks — enters through ``open_db`` /
+:class:`TripRequest`.
 """
 
 from .config import SPLITTER_NAMES, EngineConfig

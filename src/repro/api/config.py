@@ -63,6 +63,16 @@ class EngineConfig:
         part of the external cache-tier key.
     n_workers:
         Default fan-out width for batch/stream execution.
+    dedup_subqueries:
+        Answer ``query_many``/``stream`` batches through the staged
+        deduplicating executor (:class:`repro.core.exec.BatchExecutor`):
+        the planned sub-queries of all in-flight trips are collected,
+        identical ``(path, interval, user, beta, exclude)`` tasks are
+        scanned once, and the answer fans out to every owning trip —
+        bit-identical to the per-trip loop, so this is serving plumbing
+        and excluded from :meth:`cache_identity`.  Off by default; the
+        win is cold-cache repeated-path batches (a warm shared cache
+        already deduplicates across sequential trips).
     cache_enabled:
         Whether sessions build a shared cross-query
         :class:`~repro.service.SubQueryCache`.
@@ -77,6 +87,14 @@ class EngineConfig:
         index directory, ``"shared:<dir>"`` one at an explicit
         directory.  Serving plumbing only — the spec never changes
         answers, so it is excluded from :meth:`cache_identity`.
+    cache_store_entries:
+        Bound on the cross-process shared tier's *store* (the SQLite
+        file; ``None`` = unbounded).  Enforced as insertion-order GC on
+        insert and ``sync_epoch``; eviction only ever forces a
+        recomputation, never a different answer, so this too is
+        excluded from :meth:`cache_identity`.  Ignored by the
+        in-process backends (their ``cache_entries`` LRU bound already
+        caps memory).
 
     All validation failures raise :class:`ConfigurationError` (a
     :class:`~repro.errors.QueryError`), never a bare ``ValueError``.
@@ -92,9 +110,11 @@ class EngineConfig:
     shift_and_enlarge: bool = True
     beta_policy: Optional[BetaPolicy] = None
     n_workers: int = 1
+    dedup_subqueries: bool = False
     cache_enabled: bool = True
     cache_entries: Optional[int] = 65_536
     cache: Optional[str] = None
+    cache_store_entries: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.partitioner not in PARTITIONER_NAMES:
@@ -137,6 +157,19 @@ class EngineConfig:
         if self.cache_entries is not None and self.cache_entries < 1:
             raise ConfigurationError(
                 "cache_entries must be positive or None (unbounded)"
+            )
+        if not isinstance(self.dedup_subqueries, bool):
+            raise ConfigurationError(
+                "dedup_subqueries must be a bool; got "
+                f"{self.dedup_subqueries!r}"
+            )
+        if self.cache_store_entries is not None and (
+            not isinstance(self.cache_store_entries, int)
+            or isinstance(self.cache_store_entries, bool)
+            or self.cache_store_entries < 1
+        ):
+            raise ConfigurationError(
+                "cache_store_entries must be positive or None (unbounded)"
             )
         if self.cache is not None:
             if not isinstance(self.cache, str):

@@ -38,6 +38,7 @@ from typing import (
 )
 
 from ..core.engine import QueryEngine, TripQueryResult
+from ..core.exec import DedupStats
 from ..errors import ConfigurationError, RequestValidationError
 from ..network.graph import RoadNetwork
 from ..network.io import load_network
@@ -125,6 +126,20 @@ class TravelTimeDB:
             Optional[CacheStats], self._service.cache_stats()
         )
 
+    @property
+    def last_dedup_stats(self) -> Optional[DedupStats]:
+        """Dedup accounting of the most recent batch.
+
+        Populated when ``config.dedup_subqueries`` routed the batch
+        through the deduplicating executor: how many sub-queries the
+        batch planned, how many were unique, and how many scans the
+        deduplication absorbed.  ``None`` before the first such batch
+        (or after one that ran without dedup).
+        """
+        return cast(
+            Optional[DedupStats], self._service.last_dedup_stats
+        )
+
     def clear_cache(self) -> None:
         self._service.clear_cache()
 
@@ -175,10 +190,13 @@ class TravelTimeDB:
         """Answer a batch of independent requests.
 
         Results come back in submission order regardless of worker count
-        or execution mode.  ``use_processes`` fans out over forked
-        worker processes (Linux/macOS; see
-        :meth:`repro.service.TravelTimeService.trip_query_many` for the
-        quiescing contract).
+        or execution mode.  With ``config.dedup_subqueries`` the batch
+        runs through the deduplicating staged executor (identical
+        sub-queries scanned once; accounting in
+        :attr:`last_dedup_stats`).  ``use_processes`` fans out over
+        forked worker processes instead (Linux/macOS; see
+        :meth:`repro.service.TravelTimeService._run_batch_forked` for
+        the quiescing contract).
         """
         requests = list(requests)
         for request in requests:
@@ -212,6 +230,12 @@ class TravelTimeDB:
 
         With ``n_workers=1`` execution stays on the calling thread
         (fully lazy: one request is answered per ``next()``).
+
+        With ``config.dedup_subqueries`` the stream is answered in
+        ``window``-sized chunks through the deduplicating batch
+        executor: each chunk's sub-queries are collected, identical
+        tasks are scanned once, and results still come back in request
+        order with at most ``window`` requests materialised.
         """
         workers = self._config.n_workers if n_workers is None else n_workers
         if workers < 1:
@@ -220,11 +244,49 @@ class TravelTimeDB:
             window = workers * 4
         if window < 1:
             raise ConfigurationError("window must be positive")
+        if self._config.dedup_subqueries:
+            # window=1 degenerates to per-request chunks — no cross-trip
+            # dedup to find, but the stats stay coherent per stream.
+            return self._stream_dedup(requests, workers, window)
         if workers == 1:
             return (
                 self.query(request) for request in requests
             )
         return self._stream_fanout(requests, workers, window)
+
+    def _stream_dedup(
+        self,
+        requests: Iterable[TripRequest],
+        workers: int,
+        window: int,
+    ) -> Iterator[TripQueryResult]:
+        """Chunked dedup streaming: one executor batch per window.
+
+        :attr:`last_dedup_stats` aggregates over the whole stream — the
+        chunks are a scheduling detail, and per-chunk numbers would
+        misreport a long stream as its final ``window`` requests.
+        """
+        from itertools import islice
+
+        total = DedupStats()
+        iterator = iter(requests)
+        while True:
+            chunk = list(islice(iterator, window))
+            if not chunk:
+                return
+            for request in chunk:
+                self._check_request(request)
+            batch = self._service._run_batch_with_stats(
+                [_as_task(r) for r in chunk], n_workers=workers
+            )
+            results = cast(List[TripQueryResult], batch[0])
+            chunk_stats = cast(Optional[DedupStats], batch[1])
+            if chunk_stats is not None:
+                total.absorb(chunk_stats)
+                self._service.last_dedup_stats = total
+            for request, result in zip(chunk, results):
+                result.request = request
+                yield result
 
     def _stream_fanout(
         self,

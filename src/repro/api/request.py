@@ -1,8 +1,8 @@
 """Typed query objects: :class:`TripRequest` and :class:`EstimatorMode`.
 
 One trip query used to be encoded three different ways — positional
-arguments to ``QueryEngine.trip_query``, parallel lists handed to
-``TravelTimeService.trip_query_many``, and ad-hoc CLI argument plumbing.
+arguments to the engine's legacy entry point, parallel lists handed to
+the service's legacy batch method, and ad-hoc CLI argument plumbing.
 :class:`TripRequest` is the single validated, immutable value object all
 entry points consume: path, temporal predicate, optional user filter,
 excluded trajectory ids, cardinality requirement ``beta``, and the

@@ -211,6 +211,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream results as they complete (order-preserving; the "
         "batch is never materialised as a list)",
     )
+    batch.add_argument(
+        "--no-dedup",
+        action="store_true",
+        help="disable cross-trip sub-query deduplication (the batch "
+        "executor scans each distinct sub-query once per batch by "
+        "default; answers are bit-identical either way)",
+    )
     return parser
 
 
@@ -487,6 +494,7 @@ def _cmd_batch(args) -> int:
             partitioner=args.partitioner,
             splitter=args.splitter,
             n_workers=args.workers,
+            dedup_subqueries=not args.no_dedup,
             cache=(
                 f"shared:{args.cache_dir}"
                 if args.cache_dir is not None
@@ -526,6 +534,9 @@ def _cmd_batch(args) -> int:
     stats = db.cache_stats()
     if stats is not None:
         print(f"cache: {stats.summary()}")
+    dedup = db.last_dedup_stats
+    if dedup is not None:
+        print(f"dedup: {dedup.summary()}")
     tier_stats = getattr(db.engine.cache, "tier_stats", None)
     if tier_stats is not None:
         print(f"shared tier: {tier_stats().summary()}")

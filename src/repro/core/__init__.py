@@ -1,8 +1,17 @@
-"""Core query processing: SPQs, partitioning, splitting, estimation, engine."""
+"""Core query processing: SPQs, planning, execution, estimation, engine.
+
+Procedure 6 runs as a staged pipeline: :mod:`repro.core.plan` (pure
+planning — partitioning, beta policy, shift-and-enlarge, relaxation
+expansion), :mod:`repro.core.exec` (the fetch/combine stages and the
+deduplicating batch executor), and :class:`QueryEngine` as the thin
+driver over them.
+"""
 
 from .engine import PerTripCache, QueryEngine, SubQueryOutcome, TripQueryResult
 from .estimator import ESTIMATOR_MODES, CardinalityEstimator
+from .exec import BatchExecutor, DedupStats, TripMachine
 from .intervals import FixedInterval, PeriodicInterval, TimeInterval, is_periodic
+from .plan import PlanPolicy, SubQueryTask
 from .naive import naive_match_count, naive_travel_times
 from .partitioning import PARTITIONER_NAMES, PathSegment, get_partitioner
 from .policies import BetaPolicy, uniform_beta_policy, zone_beta_policy
@@ -27,6 +36,11 @@ __all__ = [
     "PerTripCache",
     "TripQueryResult",
     "SubQueryOutcome",
+    "PlanPolicy",
+    "SubQueryTask",
+    "TripMachine",
+    "BatchExecutor",
+    "DedupStats",
     "naive_travel_times",
     "naive_match_count",
     "BetaPolicy",

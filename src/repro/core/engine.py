@@ -1,42 +1,44 @@
 """The travel-time query engine: ``tripQuery`` (paper Procedure 6).
 
-Pipeline per query (Figure 2):
+Pipeline per query (Figure 2), run as an explicit staged pipeline:
 
-1. the **Query Partitioner** splits the trip path into sub-queries using a
-   ``pi`` method,
-2. per sub-query, the optional **Cardinality Estimator** predicts the
-   result size and pre-emptively relaxes doomed sub-queries via the
-   **Sub-query Splitter** (``sigma``) without touching the temporal index,
-3. ``getTravelTimes`` retrieves the travel times from the SNT-index; empty
-   or insufficient results are relaxed and retried,
-4. later sub-queries' periodic intervals are adapted with shift-and-enlarge
-   (Dai et al.), and
-5. the **Histogram Builder** turns each travel-time set into a histogram
-   and convolves them into the answer for the full path.
+1. **plan** (:mod:`repro.core.plan`) — the Query Partitioner splits the
+   trip path into sub-queries using a ``pi`` method, the optional
+   Cardinality Estimator pre-emptively relaxes doomed sub-queries via
+   the Sub-query Splitter (``sigma``), later sub-queries' periodic
+   intervals are adapted with shift-and-enlarge (Dai et al.), and empty
+   or insufficient retrievals are expanded through the relaxation ladder;
+2. **fetch** (:mod:`repro.core.exec`) — ``getTravelTimes`` answers each
+   planned sub-query from the cache backend or an SNT-index scan;
+3. **combine** — the Histogram Builder turns each travel-time set into a
+   histogram and convolves them into the answer for the full path.
+
+The engine itself is a thin driver over those stages: :meth:`query`
+drives one :class:`~repro.core.exec.TripMachine` sequentially, and
+:meth:`run_batch` drives many through the deduplicating
+:class:`~repro.core.exec.BatchExecutor`.
 """
 
 from __future__ import annotations
 
-import time
-import warnings
-from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import (
-    QueryError,
-    ReproDeprecationWarning,
-    RequestValidationError,
-)
+from ..errors import QueryError, RequestValidationError
 from ..histogram.histogram import Histogram
 from ..network.graph import RoadNetwork
 from ..sntindex.reader import IndexReader
 from .estimator import CardinalityEstimator
-from .intervals import is_periodic
-from .partitioning import get_partitioner
-from .splitting import longest_prefix_splitter, modify_subquery, regular_split
+from .exec import (
+    BatchExecutor,
+    DedupStats,
+    TripMachine,
+    convolve_histograms,
+    execute_fetch,
+)
+from .plan import PlanPolicy
 from .spq import StrictPathQuery
 
 if TYPE_CHECKING:  # the api layer sits above core; runtime imports are lazy
@@ -50,34 +52,16 @@ __all__ = [
     "PerTripCache",
 ]
 
-#: Constructor kwargs of the pre-EngineConfig ``QueryEngine`` signature,
-#: still accepted through the deprecation shim.
-_LEGACY_ENGINE_KWARGS = frozenset(
-    {
-        "partitioner",
-        "splitter",
-        "ladder",
-        "bucket_width_s",
-        "max_relaxations",
-        "shift_and_enlarge",
-        "beta_policy",
-    }
-)
-
 #: Sentinel distinguishing "use the engine default estimator" from an
 #: explicit ``None`` ("no estimator for this trip").
 _DEFAULT_ESTIMATOR = object()
 
 
-def _legacy_config(kwargs: Dict[str, Any]) -> "EngineConfig":
-    """Build an :class:`EngineConfig` from pre-redesign constructor kwargs.
-
-    Imported lazily: ``repro.api`` is the layer above core, so core only
-    touches it when a caller uses the deprecated signature.
-    """
+def _default_config() -> "EngineConfig":
+    """The default :class:`EngineConfig` (lazy: api sits above core)."""
     from ..api.config import EngineConfig
 
-    return EngineConfig(**kwargs)
+    return EngineConfig()
 
 
 class PerTripCache:
@@ -144,6 +128,10 @@ class TripQueryResult:
     n_index_scans: int
     #: Sub-queries skipped by the cardinality estimator before any scan.
     n_estimator_skips: int
+    #: Wall-clock seconds until this trip's answer was ready.  Under the
+    #: deduplicating batch executor this is completion latency relative
+    #: to the *batch* start (trips wait on shared rounds), so summing it
+    #: across a batch overcounts the batch's actual work.
     elapsed_s: float
     #: Sub-query retrievals answered from a shared cache instead of an
     #: index scan; always 0 with the default per-trip cache.  The scan
@@ -259,7 +247,6 @@ class QueryEngine:
         *,
         estimator: Optional[CardinalityEstimator] = None,
         cache=None,
-        **legacy_kwargs,
     ):
         """
         Parameters
@@ -269,6 +256,9 @@ class QueryEngine:
             road network.
         config:
             An :class:`repro.api.EngineConfig`; ``None`` uses defaults.
+            (The pre-redesign keyword/positional forms — ``partitioner=``
+            and friends — were removed on the PR-3 deprecation schedule;
+            pass a config object.)
         estimator:
             Optional :class:`CardinalityEstimator` instance used as the
             engine default.  When omitted and ``config.estimator_mode``
@@ -280,40 +270,9 @@ class QueryEngine:
             historical behaviour: a fresh :class:`PerTripCache` per
             trip.  A shared cache must be thread-safe when the engine is
             used from multiple threads.
-        **legacy_kwargs:
-            The pre-redesign kwargs (``partitioner``, ``splitter``,
-            ``ladder``, ``bucket_width_s``, ``max_relaxations``,
-            ``shift_and_enlarge``, ``beta_policy``), still accepted but
-            deprecated — pass an :class:`EngineConfig` instead.
         """
-        if isinstance(config, str):
-            # Pre-redesign third positional: QueryEngine(index, net, "pi_Z").
-            if "partitioner" in legacy_kwargs:
-                raise TypeError("partitioner given twice")
-            legacy_kwargs["partitioner"] = config
-            config = None
-        if legacy_kwargs:
-            unknown = set(legacy_kwargs) - _LEGACY_ENGINE_KWARGS
-            if unknown:
-                raise TypeError(
-                    f"QueryEngine() got unexpected keyword arguments "
-                    f"{sorted(unknown)!r}"
-                )
-            if config is not None:
-                raise TypeError(
-                    "pass either config=EngineConfig(...) or the legacy "
-                    "keyword arguments, not both"
-                )
-            warnings.warn(
-                "QueryEngine(partitioner=..., splitter=..., ...) keyword "
-                "arguments are deprecated; pass "
-                "config=repro.EngineConfig(...) instead",
-                ReproDeprecationWarning,
-                stacklevel=2,
-            )
-            config = _legacy_config(legacy_kwargs)
-        elif config is None:
-            config = _legacy_config({})
+        if config is None:
+            config = _default_config()
         if not hasattr(config, "partitioner"):
             raise TypeError(
                 f"config must be an EngineConfig; got "
@@ -333,14 +292,14 @@ class QueryEngine:
         self.index = index
         self.network = network
         self.config = config
-        self.partitioner_name = config.partitioner
-        self._partition = get_partitioner(config.partitioner)
-        self.splitter_name = config.splitter
-        self.ladder = tuple(config.ladder)
-        self.bucket_width_s = float(config.bucket_width_s)
-        self._max_relaxations = config.max_relaxations
-        self.shift_and_enlarge = config.shift_and_enlarge
-        self.beta_policy = config.beta_policy
+        #: The planner's config snapshot; shared by every trip machine.
+        self.policy = PlanPolicy.from_config(config)
+        self.partitioner_name = self.policy.partitioner_name
+        self.splitter_name = self.policy.splitter
+        self.ladder = self.policy.ladder
+        self.bucket_width_s = self.policy.bucket_width_s
+        self.shift_and_enlarge = self.policy.shift_and_enlarge
+        self.beta_policy = self.policy.beta_policy
         #: Estimators built per requested mode, shared across trips.  A
         #: CardinalityEstimator is stateless after construction, so one
         #: instance per mode serves concurrent threads; the dict itself
@@ -389,27 +348,6 @@ class QueryEngine:
         )
         result.request = request
         return result
-
-    def trip_query(
-        self,
-        query: StrictPathQuery,
-        exclude_ids: Sequence[int] = (),
-        cache=None,
-    ) -> TripQueryResult:
-        """Deprecated: use :meth:`query` with a
-        :class:`repro.api.TripRequest` (or :func:`repro.open_db`).
-
-        Procedure 6 semantics are unchanged — this delegates to the same
-        internal runner the typed API uses.
-        """
-        warnings.warn(
-            "QueryEngine.trip_query(StrictPathQuery, ...) is deprecated; "
-            "use QueryEngine.query(TripRequest) or the repro.open_db() "
-            "session facade",
-            ReproDeprecationWarning,
-            stacklevel=2,
-        )
-        return self._run_trip(query, exclude_ids=exclude_ids, cache=cache)
 
     def _resolve_estimator(
         self, mode
@@ -461,7 +399,11 @@ class QueryEngine:
         cache=None,
         estimator=_DEFAULT_ESTIMATOR,
     ) -> TripQueryResult:
-        """Procedure 6: partition, retrieve, relax, convolve.
+        """Procedure 6 as a staged pipeline: plan, fetch, combine.
+
+        A thin driver: the :class:`~repro.core.exec.TripMachine` owns
+        planning and combining, and every retrieval goes through the
+        fetch stage (:func:`~repro.core.exec.execute_fetch`).
 
         ``cache`` overrides the engine-level cache for this call; by
         default a fresh :class:`PerTripCache` is used, preserving the
@@ -471,178 +413,98 @@ class QueryEngine:
         (and ``n_cache_hits``) differ.  ``estimator`` overrides the
         engine default for this trip (``None`` disables the pre-check).
         """
-        if estimator is _DEFAULT_ESTIMATOR:
-            estimator = self.estimator
-        started = time.perf_counter()
-        split_fn = self._make_split_fn(exclude_ids)
-        if cache is None:
-            cache = self.cache if self.cache is not None else PerTripCache()
-        else:
-            self._bind_cache(cache)
-        # Appendable readers bump their epoch on mutation; a shared
-        # cache drops entries cached against the earlier index state.
-        sync_epoch = getattr(cache, "sync_epoch", None)
-        if sync_epoch is not None:
-            sync_epoch(self.index)
-        exclude_key = tuple(sorted({int(i) for i in exclude_ids}))
-
-        segments = self._partition(query.path, self.network)
-        queue = deque()
-        for segment in segments:
-            sub_path = query.path[segment.start : segment.end]
-            beta = (
-                self.beta_policy(sub_path, query.beta)
-                if self.beta_policy is not None
-                else query.beta
+        machine = self._make_machine(query, exclude_ids, cache, estimator)
+        demand = machine.advance()
+        while demand is not None:
+            result, from_scan = execute_fetch(
+                self.index, self.network, machine.cache, demand
             )
-            queue.append(
-                StrictPathQuery(
-                    path=sub_path,
-                    interval=query.interval,
-                    user=query.user if segment.keep_user else None,
-                    beta=beta,
-                )
+            demand = machine.resume(result, from_scan)
+        assert machine.result is not None
+        return machine.result
+
+    def run_batch(
+        self,
+        tasks: Sequence[Tuple[StrictPathQuery, Tuple[int, ...], Any]],
+        n_workers: int = 1,
+        cache=None,
+    ) -> Tuple[List[TripQueryResult], DedupStats]:
+        """Answer a batch with cross-trip sub-query deduplication.
+
+        ``tasks`` are ``(query, exclude_ids, estimator_mode)`` triples
+        (the service's batch item shape).  All trips plan against the
+        shared cache backend (the engine's, or ``cache`` when given; a
+        ``None`` engine cache means per-trip caches and in-batch dedup
+        only), and the :class:`~repro.core.exec.BatchExecutor` scans
+        each unique planned sub-query once per round — bit-identical to
+        the sequential per-trip loop, including relaxation re-planning
+        when a shared scan comes back empty.  Returns the results in
+        submission order plus the batch's dedup accounting.
+        """
+        shared = cache if cache is not None else self.cache
+        if shared is not None:
+            self._prepare_cache(shared)
+        # Machines are built (and their clocks started) together, so in
+        # batch mode a result's ``elapsed_s`` is its completion latency
+        # relative to the batch start — the serving-side metric — not
+        # the trip's solo service time; timing is explicitly outside
+        # the bit-identity contract.
+        machines = [
+            TripMachine(
+                self.policy,
+                self.index,
+                self.network,
+                shared if shared is not None else PerTripCache(),
+                self._resolve_estimator(estimator_mode),
+                query,
+                exclude_ids,
             )
-
-        outcomes: List[SubQueryOutcome] = []
-        shift_s = 0.0  # S_i: sum of earlier histogram minima
-        enlarge_s = 0.0  # R_i: sum of earlier histogram ranges
-        n_scans = 0
-        n_skips = 0
-        n_hits = 0
-        relaxations = 0
-
-        while queue:
-            sub = queue.popleft()
-            ranges = cache.get_ranges(sub.path)
-            if ranges is None:
-                ranges = self.index.isa_ranges(sub.path)
-                cache.put_ranges(sub.path, ranges)
-
-            # Shift-and-enlarge (Procedure 6 line 4), once per chain.
-            if (
-                self.shift_and_enlarge
-                and is_periodic(sub.interval)
-                and not sub.shift_applied
-                and outcomes
-            ):
-                sub = sub.with_interval(
-                    sub.interval.shifted_and_enlarged(
-                        int(shift_s), int(np.ceil(enlarge_s))
-                    )
-                ).marked_shifted()
-
-            # Cardinality estimator pre-check (Section 4.4).
-            if (
-                estimator is not None
-                and sub.beta is not None
-                and estimator.estimate(sub, isa_ranges=ranges) < sub.beta
-            ):
-                n_skips += 1
-                relaxations += 1
-                if relaxations > self._max_relaxations:
-                    raise QueryError("relaxation limit exceeded")
-                queue.extendleft(
-                    reversed(
-                        modify_subquery(
-                            sub, self.ladder, self.index.t_max, split_fn
-                        )
-                    )
-                )
-                continue
-
-            # Every input Procedure 5 reads is part of the key, so a hit
-            # is indistinguishable from a scan (bar the timing).
-            result_key = (
-                sub.path,
-                sub.interval,
-                sub.user,
-                sub.beta,
-                exclude_key,
-            )
-            result = cache.get_result(result_key)
-            if result is not None:
-                n_hits += 1
-            else:
-                result = self.index.get_travel_times(
-                    sub,
-                    fallback_tt=self.network.estimate_tt,
-                    exclude_ids=exclude_ids,
-                    isa_ranges=ranges,
-                )
-                n_scans += 1
-                cache.put_result(result_key, result)
-            if result.is_empty:
-                relaxations += 1
-                if relaxations > self._max_relaxations:
-                    raise QueryError("relaxation limit exceeded")
-                queue.extendleft(
-                    reversed(
-                        modify_subquery(
-                            sub, self.ladder, self.index.t_max, split_fn
-                        )
-                    )
-                )
-                continue
-
-            histogram_key = (result_key, self.bucket_width_s)
-            histogram = cache.get_histogram(histogram_key)
-            if histogram is None:
-                histogram = Histogram.from_values(
-                    result.values, self.bucket_width_s
-                )
-                cache.put_histogram(histogram_key, histogram)
-            outcomes.append(
-                SubQueryOutcome(
-                    query=sub,
-                    values=result.values,
-                    histogram=histogram,
-                    from_fallback=result.from_fallback,
-                )
-            )
-            shift_s += histogram.min_value
-            enlarge_s += histogram.value_range
-
-        histogram = self._convolve([o.histogram for o in outcomes])
-        return TripQueryResult(
-            histogram=histogram,
-            outcomes=outcomes,
-            n_index_scans=n_scans,
-            n_estimator_skips=n_skips,
-            elapsed_s=time.perf_counter() - started,
-            n_cache_hits=n_hits,
+            for query, exclude_ids, estimator_mode in tasks
+        ]
+        executor = BatchExecutor(
+            self.index,
+            self.network,
+            cache=shared,
+            n_workers=n_workers,
         )
+        return executor.run(machines), executor.stats
 
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
 
-    def _make_split_fn(self, exclude_ids: Sequence[int]):
-        if self.splitter_name == "regular":
-            return regular_split
+    def _prepare_cache(self, cache) -> None:
+        """Bind a cache backend and adopt the reader's current epoch."""
+        self._bind_cache(cache)
+        # Appendable readers bump their epoch on mutation; a shared
+        # cache drops entries cached against the earlier index state.
+        sync_epoch = getattr(cache, "sync_epoch", None)
+        if sync_epoch is not None:
+            sync_epoch(self.index)
 
-        def counter(path, interval, user, limit):
-            return self.index.count_matches(
-                path,
-                interval,
-                user=user,
-                exclude_ids=exclude_ids,
-                limit=limit,
-            )
-
-        return longest_prefix_splitter(counter)
+    def _make_machine(
+        self,
+        query: StrictPathQuery,
+        exclude_ids: Sequence[int],
+        cache,
+        estimator=_DEFAULT_ESTIMATOR,
+    ) -> TripMachine:
+        if estimator is _DEFAULT_ESTIMATOR:
+            estimator = self.estimator
+        if cache is None:
+            cache = self.cache if self.cache is not None else PerTripCache()
+        self._prepare_cache(cache)
+        return TripMachine(
+            self.policy,
+            self.index,
+            self.network,
+            cache,
+            estimator,
+            query,
+            exclude_ids,
+        )
 
     def _convolve(self, histograms: List[Histogram]) -> Histogram:
-        """Convolve sub-query histograms into one probability histogram.
-
-        Each factor is normalised to unit mass first; convolving dozens of
-        raw count histograms would overflow float64 (the product of the
-        totals), and the normalised convolution describes the same
-        distribution.
-        """
-        if not histograms:
-            return Histogram(self.bucket_width_s, 0, np.zeros(0))
-        result = histograms[0].scaled_to_unit_mass()
-        for histogram in histograms[1:]:
-            result = result * histogram.scaled_to_unit_mass()
-        return result
+        """Combine stage over this engine's bucket width
+        (:func:`repro.core.exec.convolve_histograms`)."""
+        return convolve_histograms(histograms, self.bucket_width_s)

@@ -2,10 +2,10 @@
 
 A trip query decomposes into sub-queries, and real workloads repeat
 sub-paths heavily: commuters share arterials, and a repeated trip repeats
-every one of its sub-queries.  The per-trip ``ranges`` dict inside
-:meth:`repro.core.engine.QueryEngine.trip_query` already shares the
-FM-index backward search between the estimator and retrieval of one trip;
-this module generalises it to a thread-safe, bounded LRU cache shared
+every one of its sub-queries.  The engine's per-trip
+:class:`~repro.core.engine.PerTripCache` already shares the FM-index
+backward search between the estimator and retrieval of one trip; this
+module generalises it to a thread-safe, bounded LRU cache shared
 *across* trips:
 
 * **ranges** — ``path -> [(w, st, ed), ...]`` from ``getISARange``
@@ -28,7 +28,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 __all__ = ["LRUCache", "SectionStats", "CacheStats", "SubQueryCache"]
 
@@ -139,9 +139,10 @@ class LRUCache:
 class SubQueryCache:
     """Cross-query cache shared by all trips of a service.
 
-    Implements the cache protocol consumed by
-    :meth:`repro.core.engine.QueryEngine.trip_query`:
-    ``get_ranges``/``put_ranges``, ``get_result``/``put_result`` and
+    Implements the cache protocol consumed by the engine's staged
+    pipeline (:class:`repro.core.exec.TripMachine` and the fetch stage):
+    ``get_ranges``/``put_ranges``, ``get_result``/``put_result`` (plus
+    their batched ``*_many`` faces) and
     ``get_histogram``/``put_histogram``.  All sections are thread-safe and
     LRU-bounded, so a long-running service has a fixed memory ceiling.
 
@@ -262,6 +263,31 @@ class SubQueryCache:
     def put_result(self, key: Hashable, result) -> None:
         result.values.setflags(write=False)
         self._results.put(key, result)
+
+    def get_results_many(
+        self, keys: Sequence[Hashable]
+    ) -> Dict[Hashable, object]:
+        """Bulk result probe: the found subset of ``keys``.
+
+        The batched face of :meth:`get_result`, used by the
+        deduplicating batch executor so one probe serves every demand
+        of a round.  In-process this is a loop over the LRU; the
+        cross-process :class:`~repro.service.cachetier.SharedCacheTier`
+        overrides it with a single store query.
+        """
+        found: Dict[Hashable, object] = {}
+        for key in keys:
+            result = self._results.get(key)
+            if result is not None:
+                found[key] = result
+        return found
+
+    def put_results_many(
+        self, items: Sequence[Tuple[Hashable, object]]
+    ) -> None:
+        """Bulk counterpart of :meth:`put_result`."""
+        for key, result in items:
+            self.put_result(key, result)
 
     # -- histograms ----------------------------------------------------- #
 

@@ -58,6 +58,7 @@ from typing import (
     List,
     Optional,
     Protocol,
+    Sequence,
     Tuple,
     Union,
     runtime_checkable,
@@ -113,6 +114,14 @@ class CacheBackend(Protocol):
     def get_result(self, key: Hashable) -> Any: ...
 
     def put_result(self, key: Hashable, result: Any) -> None: ...
+
+    def get_results_many(
+        self, keys: Sequence[Hashable]
+    ) -> Dict[Hashable, Any]: ...
+
+    def put_results_many(
+        self, items: Sequence[Tuple[Hashable, Any]]
+    ) -> None: ...
 
     def get_histogram(self, key: Hashable) -> Any: ...
 
@@ -211,8 +220,21 @@ class SharedCacheTier:
         cross-process identity.
     max_entries:
         Per-section bound of the in-process layer (L1) that fronts the
-        store; ``None`` = unbounded.  The store itself is unbounded and
-        garbage-collected by epoch.
+        store; ``None`` = unbounded.
+    max_store_entries:
+        Bound on the number of rows in the shared store itself
+        (``None`` = unbounded; epoch GC still applies).  Enforced as
+        insertion-order garbage collection on insert and during
+        ``sync_epoch``: when the store exceeds the bound, the
+        oldest-written rows are dropped — across every configuration and
+        lineage sharing the file, since the bound protects the *file*.
+        The check is exact for small bounds and amortised (every
+        ``bound // 64`` single-row inserts; batched inserts and
+        ``sync_epoch`` always check) for large ones, so a writing
+        handle can transiently overshoot by ~1.5% of the bound.
+        Eviction can only force a recomputation, never change an
+        answer, because every read that misses the store falls through
+        to the index scan that produced the entry in the first place.
 
     Reads check L1 first, then the store (deserialising and promoting
     into L1); writes go to both.  Values handed out are immutable —
@@ -226,6 +248,7 @@ class SharedCacheTier:
         *,
         identity: Optional[str] = None,
         max_entries: Optional[int] = 65_536,
+        max_store_entries: Optional[int] = None,
     ) -> None:
         if (config is None) == (identity is None):
             raise ConfigurationError(
@@ -242,7 +265,23 @@ class SharedCacheTier:
         self._ident_hash = hashlib.sha256(
             identity.encode("utf-8")
         ).hexdigest()
+        if max_store_entries is not None and max_store_entries < 1:
+            raise ConfigurationError(
+                "max_store_entries must be positive or None (unbounded)"
+            )
         self._max_entries = max_entries
+        self._max_store_entries = max_store_entries
+        # Single-insert bound checks are amortised: a COUNT(*) costs
+        # O(store size), so it runs every ``bound // 64`` single puts
+        # (exact for small bounds, ~1.5% amortised overshoot per
+        # writing handle for large ones).  Batched puts and sync_epoch
+        # always enforce.
+        self._bound_check_interval = (
+            max(1, max_store_entries // 64)
+            if max_store_entries is not None
+            else 0
+        )
+        self._puts_since_bound_check = 0
         self._l1: Dict[str, LRUCache] = {
             name: LRUCache(max_entries) for name in _SECTIONS
         }
@@ -328,6 +367,77 @@ class SharedCacheTier:
                 "VALUES (?,?,?,?,?,?)",
                 (section, self._ident_hash, key, self._epoch,
                  self._lineage, payload),
+            )
+            self._puts_since_bound_check += 1
+            if (
+                self._bound_check_interval
+                and self._puts_since_bound_check
+                >= self._bound_check_interval
+            ):
+                self._enforce_store_bound()
+
+    def _store_put_many(
+        self, section: str, rows: Sequence[Tuple[str, str]]
+    ) -> None:
+        """Batched :meth:`_store_put` — one transaction, one bound check."""
+        if not rows:
+            return
+        with self._lock:
+            self._connection().executemany(
+                "INSERT OR REPLACE INTO entries "
+                "(section, ident, key, epoch, lineage, payload) "
+                "VALUES (?,?,?,?,?,?)",
+                [
+                    (section, self._ident_hash, key, self._epoch,
+                     self._lineage, payload)
+                    for key, payload in rows
+                ],
+            )
+            self._enforce_store_bound()
+
+    def _store_get_many(
+        self, section: str, keys: Sequence[str]
+    ) -> Dict[str, str]:
+        """Batched :meth:`_store_get`: one query for a round's probes."""
+        if not keys:
+            return {}
+        found: Dict[str, str] = {}
+        with self._lock:
+            conn = self._connection()
+            # SQLite caps bound parameters (999 historically); chunk.
+            for start in range(0, len(keys), 500):
+                chunk = list(keys[start : start + 500])
+                marks = ",".join("?" for _ in chunk)
+                rows = conn.execute(
+                    f"SELECT key, payload FROM entries WHERE section=? "
+                    f"AND ident=? AND epoch=? AND lineage=? "
+                    f"AND key IN ({marks})",
+                    [section, self._ident_hash, self._epoch, self._lineage]
+                    + chunk,
+                ).fetchall()
+                for key, payload in rows:
+                    found[str(key)] = str(payload)
+        return found
+
+    def _enforce_store_bound(self) -> None:
+        """Drop the oldest-written rows past ``max_store_entries``.
+
+        Caller holds ``self._lock``.  Ordering is by ``rowid`` —
+        insertion order, with a REPLACE moving a refreshed entry to the
+        newest position — and the bound counts the whole file, so every
+        configuration/lineage sharing the store stays inside it.
+        """
+        if self._max_store_entries is None:
+            return
+        self._puts_since_bound_check = 0
+        conn = self._connection()
+        (count,) = conn.execute("SELECT COUNT(*) FROM entries").fetchone()
+        excess = int(count) - self._max_store_entries
+        if excess > 0:
+            conn.execute(
+                "DELETE FROM entries WHERE rowid IN ("
+                "SELECT rowid FROM entries ORDER BY rowid ASC LIMIT ?)",
+                (excess,),
             )
 
     # ------------------------------------------------------------------ #
@@ -460,6 +570,7 @@ class SharedCacheTier:
                     "DELETE FROM entries WHERE epoch < ? AND lineage = ?",
                     (epoch, self._lineage),
                 )
+                self._enforce_store_bound()
             self._epoch = epoch
             self._lineage = lineage
 
@@ -477,6 +588,7 @@ class SharedCacheTier:
             self._dir,
             identity=self._identity,
             max_entries=self._max_entries,
+            max_store_entries=self._max_store_entries,
         )
 
     def clear(self) -> None:
@@ -591,6 +703,68 @@ class SharedCacheTier:
             "results", key, self._result_key(key), result, result.to_wire()
         )
 
+    def get_results_many(
+        self, keys: Sequence[Hashable]
+    ) -> Dict[Hashable, Any]:
+        """Bulk result probe: L1 first, then one store query for the rest.
+
+        The batched face of :meth:`get_result` used by the deduplicating
+        batch executor — a round's worth of probes costs one SQLite
+        round trip instead of one per sub-query.  Promotion into L1
+        follows the same stamp-re-check discipline as the single-key
+        path, so a concurrent epoch bump can never resurrect a
+        pre-append entry.
+        """
+        from ..sntindex.procedures import TravelTimeResult
+
+        found: Dict[Hashable, Any] = {}
+        missing: List[Hashable] = []
+        for key in keys:
+            value = self._l1["results"].get(key)
+            if value is not None:
+                found[key] = value
+            else:
+                missing.append(key)
+        if not missing:
+            return found
+        stamp = (self._epoch, self._lineage)
+        store_keys = {key: self._result_key(key) for key in missing}
+        payloads = self._store_get_many(
+            "results", list(store_keys.values())
+        )
+        n_missed = 0
+        for key in missing:
+            payload = payloads.get(store_keys[key])
+            if payload is None:
+                n_missed += 1
+                continue
+            value = TravelTimeResult.from_wire(json.loads(payload))
+            with self._bind_lock:
+                if (self._epoch, self._lineage) != stamp:
+                    n_missed += 1
+                    continue
+                self._l1["results"].put(key, value)
+            with self._lock:
+                self._shared_hits["results"] += 1
+            found[key] = value
+        if n_missed:
+            with self._lock:
+                self._misses["results"] += n_missed
+        return found
+
+    def put_results_many(
+        self, items: Sequence[Tuple[Hashable, Any]]
+    ) -> None:
+        """Bulk counterpart of :meth:`put_result`: one store transaction."""
+        rows: List[Tuple[str, str]] = []
+        for key, result in items:
+            result.values.setflags(write=False)
+            self._l1["results"].put(key, result)
+            rows.append(
+                (self._result_key(key), _canonical_json(result.to_wire()))
+            )
+        self._store_put_many("results", rows)
+
     # -- histograms ----------------------------------------------------- #
 
     def get_histogram(self, key: Hashable) -> Any:
@@ -702,5 +876,8 @@ def resolve_cache_backend(
         # EngineConfig validated the spec shape; only shared:<dir> is left.
         cache_dir = Path(spec.split(":", 1)[1])
     return SharedCacheTier(
-        cache_dir, config, max_entries=config.cache_entries
+        cache_dir,
+        config,
+        max_entries=config.cache_entries,
+        max_store_entries=config.cache_store_entries,
     )

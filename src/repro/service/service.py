@@ -4,52 +4,61 @@
 monolithic :class:`SNTIndex` or the time-sliced
 :class:`~repro.sntindex.ShardedSNTIndex` — plus an
 :class:`~repro.api.EngineConfig` and executes *batches* of trip tasks.
-It is the batch executor behind the typed
-:class:`repro.api.TravelTimeDB` facade; the public
-``trip_query``/``trip_query_many`` methods are deprecation shims over
-the same internals (prefer ``repro.open_db``):
+It is the internal batch executor behind the typed
+:class:`repro.api.TravelTimeDB` facade (the one public query surface,
+``repro.open_db``; the PR-3 ``trip_query``/``trip_query_many`` shims
+were removed on schedule in PR 5):
 
 * a cross-query :class:`SubQueryCache` shares FM-index backward searches,
   retrieval results, and histograms between trips (commuter workloads
   repeat sub-paths heavily);
-* optional thread-pool fan-out runs independent trips concurrently while
-  returning results in submission order (the index is immutable during a
-  batch, numpy kernels release the GIL);
-* optional **process fan-out** (:meth:`trip_query_many` with
-  ``use_processes=True``) forks worker processes that each answer whole
-  trips against their copy-on-write view of the index — with a sharded
-  index every worker scans only the shards its trips route to, so a
-  batch's shard work spreads across real cores instead of GIL slices;
+* with ``config.dedup_subqueries`` the batch runs through the staged
+  :class:`~repro.core.exec.BatchExecutor`: the planned sub-queries of
+  all in-flight trips are collected per round, identical
+  ``(path, interval, user, beta, exclude)`` tasks are deduplicated, and
+  each unique task is scanned once — so even a *cold* cache answers a
+  repeated-path batch with one scan per distinct sub-query;
+* optional thread-pool fan-out runs independent trips (or the batch's
+  unique scans, under dedup) concurrently while returning results in
+  submission order (the index is immutable during a batch, numpy
+  kernels release the GIL);
+* optional **process fan-out** (``use_processes=True``) forks worker
+  processes that each answer whole trips against their copy-on-write
+  view of the index — with a sharded index every worker scans only the
+  shards its trips route to, so a batch's shard work spreads across
+  real cores instead of GIL slices;
 * :meth:`TravelTimeService.from_saved` cold-starts from a persisted
   index directory, auto-detecting the monolithic vs sharded layout.
 
-Cached and fan-out execution is *bit-identical* to sequential
-``QueryEngine.trip_query``: a cache hit re-enters Procedure 6 exactly
-where the index scan would have, so only the ``n_index_scans`` /
-``n_cache_hits`` accounting differs.  For single-threaded cached runs
-their sum equals the uncached scan count exactly; under concurrent
-fan-out two threads may race to first-answer the same sub-query and
-each scan it once, so the sum can over-count scans (never miss work,
-and never change answers).  Process fan-out gives each worker its own
-forked cache, so cross-trip sharing happens per worker; answers are
-still identical.  The ``tests/service`` suite enforces the equivalence
-across partitioners, splitters, and estimator configurations.
+Cached, deduplicated, and fan-out execution is *bit-identical* to
+sequential Procedure 6: a cache hit (or a deduplicated fan-out) re-enters
+the procedure exactly where the index scan would have, so only the
+``n_index_scans`` / ``n_cache_hits`` accounting differs.  For
+single-threaded cached runs their sum equals the uncached scan count
+exactly; under free-threaded fan-out two threads may race to
+first-answer the same sub-query and each scan it once, so the sum can
+over-count scans (never miss work, and never change answers) — the
+dedup executor removes exactly that race, because each round scans each
+unique key once.  Process fan-out gives each worker its own forked
+cache, so cross-trip sharing happens per worker; answers are still
+identical.  The ``tests/service`` suite enforces the equivalence across
+partitioners, splitters, and estimator configurations.
 """
 
 from __future__ import annotations
 
-import warnings
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple, Union
 
-from ..core.engine import QueryEngine, TripQueryResult, _legacy_config
+from ..core.engine import QueryEngine, TripQueryResult
+from ..core.exec import DedupStats
 from ..core.spq import StrictPathQuery
 from ..forkpool import fork_map
 from ..network.graph import RoadNetwork
 from ..sntindex.reader import IndexReader
 from ..sntindex.sharded import load_any_index
-from ..errors import ConfigurationError, ReproDeprecationWarning
+from ..errors import ConfigurationError
 from .cache import CacheStats
 from .cachetier import CacheBackend, resolve_cache_backend
 
@@ -120,9 +129,6 @@ class TravelTimeService:
         An :class:`repro.api.EngineConfig`; ``None`` uses defaults.
     estimator:
         Optional engine-default :class:`CardinalityEstimator` instance.
-    **engine_kwargs:
-        Deprecated pre-redesign engine kwargs (partitioner, splitter,
-        ladder, bucket_width_s, ...) — pass ``config`` instead.
     """
 
     def __init__(
@@ -134,24 +140,11 @@ class TravelTimeService:
         config: Optional["EngineConfig"] = None,
         *,
         estimator=None,
-        **engine_kwargs,
     ):
-        if engine_kwargs:
-            if config is not None:
-                raise TypeError(
-                    "pass either config=EngineConfig(...) or the legacy "
-                    "engine keyword arguments, not both"
-                )
-            warnings.warn(
-                "TravelTimeService(partitioner=..., ...) engine keyword "
-                "arguments are deprecated; pass "
-                "config=repro.EngineConfig(...) instead",
-                ReproDeprecationWarning,
-                stacklevel=2,
-            )
-            config = _legacy_config(engine_kwargs)
         if config is None:
-            config = _legacy_config({})
+            from ..api.config import EngineConfig
+
+            config = EngineConfig()
         if n_workers is None:
             n_workers = config.n_workers
         if n_workers < 1:
@@ -170,6 +163,10 @@ class TravelTimeService:
         self.engine = QueryEngine(
             index, network, config, estimator=estimator, cache=cache
         )
+        #: Dedup accounting of the most recent batch answered through
+        #: the deduplicating executor (``None`` before the first one,
+        #: or after a batch that ran without dedup).
+        self.last_dedup_stats: Optional[DedupStats] = None
 
     @property
     def index(self) -> IndexReader:
@@ -200,98 +197,7 @@ class TravelTimeService:
         return cls(index, network, **kwargs)
 
     # ------------------------------------------------------------------ #
-    # Queries
-    # ------------------------------------------------------------------ #
-
-    def trip_query(
-        self,
-        query: StrictPathQuery,
-        exclude_ids: Sequence[int] = (),
-    ) -> TripQueryResult:
-        """Deprecated: use :meth:`repro.api.TravelTimeDB.query` with a
-        :class:`~repro.api.TripRequest`.  Answers one trip through the
-        shared cache, unchanged."""
-        warnings.warn(
-            "TravelTimeService.trip_query is deprecated; use "
-            "repro.open_db(...).query(TripRequest(...))",
-            ReproDeprecationWarning,
-            stacklevel=2,
-        )
-        return self.engine._run_task(query, tuple(exclude_ids), None)
-
-    def trip_query_many(
-        self,
-        queries: Sequence[StrictPathQuery],
-        exclude_ids: Optional[Sequence[Sequence[int]]] = None,
-        n_workers: Optional[int] = None,
-        use_processes: bool = False,
-    ) -> List[TripQueryResult]:
-        """Answer a batch of independent trips.
-
-        Parameters
-        ----------
-        queries:
-            The trip queries, answered independently.
-        exclude_ids:
-            Optional per-query excluded trajectory ids (parallel to
-            ``queries``); used by evaluation workloads to keep each query
-            trajectory out of its own answer.
-        n_workers:
-            Overrides the service-level pool width for this batch.
-        use_processes:
-            Fan the batch out over forked worker processes instead of
-            threads.  Sidesteps the GIL entirely — each worker answers
-            whole trips against its copy-on-write fork of the index (for
-            a sharded index: only the shards its trips route to), at the
-            price of forking and of pickling results back.  Requires the
-            ``fork`` start method (Linux/macOS); each worker builds its
-            own fresh cache (the parent's shared cache is never touched
-            from a fork), so the cache warms per worker process only.
-            Unlike thread fan-out, process mode must be quiesced: only
-            one process-mode batch per process (a concurrent second one
-            raises ``RuntimeError``), and no thread-mode batch should
-            run on the same index concurrently — forking can snapshot
-            another thread mid-critical-section, leaving a child waiting
-            on a lock that is never released.  The effective worker
-            count follows ``n_workers`` as usual: with the service
-            default of ``1`` pass ``n_workers`` explicitly, or the batch
-            runs sequentially without forking.  Side-effect statistics
-            accumulate in the children and die with the pool: after a
-            process-mode batch, parent-side ``cache_stats()`` and a
-            sharded index's ``shard_stats()`` do not reflect that
-            batch's work (the ``TripQueryResult`` scan/hit counters are
-            returned as usual).
-
-        Returns
-        -------
-        Results in submission order, regardless of worker count or
-        execution mode — the batch API is deterministic so callers can
-        zip results back onto their requests.
-        """
-        warnings.warn(
-            "TravelTimeService.trip_query_many is deprecated; use "
-            "repro.open_db(...).query_many([TripRequest(...), ...]) or "
-            ".stream(...)",
-            ReproDeprecationWarning,
-            stacklevel=2,
-        )
-        if exclude_ids is None:
-            exclude_ids = [()] * len(queries)
-        if len(exclude_ids) != len(queries):
-            raise ValueError(
-                f"got {len(queries)} queries but {len(exclude_ids)} "
-                "exclude_ids entries"
-            )
-        tasks: List[TripTask] = [
-            (query, tuple(excluded), None)
-            for query, excluded in zip(queries, exclude_ids)
-        ]
-        return self._run_batch(
-            tasks, n_workers=n_workers, use_processes=use_processes
-        )
-
-    # ------------------------------------------------------------------ #
-    # Internal batch executor (shared with the typed API)
+    # Internal batch executor (behind the typed API)
     # ------------------------------------------------------------------ #
 
     def _run_batch(
@@ -304,6 +210,28 @@ class TravelTimeService:
 
         Results come back in submission order regardless of worker count
         or execution mode, so callers can zip them onto their requests.
+        With ``config.dedup_subqueries`` (and thread/sequential
+        execution) the batch runs through the deduplicating staged
+        executor; its accounting lands in :attr:`last_dedup_stats`.
+        """
+        results, _ = self._run_batch_with_stats(
+            tasks, n_workers=n_workers, use_processes=use_processes
+        )
+        return results
+
+    def _run_batch_with_stats(
+        self,
+        tasks: Sequence[TripTask],
+        n_workers: Optional[int] = None,
+        use_processes: bool = False,
+    ) -> Tuple[List[TripQueryResult], Optional[DedupStats]]:
+        """:meth:`_run_batch`, also handing the batch's dedup accounting
+        back to the caller.
+
+        :attr:`last_dedup_stats` is last-writer-wins observability (like
+        ``cache_stats``); a caller aggregating across several batches —
+        the streaming windows — must use the returned stats, not the
+        attribute, or a concurrent batch's numbers could leak in.
         """
         workers = self.n_workers if n_workers is None else n_workers
         if workers < 1:
@@ -311,19 +239,29 @@ class TravelTimeService:
         workers = min(workers, max(1, len(tasks)))
 
         if use_processes and workers > 1:
-            return self._run_batch_forked(tasks, workers)
+            # Fork fan-out ships whole trips to workers; cross-trip dedup
+            # would need cross-process demand collection — the shared
+            # cache tier already covers that ground.
+            self.last_dedup_stats = None
+            return self._run_batch_forked(tasks, workers), None
+
+        if self.config.dedup_subqueries:
+            results, stats = self.engine.run_batch(tasks, n_workers=workers)
+            self.last_dedup_stats = stats
+            return results, stats
+        self.last_dedup_stats = None
 
         def answer(task: TripTask) -> TripQueryResult:
             query, excluded, estimator_mode = task
             return self.engine._run_task(query, excluded, estimator_mode)
 
         if workers == 1:
-            return [answer(task) for task in tasks]
+            return [answer(task) for task in tasks], None
         # Task execution touches no engine state and the shared cache is
         # locked, so one engine serves every worker; map() preserves
         # submission order.
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(answer, tasks))
+            return list(pool.map(answer, tasks)), None
 
     def _run_batch_forked(
         self,
@@ -338,6 +276,17 @@ class TravelTimeService:
         fallback exists — the engine holds cache locks — so on platforms
         without ``fork`` this raises ``RuntimeError``; use thread
         fan-out there.
+
+        Process mode must be quiesced: only one process-mode batch per
+        process (a concurrent second one raises ``RuntimeError``), and
+        no thread-mode batch should run on the same index concurrently —
+        forking can snapshot another thread mid-critical-section,
+        leaving a child waiting on a lock that is never released.
+        Side-effect statistics accumulate in the children and die with
+        the pool: after a process-mode batch, parent-side
+        ``cache_stats()`` and a sharded index's ``shard_stats()`` do not
+        reflect that batch's work (the ``TripQueryResult`` scan/hit
+        counters are returned as usual).
         """
         payloads = [(self.engine, task) for task in tasks]
         return fork_map(

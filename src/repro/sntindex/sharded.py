@@ -356,87 +356,155 @@ class ShardRouter:
         isa_ranges=None,
     ) -> TravelTimeResult:
         """Procedure 5 scattered over the shards and merged exactly."""
-        routed = self.route(query.interval)
-        self._record_dispatch(len(routed))
-        empty = np.empty(0, dtype=np.float64)
-        length = query.length
+        return self.get_travel_times_many(
+            [(query, exclude_ids, isa_ranges)], fallback_tt=fallback_tt
+        )[0]
 
-        # Phase 1: per-shard first-segment matches (each capped at beta;
-        # the global cut below only ever keeps a prefix of each).
-        per_shard = []
-        for position in routed:
+    def get_travel_times_many(
+        self,
+        items: Sequence[Tuple],
+        fallback_tt=None,
+    ) -> List[TravelTimeResult]:
+        """Procedure 5 for a set of independent sub-queries, with the
+        per-shard scans grouped.
+
+        ``items`` are ``(query, exclude_ids, isa_ranges)`` triples — the
+        deduplicated demand set of one batch-executor round.  Both scan
+        phases walk the shards in the outer loop and the routed queries
+        in the inner loop, so each shard's columns are visited
+        contiguously for the whole set instead of once per query; every
+        per-query decision (global beta cut, the insufficient/fallback
+        classification, the ``(t, shard)`` merge) is unchanged, so each
+        returned result is exactly what :meth:`get_travel_times` answers
+        for that item alone.
+        """
+        n_items = len(items)
+        routed: List[List[int]] = []
+        for query, _, _ in items:
+            positions = self.route(query.interval)
+            self._record_dispatch(len(positions))
+            routed.append(positions)
+        by_position: Dict[int, List[int]] = {}
+        for item_index, positions in enumerate(routed):
+            for position in positions:
+                by_position.setdefault(position, []).append(item_index)
+
+        # Phase 1, grouped: per-shard first-segment matches (each capped
+        # at beta; the global cut below only ever keeps a prefix of
+        # each).  Ascending shard order per query — the same order the
+        # per-query loop produced — so each query's chunk list is still
+        # its routed prefix order.
+        per_shard: List[List[Tuple[int, np.ndarray, object]]] = [
+            [] for _ in range(n_items)
+        ]
+        for position in sorted(by_position):
             entry = self.entries[position]
-            self._record_scan(position)
-            local = (
-                self._local_ranges(isa_ranges, position)
-                if isa_ranges is not None
-                else None
-            )
-            matches = first_segment_matches(
-                entry.index,
-                query,
-                exclude_ids=exclude_ids,
-                beta=query.beta,
-                isa_ranges=local,
-            )
-            if matches is None:
-                continue
-            selected, columns = matches
-            if selected.size:
-                per_shard.append((position, selected, columns))
+            for item_index in by_position[position]:
+                query, exclude_ids, isa_ranges = items[item_index]
+                self._record_scan(position)
+                local = (
+                    self._local_ranges(isa_ranges, position)
+                    if isa_ranges is not None
+                    else None
+                )
+                matches = first_segment_matches(
+                    entry.index,
+                    query,
+                    exclude_ids=exclude_ids,
+                    beta=query.beta,
+                    isa_ranges=local,
+                )
+                if matches is None:
+                    continue
+                selected, columns = matches
+                if selected.size:
+                    per_shard[item_index].append(
+                        (position, selected, columns)
+                    )
 
-        # Phase 2: the global ascending-entry-time beta cut.  The merge
+        # Phase 2, per query: the global ascending-entry-time beta cut
+        # and the insufficient/empty/fallback classification.  The merge
         # key is (t, shard order), matching the monolithic column order
         # because each shard is a stable restriction of it.
-        sizes = [int(selected.size) for _, selected, _ in per_shard]
-        total = sum(sizes)
-        if query.beta is not None and total > query.beta:
-            stamps = np.concatenate(
-                [columns.t[selected] for _, selected, columns in per_shard]
-            )
-            kept = np.argsort(stamps, kind="stable")[: query.beta]
-            bounds = np.cumsum([0] + sizes)
-            source = np.searchsorted(bounds, kept, side="right") - 1
-            keep_counts = np.bincount(source, minlength=len(per_shard))
-            per_shard = [
-                (position, selected[: int(keep_counts[i])], columns)
-                for i, (position, selected, columns) in enumerate(per_shard)
-            ]
-            n_matched = int(query.beta)
-        else:
-            n_matched = total
+        empty = np.empty(0, dtype=np.float64)
+        results: List[Optional[TravelTimeResult]] = [None] * n_items
+        matched_counts = [0] * n_items
+        for item_index, (query, _, _) in enumerate(items):
+            chunks = per_shard[item_index]
+            sizes = [int(selected.size) for _, selected, _ in chunks]
+            total = sum(sizes)
+            if query.beta is not None and total > query.beta:
+                stamps = np.concatenate(
+                    [columns.t[selected] for _, selected, columns in chunks]
+                )
+                kept = np.argsort(stamps, kind="stable")[: query.beta]
+                bounds = np.cumsum([0] + sizes)
+                source = np.searchsorted(bounds, kept, side="right") - 1
+                keep_counts = np.bincount(source, minlength=len(chunks))
+                per_shard[item_index] = [
+                    (position, selected[: int(keep_counts[i])], columns)
+                    for i, (position, selected, columns) in enumerate(chunks)
+                ]
+                n_matched = int(query.beta)
+            else:
+                n_matched = total
+            matched_counts[item_index] = n_matched
 
-        if (
-            query.beta is not None
-            and n_matched < query.beta
-            and is_periodic(query.interval)
-        ):
-            # Procedure 5 line 7, applied to the global match count.
-            return TravelTimeResult(empty, n_matched, insufficient=True)
+            if (
+                query.beta is not None
+                and n_matched < query.beta
+                and is_periodic(query.interval)
+            ):
+                # Procedure 5 line 7, applied to the global match count.
+                results[item_index] = TravelTimeResult(
+                    empty, n_matched, insufficient=True
+                )
+            elif n_matched == 0:
+                if query.length == 1 and fallback_tt is not None:
+                    estimate = np.asarray([fallback_tt(query.path[0])])
+                    results[item_index] = TravelTimeResult(
+                        estimate, 0, from_fallback=True
+                    )
+                else:
+                    results[item_index] = TravelTimeResult(empty, 0)
 
-        if n_matched == 0:
-            if length == 1 and fallback_tt is not None:
-                estimate = np.asarray([fallback_tt(query.path[0])])
-                return TravelTimeResult(estimate, 0, from_fallback=True)
-            return TravelTimeResult(empty, 0)
-
-        # Phase 3: per-shard map/probe, merged on (entry time, shard).
-        value_chunks: List[np.ndarray] = []
-        stamp_chunks: List[np.ndarray] = []
-        for position, selected, columns in per_shard:
-            if selected.size == 0:
+        # Phase 3, grouped: per-shard map/probe for the queries still
+        # open, merged per query on (entry time, shard).  Each probe
+        # entry carries its chunk, so the shard-grouped walk stays
+        # linear in the total chunk count.
+        value_chunks: List[List[np.ndarray]] = [[] for _ in range(n_items)]
+        stamp_chunks: List[List[np.ndarray]] = [[] for _ in range(n_items)]
+        probes: Dict[int, List[Tuple[int, np.ndarray, object]]] = {}
+        for item_index in range(n_items):
+            if results[item_index] is not None:
                 continue
-            values, stamps = probe_travel_times(
-                self.entries[position].index, query, selected, columns
-            )
-            value_chunks.append(values)
-            stamp_chunks.append(stamps)
-        if not value_chunks:
-            return TravelTimeResult(empty, n_matched)
-        values = np.concatenate(value_chunks)
-        stamps = np.concatenate(stamp_chunks)
-        merged = values[np.argsort(stamps, kind="stable")]
-        return TravelTimeResult(merged, n_matched)
+            for position, selected, columns in per_shard[item_index]:
+                if selected.size:
+                    probes.setdefault(position, []).append(
+                        (item_index, selected, columns)
+                    )
+        for position in sorted(probes):
+            entry = self.entries[position]
+            for item_index, selected, columns in probes[position]:
+                values, stamps = probe_travel_times(
+                    entry.index, items[item_index][0], selected, columns
+                )
+                value_chunks[item_index].append(values)
+                stamp_chunks[item_index].append(stamps)
+
+        for item_index in range(n_items):
+            if results[item_index] is not None:
+                continue
+            n_matched = matched_counts[item_index]
+            if not value_chunks[item_index]:
+                results[item_index] = TravelTimeResult(empty, n_matched)
+                continue
+            values = np.concatenate(value_chunks[item_index])
+            stamps = np.concatenate(stamp_chunks[item_index])
+            merged = values[np.argsort(stamps, kind="stable")]
+            results[item_index] = TravelTimeResult(merged, n_matched)
+        assert all(result is not None for result in results)
+        return results  # type: ignore[return-value]
 
     def count_matches(
         self,
@@ -827,6 +895,18 @@ class ShardedSNTIndex:
             fallback_tt=fallback_tt,
             exclude_ids=exclude_ids,
             isa_ranges=isa_ranges,
+        )
+
+    def get_travel_times_many(
+        self,
+        items: Sequence[Tuple],
+        fallback_tt=None,
+    ) -> List[TravelTimeResult]:
+        """Procedure 5 for a deduplicated demand set, with the per-shard
+        scans grouped so each shard is walked contiguously (see
+        :meth:`ShardRouter.get_travel_times_many`)."""
+        return self._router.get_travel_times_many(
+            items, fallback_tt=fallback_tt
         )
 
     def count_matches(

@@ -1,11 +1,11 @@
 """Session facade tests: `open_db`, query/query_many/stream equivalence,
-result wire form, and the deprecation shims.
+result wire form, and the removal of the PR-3 legacy surfaces.
 
-The acceptance property (ISSUE 3): for random workloads,
-``db.query_many(reqs)``, ``list(db.stream(reqs))``, and the legacy
-``TravelTimeService.trip_query_many(...)`` produce bit-identical
-histograms / means / scan counts, and every request survives its wire
-form round trip.
+The acceptance property (ISSUE 3, extended by ISSUE 5): for random
+workloads, ``db.query_many(reqs)``, ``list(db.stream(reqs))``, and the
+deduplicating batch executor (``dedup_subqueries=True``) produce
+bit-identical histograms / means / scan counts, and every request
+survives its wire form round trip.
 """
 
 import warnings
@@ -161,7 +161,7 @@ class TestRoundTripProperty:
     """The ISSUE 3 acceptance property over several random workloads."""
 
     @pytest.mark.parametrize("seed", (11, 23, 47))
-    def test_query_many_stream_and_legacy_bit_identical(self, world, seed):
+    def test_query_many_stream_and_dedup_bit_identical(self, world, seed):
         dataset, index = world
         requests = random_requests(dataset, index, seed=seed)
 
@@ -176,17 +176,45 @@ class TestRoundTripProperty:
                 iter(requests)
             )
         )
-        legacy_service = TravelTimeService(
-            index, dataset.network, config=config
+        dedup_db = open_db(
+            index,
+            network=dataset.network,
+            config=config.replace(dedup_subqueries=True),
         )
-        with pytest.warns(DeprecationWarning):
-            via_legacy = legacy_service.trip_query_many(
-                [r.to_spq() for r in requests],
-                exclude_ids=[r.exclude_ids for r in requests],
-            )
+        via_dedup = dedup_db.query_many(requests)
 
         assert_bit_identical(via_stream, via_many)
-        assert_bit_identical(via_legacy, via_many)
+        # Dedup may shift *which* trip pays a shared scan (the first
+        # demander in round order, not in submission order), so per
+        # result only the scans+hits sum is pinned — the answers and
+        # outcomes stay byte-identical.
+        for result, reference in zip(via_dedup, via_many):
+            assert result.histogram == reference.histogram
+            assert result.estimated_mean == reference.estimated_mean
+            assert result.n_estimator_skips == reference.n_estimator_skips
+            assert (
+                result.n_index_scans + result.n_cache_hits
+                == reference.n_index_scans + reference.n_cache_hits
+            )
+            assert len(result.outcomes) == len(reference.outcomes)
+            for out_actual, out_expected in zip(
+                result.outcomes, reference.outcomes
+            ):
+                assert out_actual.query == out_expected.query
+                assert np.array_equal(
+                    out_actual.values, out_expected.values
+                )
+        stats = dedup_db.last_dedup_stats
+        assert stats is not None
+        assert stats.n_trips == len(requests)
+        # Executor accounting vs. per-result counters: every demand
+        # resumes exactly once, as a scan or as a hit.
+        assert stats.planned_subqueries == sum(
+            r.n_index_scans + r.n_cache_hits for r in via_dedup
+        )
+        assert stats.n_index_scans == sum(
+            r.n_index_scans for r in via_dedup
+        )
 
         for request in requests:
             assert TripRequest.from_dict(request.to_dict()) == request
@@ -329,7 +357,10 @@ class TestResultWireForm:
         )
 
 
-class TestDeprecationShims:
+class TestLegacySurfaceRemoved:
+    """The PR-3 shims were removed on the ROADMAP schedule (PR 5):
+    ``repro.api`` is the only query surface left."""
+
     def test_engine_query_rejects_legacy_spq_with_typed_error(self, world):
         from repro import QueryEngine
         from repro.errors import RequestValidationError
@@ -340,44 +371,24 @@ class TestDeprecationShims:
         with pytest.raises(RequestValidationError, match="from_spq"):
             engine.query(spq)
 
-    def test_engine_trip_query_warns_and_matches(self, world):
+    def test_trip_query_entry_points_are_gone(self, world):
         from repro import QueryEngine
 
         dataset, index = world
-        request = random_requests(dataset, index, seed=10, n=1)[0]
         engine = QueryEngine(index, dataset.network)
-        with pytest.warns(DeprecationWarning):
-            legacy = engine.trip_query(
-                request.to_spq(), exclude_ids=request.exclude_ids
-            )
-        modern = engine.query(request)
-        assert legacy.histogram == modern.histogram
-        assert legacy.request is None
-        assert modern.request is request
+        service = TravelTimeService(index, dataset.network)
+        assert not hasattr(engine, "trip_query")
+        assert not hasattr(service, "trip_query")
+        assert not hasattr(service, "trip_query_many")
 
-    def test_legacy_engine_constructor_kwargs_warn(self, world):
+    def test_legacy_engine_constructor_kwargs_rejected(self, world):
         from repro import QueryEngine
 
         dataset, index = world
-        with pytest.warns(DeprecationWarning):
-            engine = QueryEngine(index, dataset.network, partitioner="pi_1")
-        assert engine.config.partitioner == "pi_1"
-
-    def test_legacy_service_kwargs_warn(self, world):
-        dataset, index = world
-        with pytest.warns(DeprecationWarning):
-            service = TravelTimeService(
-                index, dataset.network, partitioner="pi_1"
-            )
-        assert service.config.partitioner == "pi_1"
-
-    def test_service_trip_query_warns(self, world):
-        dataset, index = world
-        service = TravelTimeService(index, dataset.network)
-        request = random_requests(dataset, index, seed=12, n=1)[0]
-        with pytest.warns(DeprecationWarning):
-            result = service.trip_query(request.to_spq())
-        assert result.histogram is not None
+        with pytest.raises(TypeError):
+            QueryEngine(index, dataset.network, partitioner="pi_1")
+        with pytest.raises(TypeError):
+            TravelTimeService(index, dataset.network, partitioner="pi_1")
 
     def test_new_constructors_do_not_warn(self, world):
         from repro import QueryEngine
@@ -389,34 +400,15 @@ class TestDeprecationShims:
             TravelTimeService(index, dataset.network, config=EngineConfig())
             open_db(index, network=dataset.network)
 
-    def test_legacy_positional_partitioner_still_works(self, world):
-        from repro import QueryEngine
-
-        dataset, index = world
-        with pytest.warns(DeprecationWarning):
-            engine = QueryEngine(index, dataset.network, "pi_1")
-        assert engine.partitioner_name == "pi_1"
-
     def test_non_config_positional_rejected_with_clear_error(self, world):
         from repro import QueryEngine
 
         dataset, index = world
         with pytest.raises(TypeError, match="EngineConfig"):
             QueryEngine(index, dataset.network, 42)
-
-    def test_mixing_config_and_legacy_kwargs_rejected(self, world):
-        from repro import QueryEngine
-
-        dataset, index = world
-        with pytest.raises(TypeError):
-            QueryEngine(
-                index, dataset.network, EngineConfig(), partitioner="pi_1"
-            )
-        with pytest.raises(TypeError):
-            TravelTimeService(
-                index, dataset.network, config=EngineConfig(),
-                partitioner="pi_1",
-            )
+        # The pre-PR-3 positional-partitioner form is gone too.
+        with pytest.raises(TypeError, match="EngineConfig"):
+            QueryEngine(index, dataset.network, "pi_1")
 
 
 class TestPerRequestEstimator:

@@ -312,13 +312,14 @@ class TestDeprecationShimsValidation:
         with pytest.raises(IntervalError):
             PeriodicInterval(start_tod=0, duration=0)
 
-    def test_legacy_engine_kwargs_validate_through_config(self):
+    def test_legacy_engine_kwargs_are_gone(self):
+        """The PR-3 kwarg shims were removed on schedule (PR 5): the
+        engine takes an EngineConfig, full stop."""
         from repro import QueryEngine, generate_dataset, SNTIndex
 
         dataset = generate_dataset("tiny", seed=0)
         index = SNTIndex.build(
             dataset.trajectories, dataset.network.alphabet_size
         )
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(QueryError):
-                QueryEngine(index, dataset.network, splitter="alphabetical")
+        with pytest.raises(TypeError):
+            QueryEngine(index, dataset.network, splitter="alphabetical")

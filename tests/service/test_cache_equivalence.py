@@ -212,16 +212,6 @@ def test_shared_cache_rejects_different_index_or_network(workload):
     TravelTimeService(workload.index, workload.network, cache=shared)
 
 
-def test_mismatched_exclude_ids_length_raises(workload, jobs):
-    """The deprecated batch shim still validates its parallel lists
-    (shim behaviour: the warning and the legacy ValueError contract)."""
-    queries, _ = jobs
-    service = TravelTimeService(workload.index, workload.network)
-    with pytest.warns(DeprecationWarning):
-        with pytest.raises(ValueError):
-            service.trip_query_many(queries, exclude_ids=[()])
-
-
 def test_engine_rejects_mismatched_index_network_pair(workload):
     """A mismatched pair would answer silently wrong (unknown edges get
     empty ISA ranges + the wrong network's fallback); the engine — and

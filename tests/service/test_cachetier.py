@@ -492,3 +492,76 @@ def test_tier_binding_rejects_second_index_per_handle(world, tmp_path):
     tier.bind_index(index, dataset.network)  # same pair: fine
     with pytest.raises(ValueError, match="bound to a different"):
         tier.bind_index(index, None)
+
+
+# --------------------------------------------------------------------- #
+# Store-size bound (ISSUE 5: bound the store within an epoch)
+# --------------------------------------------------------------------- #
+
+
+def test_store_bound_evicts_oldest_without_breaking_bit_identity(
+    world, tmp_path
+):
+    """A tiny ``max_store_entries`` forces constant eviction; every
+    answer must still be exactly the uncached one — eviction can only
+    ever cost a recomputation."""
+    dataset, index, trips = world
+    requests = requests_for(trips, 6)
+    config = EngineConfig()
+    reference = TravelTimeDB(
+        index, dataset.network, config=config, cache=None
+    ).query_many(requests)
+
+    tier = SharedCacheTier(
+        tmp_path / "tier",
+        config=config,
+        max_entries=2,  # small L1 so reads actually exercise the store
+        max_store_entries=5,
+    )
+    db = TravelTimeDB(index, dataset.network, config=config, cache=tier)
+    first = db.query_many(requests)
+    assert tier.tier_stats().db_entries <= 5
+    # Second pass: most entries were evicted, so this mixes store hits
+    # with forced recomputations — answers must not change either way.
+    second = db.query_many(requests)
+    assert tier.tier_stats().db_entries <= 5
+    for expected, a, b in zip(reference, first, second):
+        assert_bit_identical(expected, a)
+        assert_bit_identical(expected, b)
+
+
+def test_store_bound_survives_worker_spawn_and_epoch_sync(
+    world, tmp_path
+):
+    dataset, index, trips = world
+    tier = SharedCacheTier(
+        tmp_path / "tier", config=EngineConfig(), max_store_entries=3
+    )
+    worker = tier.spawn_for_worker()
+    assert worker._max_store_entries == 3
+    db = TravelTimeDB(index, dataset.network, cache=tier)
+    db.query_many(requests_for(trips, 6))
+    assert tier.tier_stats().db_entries <= 3
+    # sync_epoch's GC path enforces the bound too (no epoch change
+    # needed for the invariant to hold afterwards).
+    tier.sync_epoch(index)
+    assert tier.tier_stats().db_entries <= 3
+
+
+def test_store_bound_validation_and_config_wiring(world, tmp_path):
+    dataset, index, _ = world
+    with pytest.raises(ConfigurationError, match="max_store_entries"):
+        SharedCacheTier(
+            tmp_path / "t1", config=EngineConfig(), max_store_entries=0
+        )
+    with pytest.raises(ConfigurationError, match="cache_store_entries"):
+        EngineConfig(cache_store_entries=0)
+    config = EngineConfig(
+        cache=f"shared:{tmp_path / 't2'}", cache_store_entries=7
+    )
+    backend = resolve_cache_backend(config, index)
+    assert isinstance(backend, SharedCacheTier)
+    assert backend._max_store_entries == 7
+    # Serving plumbing: the store bound never shapes answers, so it is
+    # excluded from the cross-process cache identity.
+    assert config.cache_identity() == EngineConfig().cache_identity()

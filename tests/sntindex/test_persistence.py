@@ -189,13 +189,12 @@ class TestPartitionedWorldRoundTrip:
             interval=PeriodicInterval.around(trip.start_time, 900),
             beta=10,
         )
-        # Shim behaviour on purpose: from_saved is a service-layer
-        # classmethod, and the public batch surface of the service is
-        # the deprecated shim — assert it still warns and delegates.
-        with pytest.warns(DeprecationWarning):
-            (result,) = service.trip_query_many(
-                [query], exclude_ids=[(trip.traj_id,)]
-            )
+        # The service is the internal batch executor behind the typed
+        # API; the cold-started engine must answer like the in-memory
+        # one (the shims were removed in PR 5 — go through query()).
+        result = run_trip(
+            service.engine, query, exclude_ids=(trip.traj_id,)
+        )
         expected = run_trip(
             QueryEngine(index, dataset.network),
             query,

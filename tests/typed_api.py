@@ -1,9 +1,9 @@
 """Shared helpers lifting legacy query shapes into the typed API.
 
-The PR-3 shims (``trip_query``/``trip_query_many``) are deprecated and
-the suite promotes repro deprecations to errors, so tests that still
-*construct* legacy ``StrictPathQuery`` objects route them through the
-typed surface with these two helpers instead of calling the shims.
+The PR-3 shims were removed in PR 5 and the suite promotes repro
+deprecations to errors, so tests that still *construct* legacy
+``StrictPathQuery`` objects route them through the typed surface with
+these two helpers.
 """
 
 from repro import TripRequest
