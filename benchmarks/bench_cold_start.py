@@ -1,0 +1,178 @@
+"""Cold-start benchmark: sealed-index open must be O(1), not O(corpus).
+
+The v2 on-disk format stores every array as a standalone ``.npy`` opened
+with ``mmap_mode="r"``, and defers per-edge temporal indexes and the
+ToD store until first touch.  Opening a sealed index in a fresh process
+is therefore metadata work only — parse ``meta.json``, establish the
+mmaps — and must not scale with how much trajectory data the shard
+holds.  This file pins that claim:
+
+* A **quarter corpus** and the **full corpus** are built, sealed, and
+  then opened in genuinely fresh Python processes (``subprocess``, not
+  fork — nothing is inherited).  The child times the open, runs a real
+  backward-search + temporal-fetch query, and reports its peak RSS.
+* The full-corpus open may cost at most ``REPRO_BENCH_COLD_OPEN_RATIO``
+  (default ``3.0``) times the quarter-corpus open, even though it holds
+  ~4x the traversals — far below the linear-cost slope the old
+  pickle-everything format paid.
+
+Results are also written as JSON to ``REPRO_BENCH_JSON`` (when set) so
+CI can archive the numbers as an artifact.
+
+Environment knobs (see ``conftest.py`` for the shared ones):
+
+* ``REPRO_BENCH_COLD_OPEN_RATIO`` — maximum allowed full/quarter
+  open-time ratio (default ``3.0``).
+* ``REPRO_BENCH_JSON`` — path for the JSON results artifact.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro import SNTIndex, generate_dataset
+from repro.trajectories.model import TrajectorySet
+
+from .conftest import bench_scale
+
+PARTITION_DAYS = 7
+
+#: Runs inside the fresh process: open the sealed directory, answer a
+#: query, report timings and peak RSS.  Import cost is excluded (the
+#: interpreter + numpy tax is identical for any index size).
+_CHILD = """
+import json, resource, sys, time
+
+from repro import SNTIndex
+
+path = json.loads(sys.argv[2])
+started = time.perf_counter()
+index = SNTIndex.load(sys.argv[1])
+open_s = time.perf_counter() - started
+
+started = time.perf_counter()
+hits = index.isa_ranges_many([path])[0]
+edge = index.edge_index(path[0])
+n_records = len(edge) if edge is not None else 0
+query_s = time.perf_counter() - started
+
+print(json.dumps({
+    "open_s": open_s,
+    "query_s": query_s,
+    "n_range_hits": len(hits),
+    "n_edge_records": n_records,
+    "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+}))
+"""
+
+
+def open_ratio_bar() -> float:
+    return float(os.environ.get("REPRO_BENCH_COLD_OPEN_RATIO", "3.0"))
+
+
+def _write_artifact(payload: dict) -> None:
+    target = os.environ.get("REPRO_BENCH_JSON")
+    if not target:
+        return
+    existing = {}
+    if os.path.exists(target):
+        with open(target) as handle:
+            existing = json.load(handle)
+    existing.update(payload)
+    with open(target, "w") as handle:
+        json.dump(existing, handle, indent=2)
+
+
+def _cold_open(index_dir: str, path) -> dict:
+    completed = subprocess.run(
+        [sys.executable, "-c", _CHILD, index_dir, json.dumps(list(path))],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return json.loads(completed.stdout)
+
+
+@pytest.fixture(scope="module")
+def sealed(tmp_path_factory):
+    """Quarter- and full-corpus indexes, sealed to disk, plus a query
+    path known to traverse both."""
+    dataset = generate_dataset(bench_scale(), seed=0)
+    trajectories = dataset.trajectories
+    quarter = TrajectorySet(
+        list(trajectories)[: max(1, len(trajectories) // 4)]
+    )
+    probe = next(tr for tr in quarter if len(tr) >= 4)
+
+    root = tmp_path_factory.mktemp("cold-start")
+    sizes = {}
+    for label, corpus in (("quarter", quarter), ("full", trajectories)):
+        index = SNTIndex.build(
+            corpus,
+            dataset.network.alphabet_size,
+            partition_days=PARTITION_DAYS,
+        )
+        target = index.save(root / label)
+        sizes[label] = {
+            "n_trajectories": len(corpus),
+            "dir": str(target),
+            "payload_bytes": sum(
+                entry.stat().st_size
+                for entry in (target / "payload").iterdir()
+            ),
+        }
+    return sizes, probe.path[:4]
+
+
+def test_cold_open_time_independent_of_corpus_size(sealed, capsys):
+    sizes, probe_path = sealed
+    results = {
+        label: _cold_open(entry["dir"], probe_path)
+        for label, entry in sizes.items()
+    }
+    for label, entry in sizes.items():
+        r = results[label]
+        print(
+            f"\ncold start [{label}]: {entry['n_trajectories']} trips, "
+            f"payload {entry['payload_bytes'] / 1e6:.1f} MB -> open "
+            f"{r['open_s'] * 1e3:.1f} ms, first query "
+            f"{r['query_s'] * 1e3:.1f} ms, peak RSS "
+            f"{r['peak_rss_kb'] / 1024:.0f} MiB"
+        )
+    # The query must have actually touched the index.
+    assert results["full"]["n_range_hits"] >= 1
+    assert results["full"]["n_edge_records"] >= 1
+
+    ratio = results["full"]["open_s"] / max(
+        results["quarter"]["open_s"], 1e-9
+    )
+    growth = (
+        sizes["full"]["payload_bytes"] / sizes["quarter"]["payload_bytes"]
+    )
+    print(
+        f"open-time ratio full/quarter: {ratio:.2f}x "
+        f"(payload grew {growth:.1f}x; bar {open_ratio_bar():.1f}x)"
+    )
+    assert ratio <= open_ratio_bar()
+
+    _write_artifact(
+        {
+            "cold_start": {
+                "scale": bench_scale(),
+                "open_ratio_bar": open_ratio_bar(),
+                "open_ratio": ratio,
+                "payload_growth": growth,
+                **{
+                    label: {
+                        "n_trajectories": sizes[label]["n_trajectories"],
+                        "payload_bytes": sizes[label]["payload_bytes"],
+                        **results[label],
+                    }
+                    for label in sizes
+                },
+            }
+        }
+    )

@@ -90,6 +90,53 @@ def test_sigma_l_slower_than_sigma_r(sweep_results, workload, benchmark):
     assert slow > fast
 
 
+def test_figure9_backward_search_stage(workload, benchmark, capsys):
+    """The getISARange stage at service-batch scale (Section 4.1.1).
+
+    The spq series is bounded below by backward search — the only stage
+    every configuration shares — and a batch service (PR-5's dedup
+    executor) feeds it hundreds of sub-paths at once.  At that scale
+    the levelwise frontier descent must beat the scalar per-path walk
+    by >= 1.5x (ISSUE 6 acceptance; measured ~2.5x at 240 sub-paths
+    and ~3.5x at 3000), while staying bit-identical.
+    """
+    import time
+
+    index = workload.index
+    paths = []
+    for spec in workload.queries:
+        path = list(spec.path)
+        for length in (2, 3, 4, 6):
+            if len(path) >= length:
+                paths.append(path[:length])
+    if len(paths) < 150:
+        pytest.skip(
+            "batch too small to exercise the levelwise descent "
+            "(raise REPRO_BENCH_SCALE/REPRO_BENCH_QUERIES)"
+        )
+    reps = 3
+    scalar = [index.isa_ranges(path) for path in paths]
+    batched = index.isa_ranges_many(paths)
+    assert batched == scalar  # bit-identity before timing anything
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        for path in paths:
+            index.isa_ranges(path)
+    scalar_s = (time.perf_counter() - t0) / reps
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        index.isa_ranges_many(paths)
+    batched_s = (time.perf_counter() - t0) / reps
+    benchmark(lambda: index.isa_ranges_many(paths))
+    speedup = scalar_s / batched_s
+    print(
+        f"\nbackward-search stage over {len(paths)} sub-paths: "
+        f"scalar {scalar_s * 1e3:.1f} ms, batched {batched_s * 1e3:.1f} "
+        f"ms, speedup {speedup:.2f}x"
+    )
+    assert speedup >= 1.5
+
+
 def test_bench_single_trip_query(workload, benchmark):
     """Raw per-query latency of the headline configuration."""
     engine = QueryEngine(

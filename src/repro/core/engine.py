@@ -37,6 +37,7 @@ from .exec import (
     TripMachine,
     convolve_histograms,
     execute_fetch,
+    prefetch_ranges_many,
 )
 from .plan import PlanPolicy
 from .spq import StrictPathQuery
@@ -449,6 +450,10 @@ class QueryEngine:
         # relative to the batch start — the serving-side metric — not
         # the trip's solo service time; timing is explicitly outside
         # the bit-identity contract.
+        # Prefetch is deferred and pooled: the whole batch's planned
+        # sub-queries resolve through one batched backward search (the
+        # levelwise frontier descent needs batch-of-trips scale to pay
+        # off), instead of one small per-trip prefetch each.
         machines = [
             TripMachine(
                 self.policy,
@@ -458,9 +463,11 @@ class QueryEngine:
                 self._resolve_estimator(estimator_mode),
                 query,
                 exclude_ids,
+                prefetch=False,
             )
             for query, exclude_ids, estimator_mode in tasks
         ]
+        prefetch_ranges_many(self.index, machines)
         executor = BatchExecutor(
             self.index,
             self.network,

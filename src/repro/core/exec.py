@@ -41,6 +41,7 @@ from typing import (
     List,
     Optional,
     Sequence,
+    Set,
     Tuple,
 )
 
@@ -72,6 +73,7 @@ __all__ = [
     "DedupStats",
     "BatchExecutor",
     "execute_fetch",
+    "prefetch_ranges_many",
     "convolve_histograms",
 ]
 
@@ -155,6 +157,7 @@ class TripMachine:
         estimator: Any,
         query: StrictPathQuery,
         exclude_ids: Sequence[int],
+        prefetch: bool = True,
     ) -> None:
         self.policy = policy
         self.cache = cache
@@ -176,6 +179,41 @@ class TripMachine:
         self.n_skips = 0
         self.n_hits = 0
         self.result: Optional["TripQueryResult"] = None
+        if prefetch:
+            self._prefetch_ranges()
+
+    def _pending_prefetch(self) -> List[Sequence[int]]:
+        """Planned sub-query paths whose ISA ranges are not cached yet
+        (deduplicated, in queue order)."""
+        pending: List[Sequence[int]] = []
+        seen: Set[Tuple[int, ...]] = set()
+        for sub in self._queue:
+            key = tuple(sub.path)
+            if key in seen or self.cache.get_ranges(sub.path) is not None:
+                continue
+            seen.add(key)
+            pending.append(sub.path)
+        return pending
+
+    def _prefetch_ranges(self) -> None:
+        """Warm the range cache for the whole planned queue in one batch.
+
+        When the index offers the batched backward search
+        (``isa_ranges_many``), the planned sub-queries' ISA ranges are
+        resolved together up front instead of one ``isa_ranges`` call
+        per :meth:`advance` step — same ranges (the batched search is
+        bit-identical), fetched through one amortised descent.  Served
+        through the cache, so dedup/statistics behave as if each lookup
+        happened at its usual point.
+        """
+        batched = getattr(self._index, "isa_ranges_many", None)
+        if batched is None:
+            return
+        pending = self._pending_prefetch()
+        if len(pending) < 2:  # nothing to amortise
+            return
+        for path, ranges in zip(pending, batched(pending)):
+            self.cache.put_ranges(path, ranges)
 
     @property
     def done(self) -> bool:
@@ -294,6 +332,43 @@ class TripMachine:
             elapsed_s=time.perf_counter() - self._started,
             n_cache_hits=self.n_hits,
         )
+
+
+def prefetch_ranges_many(
+    index: "IndexReader", machines: Sequence[TripMachine]
+) -> None:
+    """Pool the per-trip range prefetch across a whole batch of trips.
+
+    Every machine's planned-but-uncached sub-query paths are merged
+    (first owner's order, unique across the batch) and resolved with
+    **one** ``isa_ranges_many`` call, then fanned back into each owning
+    machine's cache.  A batch of trips yields hundreds of sub-paths —
+    deep into the regime where the levelwise frontier descent beats the
+    scalar walk — where a single trip's queue (~10 paths) sits below
+    the bulk crossover.  Pure cache warming with bit-identical ranges,
+    so results and dedup statistics are unchanged; machines must have
+    been built with ``prefetch=False`` (otherwise they already warmed
+    their caches solo, and this finds nothing left to pool).
+    """
+    batched = getattr(index, "isa_ranges_many", None)
+    if batched is None:
+        return
+    order: List[Sequence[int]] = []
+    owners: Dict[Tuple[int, ...], List[TripMachine]] = {}
+    for machine in machines:
+        for path in machine._pending_prefetch():
+            key = tuple(path)
+            holders = owners.get(key)
+            if holders is None:
+                owners[key] = [machine]
+                order.append(path)
+            else:
+                holders.append(machine)
+    if len(order) < 2:  # nothing to amortise
+        return
+    for path, ranges in zip(order, batched(order)):
+        for machine in owners[tuple(path)]:
+            machine.cache.put_ranges(path, ranges)
 
 
 def execute_fetch(

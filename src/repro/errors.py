@@ -63,6 +63,16 @@ class PersistenceError(IndexError_):
     format version, corrupt payload)."""
 
 
+class IndexFormatError(PersistenceError):
+    """Raised when a saved index directory has a different on-disk
+    format version than this build reads.
+
+    Distinct from generic corruption: the directory is (presumably) a
+    valid index of another era.  The fix is to rebuild it, or to load
+    it with a build of matching version and ``save()``-roundtrip it.
+    """
+
+
 class ShardError(IndexError_):
     """Raised for sharded-index misuse: invalid shard configuration,
     appends that violate the time-ordering contract, or a sharded

@@ -24,7 +24,11 @@ __all__ = ["CorpusShape", "cpp_layout_model", "project_to_paper_scale", "PAPER_S
 #: Leaf record bytes (Figure 4): t 8, isa 8, d 4, TT 4, a 4, seq 4 [, w 2].
 LEAF_BYTES = 32
 LEAF_PARTITION_ID_BYTES = 2
-#: Rank/select support overhead on top of the entropy-compressed bits.
+#: Rank/select support overhead on top of the entropy-compressed bits,
+#: as the paper's C++ stack (SDSL-style) reports it.  Our own Python
+#: bitvectors are leaner — a 12.5% block directory (one absolute int64
+#: rank per 512 packed bits) plus per-node word padding — but Figure 10
+#: projects the *paper's* layout, so the C++ constant stays.
 WT_RANK_OVERHEAD = 0.25
 #: Fixed per-symbol node overhead of a Huffman-shaped WT (code tables,
 #: node headers); dominates at many partitions x large alphabets.

@@ -77,27 +77,57 @@ class SNTIndex:
 
     def __init__(
         self,
-        partitions: List[IndexPartition],
+        partitions: Sequence[IndexPartition],
         forest: TemporalForest,
         users: np.ndarray,
-        tod_store: TimeOfDayHistogramStore,
+        tod_store,
         t_min: int,
         t_max: int,
         alphabet_size: int,
         kind: str,
         partition_days: Optional[int],
         build_stats: BuildStats,
+        tod_bucket_s: Optional[int] = None,
+        data_bounds: Optional[Tuple[int, int]] = None,
     ):
         self.partitions = partitions
         self.forest = forest
         self.users = users
-        self.tod_store = tod_store
+        if isinstance(tod_store, TimeOfDayHistogramStore):
+            self._tod_store: Optional[TimeOfDayHistogramStore] = tod_store
+            self._tod_loader = None
+            self.tod_bucket_s = tod_store.bucket_width_s
+        else:
+            # A zero-arg loader (persistence hands one over so a loaded
+            # index materialises the histogram dict only when the
+            # estimator first needs it); the bucket width must then be
+            # known up front — the sharded views read it without
+            # touching the store.
+            if not callable(tod_store) or tod_bucket_s is None:
+                raise TypeError(
+                    "tod_store must be a TimeOfDayHistogramStore, or a "
+                    "loader callable accompanied by tod_bucket_s"
+                )
+            self._tod_store = None
+            self._tod_loader = tod_store
+            self.tod_bucket_s = int(tod_bucket_s)
         self.t_min = t_min
         self.t_max = t_max
         self.alphabet_size = alphabet_size
         self.kind = kind
         self.partition_days = partition_days
         self.build_stats = build_stats
+        #: Traversal-timestamp bounds cached by the persistence layer
+        #: (``None`` for a freshly built index — computed on demand).
+        self._data_bounds = data_bounds
+
+    @property
+    def tod_store(self) -> TimeOfDayHistogramStore:
+        """The time-of-day histogram store (materialised on first use)."""
+        if self._tod_store is None:
+            assert self._tod_loader is not None
+            self._tod_store = self._tod_loader()
+        return self._tod_store
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -273,6 +303,23 @@ class SNTIndex:
                 ranges.append((partition.w, st, ed))
         return ranges
 
+    def isa_ranges_many(
+        self, paths: Sequence[Sequence[int]]
+    ) -> List[List[Tuple[int, int, int]]]:
+        """Batched :meth:`isa_ranges` over many paths.
+
+        Bit-identical to mapping :meth:`isa_ranges` over ``paths`` (the
+        per-partition batched backward search replicates the scalar
+        one), but each partition's FM-index walks all paths at once —
+        see :meth:`repro.fmindex.fm.FMIndex.isa_ranges`.
+        """
+        results: List[List[Tuple[int, int, int]]] = [[] for _ in paths]
+        for partition in self.partitions:
+            for k, (st, ed) in enumerate(partition.fm.isa_ranges(paths)):
+                if st < ed:
+                    results[k].append((partition.w, st, ed))
+        return results
+
     def path_traversal_count(self, path: Sequence[int]) -> int:
         """``c_P = ed - st`` summed over partitions (estimator input)."""
         return sum(ed - st for _, st, ed in self.isa_ranges(path))
@@ -353,6 +400,8 @@ class SNTIndex:
         describe the rows actually indexed here — the shard router uses
         them to prune shards that cannot overlap a fixed interval.
         """
+        if self._data_bounds is not None:
+            return self._data_bounds
         lo: Optional[int] = None
         hi: Optional[int] = None
         for edge in self.forest.edges():

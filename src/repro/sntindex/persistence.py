@@ -5,50 +5,66 @@ suffix-array construction dominates build time and the index is immutable
 afterwards, so it is built once and shipped as a directory:
 
 ``meta.json``
-    Format tag + version, scalar index attributes, and the build stats.
-``arrays.npz``
-    The bulk numpy payload: the user container ``U``, the temporal-forest
-    leaf columns (concatenated across edges with an offset table), and
-    the time-of-day histogram store.
-``partitions.pkl``
-    The per-partition FM-indexes (wavelet trees over the BWT), pickled.
-    These are deep object graphs of numpy arrays and dicts; pickling them
-    verbatim is both compact and exact, and avoids re-running the
-    suffix-array construction that dominates build time.
+    Format tag + version, scalar index attributes, the build stats, the
+    cached traversal-time bounds, and one *scalar-only* entry per
+    temporal partition (``w``, trip/traversal counts, time bounds,
+    FM text length).  Deliberately small: parsing it must not scale
+    with the alphabet or the corpus.
+``payload/``
+    One standalone ``.npy`` file per bulk array: the user container
+    ``U``, the temporal-forest leaf columns (concatenated across edges
+    with an offset table), the time-of-day histogram arrays, and — per
+    partition ``k`` — ``p{k}_counts.npy`` (the ``C`` array), the
+    Huffman code table as three arrays (``p{k}_code_symbols.npy``,
+    ``p{k}_code_lengths.npy``, and the concatenated code bits
+    ``p{k}_code_bits.npy``), the per-node bit counts
+    ``p{k}_node_bits.npy`` (in sorted-prefix order — the node
+    *prefixes* are re-derived from the code table, so they are never
+    stored), plus the concatenation of every wavelet-tree node's packed
+    words (``p{k}_wt_words.npy``) and block-rank directory
+    (``p{k}_wt_blocks.npy``), in the same node order.
 
-.. warning::
-    Because the partitions are pickled, **loading executes whatever the
-    pickle says** — only load index directories you (or your build
-    pipeline) wrote.  A saved index is a build artifact, not a safe
-    interchange format; treat foreign index directories like foreign
-    code.
+Every payload file is opened with ``np.load(..., mmap_mode="r")``: a
+sealed index opens in O(1) — no unpickling, no array copies — and fork
+workers share the mapped pages.  The partitions themselves materialise
+lazily (:class:`_LazyPartitionList`): opening parses the small manifest
+and establishes the shared mmaps, and the first query that touches a
+partition rebuilds its wavelet tree around zero-copy *slices* of the
+mapped node concatenations
+(:meth:`~repro.fmindex.bitvector.RankBitvector.from_arrays`).  The
+temporal forest materialises per-edge tree directories lazily
+(:class:`~repro.temporal.forest.SlicedTemporalForest`), and the
+time-of-day store loads on first estimator use.
 
-The forest and ToD store are *reconstructed* from the column arrays on
-load (``TemporalForest.build`` is deterministic over sorted columns), so
-the on-disk format stays independent of the tree internals — a CSS-tree
-directory is cheap to rebuild, and the same file loads as ``"btree"``
-data written by a ``"css"`` build would not arise (the kind is saved).
+Format version 1 pickled the FM partitions (``partitions.pkl``); loading
+executed whatever the pickle said.  Version 2 removes that file — the
+monolithic format contains **no pickle at all** — which both closes the
+load-time code-execution surface for this format and removes the
+unpickle cost from the open path.  Version-1 directories are refused
+with :class:`~repro.errors.IndexFormatError`; rebuild them (or roundtrip
+through a build that reads v1 and writes v2).
 
 ``FORMAT_VERSION`` gates compatibility: loaders refuse newer or older
-majors outright rather than guessing.
+versions outright rather than guessing.
 """
 
 from __future__ import annotations
 
 import json
 import os
-import pickle
 import shutil
-import zipfile
+from functools import partial
 from pathlib import Path
-from typing import TYPE_CHECKING, Dict, Optional, Union
+from collections.abc import Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from ..errors import PersistenceError
+from ..errors import IndexFormatError, PersistenceError
+from ..fmindex import FMIndex, RankBitvector, WaveletTree
 from ..histogram.tod import TimeOfDayHistogramStore
-from ..temporal.forest import TemporalForest
-from ..temporal.records import TraversalColumns
+from ..temporal.forest import SlicedTemporalForest
+from .partition import IndexPartition
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .index import SNTIndex
@@ -66,14 +82,21 @@ __all__ = [
 ]
 
 #: Bump on any incompatible change to the directory layout or array set.
-FORMAT_VERSION = 1
+#: v2: pickle-free payload of standalone mmap-able ``.npy`` files.
+FORMAT_VERSION = 2
 FORMAT_NAME = "snt-index"
 
 META_FILE = "meta.json"
-ARRAYS_FILE = "arrays.npz"
-PARTITIONS_FILE = "partitions.pkl"
+PAYLOAD_DIR = "payload"
 
 _COLUMNS = ("t", "isa", "d", "tt", "a", "seq", "w")
+_SHARED_ARRAYS = (
+    "users",
+    "edge_ids",
+    "edge_offsets",
+    "tod_keys",
+    "tod_counts",
+) + tuple(f"col_{name}" for name in _COLUMNS)
 
 
 def save_index(
@@ -218,10 +241,68 @@ def write_index_payload(
     _write_payload(index, target, extra)
 
 
+def _code_prefixes(codes: Dict[int, Tuple[int, ...]]) -> List[tuple]:
+    """Wavelet-tree node prefixes, sorted: every proper prefix of every
+    code.  The tree has one node (bitvector) per such prefix, so the
+    node directory never needs storing — it is a function of the code
+    table."""
+    prefixes = {code[:i] for code in codes.values() for i in range(len(code))}
+    return sorted(prefixes)
+
+
+def _partition_payload(
+    partition: IndexPartition,
+) -> Tuple[dict, Dict[str, np.ndarray]]:
+    """Split one partition into JSON-able scalars and payload arrays.
+
+    The meta entry carries scalars only; the Huffman code table travels
+    as three payload arrays (symbols, code lengths, concatenated code
+    bits) and the node directory as per-node bit counts in
+    sorted-prefix order.  The loader re-derives the prefixes from the
+    codes and each node's array extents from its bit count.
+    """
+    tree = partition.fm.bwt
+    nodes = sorted(tree.nodes.items())
+    code_items = sorted(tree.codes.items())
+    arrays = {
+        "code_symbols": np.asarray(
+            [symbol for symbol, _ in code_items], dtype=np.int64
+        ),
+        "code_lengths": np.asarray(
+            [len(code) for _, code in code_items], dtype=np.int64
+        ),
+        "code_bits": np.asarray(
+            [bit for _, code in code_items for bit in code], dtype=np.uint8
+        ),
+        "node_bits": np.asarray(
+            [len(node) for _, node in nodes], dtype=np.int64
+        ),
+        "wt_words": (
+            np.concatenate([node.words for _, node in nodes])
+            if nodes
+            else np.zeros(0, dtype=np.uint64)
+        ),
+        "wt_blocks": (
+            np.concatenate([node.block_ranks for _, node in nodes])
+            if nodes
+            else np.zeros(0, dtype=np.int64)
+        ),
+    }
+    entry = {
+        "w": partition.w,
+        "n_trajectories": partition.n_trajectories,
+        "n_traversals": partition.n_traversals,
+        "t_lo": partition.t_lo,
+        "t_hi": partition.t_hi,
+        "fm_n": len(partition.fm),
+    }
+    return entry, arrays
+
+
 def _write_payload(
     index: "SNTIndex", target: Path, extra: Optional[dict] = None
 ) -> None:
-    """Write meta/arrays/partitions into (staging) directory ``target``."""
+    """Write ``meta.json`` + ``payload/`` into (staging) dir ``target``."""
 
     edges = sorted(index.forest.edges())
     chunks: Dict[str, list] = {name: [] for name in _COLUMNS}
@@ -246,10 +327,23 @@ def _write_payload(
     tod_keys, tod_counts = index.tod_store.as_arrays()
     arrays["tod_keys"] = tod_keys
     arrays["tod_counts"] = tod_counts
-    np.savez_compressed(target / ARRAYS_FILE, **arrays)
 
-    with open(target / PARTITIONS_FILE, "wb") as handle:
-        pickle.dump(index.partitions, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    partitions_meta = []
+    for k, partition in enumerate(index.partitions):
+        entry, partition_arrays = _partition_payload(partition)
+        partitions_meta.append(entry)
+        arrays[f"p{k}_counts"] = np.asarray(
+            partition.fm.counts, dtype=np.int64
+        )
+        for name, array in partition_arrays.items():
+            arrays[f"p{k}_{name}"] = array
+
+    payload_dir = target / PAYLOAD_DIR
+    payload_dir.mkdir(exist_ok=True)
+    for name, array in arrays.items():
+        # One standalone .npy per array: np.load only mmaps standalone
+        # files, not npz members, and mmap is the whole point here.
+        np.save(payload_dir / f"{name}.npy", np.ascontiguousarray(array))
 
     stats = index.build_stats
     meta = {
@@ -260,7 +354,9 @@ def _write_payload(
         "t_min": index.t_min,
         "t_max": index.t_max,
         "alphabet_size": index.alphabet_size,
-        "tod_bucket_s": index.tod_store.bucket_width_s,
+        "tod_bucket_s": index.tod_bucket_s,
+        "data_time_bounds": list(index.data_time_bounds()),
+        "partitions": partitions_meta,
         "build_stats": {
             "setup_seconds": stats.setup_seconds,
             "n_partitions": stats.n_partitions,
@@ -296,9 +392,11 @@ def read_meta(path: Union[str, Path]) -> dict:
         )
     version = meta.get("format_version")
     if version != FORMAT_VERSION:
-        raise PersistenceError(
+        raise IndexFormatError(
             f"saved index has format version {version!r}; this build "
-            f"reads version {FORMAT_VERSION} only"
+            f"reads version {FORMAT_VERSION} only — rebuild the index "
+            "from source data, or save()-roundtrip it with a build that "
+            "reads that version"
         )
     return meta
 
@@ -357,15 +455,14 @@ def validate_meta(
 ) -> None:
     """Prove the manifest scalars sane *before* any payload I/O.
 
-    Loading the FM partitions executes a pickle, so every check that can
-    run against ``meta.json`` alone must run first: a manifest naming an
-    impossible kind or alphabet, or one disagreeing with the world the
-    caller is about to serve (``expected_*``), is rejected without ever
-    opening ``partitions.pkl``.
+    Every check that can run against ``meta.json`` alone runs first: a
+    manifest naming an impossible kind or alphabet, or one disagreeing
+    with the world the caller is about to serve (``expected_*``), is
+    rejected without ever opening the payload directory.
     """
     required_meta = (
         "kind", "partition_days", "t_min", "t_max", "alphabet_size",
-        "tod_bucket_s", "build_stats",
+        "tod_bucket_s", "build_stats", "partitions", "data_time_bounds",
     )
     missing_meta = [name for name in required_meta if name not in meta]
     if missing_meta:
@@ -388,6 +485,18 @@ def validate_meta(
             f"{source} declares partition_days {partition_days!r}; "
             "expected null or a positive integer"
         )
+    partition_fields = (
+        "w", "n_trajectories", "n_traversals", "t_lo", "t_hi", "fm_n",
+    )
+    partitions = meta["partitions"]
+    if not isinstance(partitions, list) or any(
+        not isinstance(entry, dict)
+        or any(field not in entry for field in partition_fields)
+        for entry in partitions
+    ):
+        raise PersistenceError(
+            f"{META_FILE} has incomplete partition entries"
+        )
     stats_meta = meta["build_stats"]
     stats_fields = (
         "setup_seconds", "n_partitions", "n_trajectories", "n_traversals"
@@ -398,6 +507,174 @@ def validate_meta(
         raise PersistenceError(f"{META_FILE} has incomplete build_stats")
 
 
+def _load_array(payload_dir: Path, name: str) -> np.ndarray:
+    """Memory-map one payload array; missing/corrupt files are typed."""
+    target = payload_dir / f"{name}.npy"
+    if not target.is_file():
+        raise PersistenceError(
+            f"{payload_dir.parent} payload is missing array {name!r}"
+        )
+    try:
+        return np.load(target, mmap_mode="r")
+    except (OSError, ValueError, EOFError) as error:
+        raise PersistenceError(
+            f"failed to read saved index payload from "
+            f"{payload_dir.parent}: array {name!r}: {error}"
+        ) from error
+
+
+def _load_codes(payload_dir: Path, k: int) -> Dict[int, Tuple[int, ...]]:
+    """Rebuild partition ``k``'s Huffman code table from its payload
+    arrays, proving the three arrays mutually consistent first."""
+    symbols = _load_array(payload_dir, f"p{k}_code_symbols")
+    lengths = _load_array(payload_dir, f"p{k}_code_lengths")
+    bits = _load_array(payload_dir, f"p{k}_code_bits")
+    if (
+        symbols.size != lengths.size
+        or (lengths.size and int(lengths.min()) < 1)
+        or int(lengths.sum()) != bits.size
+        or (bits.size and int(bits.max()) > 1)
+    ):
+        raise PersistenceError(
+            f"partition {k} code-table payload is corrupt: symbol, "
+            "length, and bit arrays disagree"
+        )
+    starts = np.concatenate(([0], np.cumsum(lengths)))
+    return {
+        int(symbols[i]): tuple(
+            int(b) for b in bits[starts[i] : starts[i + 1]]
+        )
+        for i in range(symbols.size)
+    }
+
+
+def _load_partition(
+    entry: dict,
+    payload_dir: Path,
+    k: int,
+    alphabet_size: int,
+) -> IndexPartition:
+    """Rebuild one temporal partition around memory-mapped payloads."""
+    counts = _load_array(payload_dir, f"p{k}_counts")
+    codes = _load_codes(payload_dir, k)
+    node_bits = _load_array(payload_dir, f"p{k}_node_bits")
+    words_all = _load_array(payload_dir, f"p{k}_wt_words")
+    blocks_all = _load_array(payload_dir, f"p{k}_wt_blocks")
+    prefixes = _code_prefixes(codes)
+    if node_bits.size != len(prefixes):
+        raise PersistenceError(
+            f"partition {k} node directory disagrees with its code "
+            f"table ({len(prefixes)} nodes expected, {node_bits.size} "
+            "stored)"
+        )
+    word_counts = [(int(n) + 63) // 64 for n in node_bits]
+    block_counts = [(n + 7) // 8 + 1 for n in word_counts]
+    if sum(word_counts) != words_all.size \
+            or sum(block_counts) != blocks_all.size:
+        raise PersistenceError(
+            f"partition {k} wavelet payload size disagrees with its "
+            f"node directory ({sum(word_counts)} words / "
+            f"{sum(block_counts)} block ranks expected, "
+            f"{words_all.size} / {blocks_all.size} stored)"
+        )
+    nodes: Dict[tuple, RankBitvector] = {}
+    word_cursor = 0
+    block_cursor = 0
+    for prefix, n_bits, n_words, n_blocks in zip(
+        prefixes, node_bits, word_counts, block_counts
+    ):
+        nodes[prefix] = RankBitvector.from_arrays(
+            int(n_bits),
+            words_all[word_cursor : word_cursor + n_words],
+            blocks_all[block_cursor : block_cursor + n_blocks],
+        )
+        word_cursor += n_words
+        block_cursor += n_blocks
+    tree = WaveletTree.from_arrays(
+        int(entry["fm_n"]),
+        codes,
+        nodes,
+        # The stored payload is already the sorted-prefix concatenation
+        # the tree wants; adopting it keeps the mmap zero-copy.
+        flat_words=words_all,
+        flat_blocks=blocks_all,
+    )
+    fm = FMIndex.from_arrays(
+        int(entry["fm_n"]), alphabet_size, counts, tree
+    )
+    return IndexPartition(
+        w=int(entry["w"]),
+        fm=fm,
+        n_trajectories=int(entry["n_trajectories"]),
+        n_traversals=int(entry["n_traversals"]),
+        t_lo=int(entry["t_lo"]),
+        t_hi=int(entry["t_hi"]),
+    )
+
+
+class _LazyPartitionList(Sequence):
+    """Sequence of :class:`IndexPartition` that materialises on access.
+
+    Opening a sealed index must not pay for rebuilding every
+    partition's wavelet tree (O(partitions x alphabet) Python work) —
+    that cost belongs to the first query that touches a partition.
+    Materialised partitions are cached, so steady-state access is a
+    list lookup.  Holds only paths and meta scalars, so a loaded index
+    stays picklable and fork-friendly.
+    """
+
+    def __init__(
+        self, entries: List[dict], payload_dir: Path, alphabet_size: int
+    ):
+        self._entries = entries
+        self._payload_dir = payload_dir
+        self._alphabet_size = alphabet_size
+        self._cache: List[Optional[IndexPartition]] = [None] * len(entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __getitem__(self, position):
+        if isinstance(position, slice):
+            return [self[i] for i in range(*position.indices(len(self)))]
+        index = range(len(self))[position]  # IndexError + negatives
+        if self._cache[index] is None:
+            try:
+                self._cache[index] = _load_partition(
+                    self._entries[index],
+                    self._payload_dir,
+                    index,
+                    self._alphabet_size,
+                )
+            except PersistenceError:
+                raise
+            except (ValueError, IndexError, KeyError, TypeError, OSError,
+                    EOFError) as error:
+                raise PersistenceError(
+                    f"failed to reconstruct index from "
+                    f"{self._payload_dir.parent}: {error}"
+                ) from error
+        return self._cache[index]
+
+
+def _load_tod_store(
+    payload_dir: Path, bucket_width_s: int
+) -> TimeOfDayHistogramStore:
+    """Deferred ToD-store loader (module-level so indexes stay
+    picklable when it travels as a ``functools.partial``)."""
+    try:
+        return TimeOfDayHistogramStore.from_arrays(
+            bucket_width_s,
+            _load_array(payload_dir, "tod_keys"),
+            _load_array(payload_dir, "tod_counts"),
+        )
+    except (ValueError, IndexError, KeyError, TypeError) as error:
+        raise PersistenceError(
+            f"failed to reconstruct index from {payload_dir.parent}: "
+            f"{error}"
+        ) from error
+
+
 def load_index(
     path: Union[str, Path],
     expected_alphabet_size: Optional[int] = None,
@@ -406,8 +683,11 @@ def load_index(
     """Load an index previously written by :func:`save_index`.
 
     ``expected_alphabet_size`` / ``expected_kind`` are checked against
-    the manifest before the pickled FM partitions are read — see
-    :func:`validate_meta`.
+    the manifest before any payload I/O — see :func:`validate_meta`.
+    Every payload array is memory-mapped read-only; nothing is copied
+    and nothing is unpickled, so the open cost is independent of the
+    index size (the FM partitions, per-edge tree directories, and the
+    ToD histogram dict all materialise lazily on first use).
     """
     from .index import BuildStats, SNTIndex
 
@@ -419,32 +699,13 @@ def load_index(
         expected_alphabet_size=expected_alphabet_size,
         expected_kind=expected_kind,
     )
-
-    try:
-        with np.load(source / ARRAYS_FILE) as payload:
-            arrays = {name: payload[name] for name in payload.files}
-        with open(source / PARTITIONS_FILE, "rb") as handle:
-            partitions = pickle.load(handle)
-    except (
-        OSError,
-        EOFError,
-        zipfile.BadZipFile,
-        pickle.PickleError,
-        ValueError,
-        KeyError,
-    ) as error:
+    payload_dir = source / PAYLOAD_DIR
+    if not payload_dir.is_dir():
         raise PersistenceError(
-            f"failed to read saved index payload from {source}: {error}"
-        ) from error
-
-    required_arrays = ["users", "edge_ids", "edge_offsets", "tod_keys",
-                       "tod_counts"]
-    required_arrays += [f"col_{name}" for name in _COLUMNS]
-    missing = [name for name in required_arrays if name not in arrays]
-    if missing:
-        raise PersistenceError(
-            f"{ARRAYS_FILE} is missing arrays {missing}"
+            f"{source} has no {PAYLOAD_DIR}/ directory"
         )
+
+    arrays = {name: _load_array(payload_dir, name) for name in _SHARED_ARRAYS}
 
     edges = arrays["edge_ids"]
     offsets = arrays["edge_offsets"]
@@ -457,40 +718,39 @@ def load_index(
         or (offsets.size and offsets[-1] != arrays["col_t"].size)
     ):
         raise PersistenceError(
-            f"corrupt {ARRAYS_FILE}: edge_offsets are inconsistent with "
-            "the column arrays"
+            f"corrupt payload in {source}: edge_offsets are inconsistent "
+            "with the column arrays"
         )
     try:
-        per_edge: Dict[int, TraversalColumns] = {}
-        for i, edge in enumerate(edges):
-            lo, hi = int(offsets[i]), int(offsets[i + 1])
-            per_edge[int(edge)] = TraversalColumns.from_arrays(
-                t=arrays["col_t"][lo:hi],
-                isa=arrays["col_isa"][lo:hi],
-                d=arrays["col_d"][lo:hi],
-                tt=arrays["col_tt"][lo:hi],
-                a=arrays["col_a"][lo:hi],
-                seq=arrays["col_seq"][lo:hi],
-                w=arrays["col_w"][lo:hi],
-            )
-        forest = TemporalForest.build(per_edge, kind=meta["kind"])
-        tod_store = TimeOfDayHistogramStore.from_arrays(
-            meta["tod_bucket_s"], arrays["tod_keys"], arrays["tod_counts"]
+        forest = SlicedTemporalForest(
+            kind=meta["kind"],
+            edge_ids=edges,
+            offsets=offsets,
+            columns={
+                name: arrays[f"col_{name}"] for name in _COLUMNS
+            },
         )
     except (ValueError, IndexError, KeyError, TypeError) as error:
         raise PersistenceError(
             f"failed to reconstruct index from {source}: {error}"
         ) from error
+    alphabet_size = int(meta["alphabet_size"])
+    partitions = _LazyPartitionList(
+        meta["partitions"], payload_dir, alphabet_size
+    )
 
+    bounds = meta["data_time_bounds"]
     stats_meta = meta["build_stats"]
     index = SNTIndex(
         partitions=partitions,
         forest=forest,
         users=arrays["users"],
-        tod_store=tod_store,
+        tod_store=partial(
+            _load_tod_store, payload_dir, int(meta["tod_bucket_s"])
+        ),
         t_min=int(meta["t_min"]),
         t_max=int(meta["t_max"]),
-        alphabet_size=int(meta["alphabet_size"]),
+        alphabet_size=alphabet_size,
         kind=meta["kind"],
         partition_days=meta["partition_days"],
         build_stats=BuildStats(
@@ -499,6 +759,8 @@ def load_index(
             n_trajectories=int(stats_meta["n_trajectories"]),
             n_traversals=int(stats_meta["n_traversals"]),
         ),
+        tod_bucket_s=int(meta["tod_bucket_s"]),
+        data_bounds=(int(bounds[0]), int(bounds[1])),
     )
     # Where this index came from on disk — lets serving layers place
     # per-index artifacts (e.g. the shared cache tier) alongside it.

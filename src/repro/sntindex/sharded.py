@@ -69,6 +69,7 @@ from ..core.intervals import is_periodic
 from ..forkpool import fork_map
 from ..errors import (
     IndexError_,
+    IndexFormatError,
     MissingUserError,
     PersistenceError,
     ShardError,
@@ -106,7 +107,9 @@ __all__ = [
 ]
 
 SHARDED_FORMAT_NAME = "snt-sharded-index"
-SHARDED_FORMAT_VERSION = 1
+#: v2: shard directories use the pickle-free mmap payload format
+#: (:data:`repro.sntindex.persistence.FORMAT_VERSION` 2).
+SHARDED_FORMAT_VERSION = 2
 MANIFEST_FILE = "manifest.json"
 STAGING_DIR = "staging"
 #: Pickled staged tail (not the text trajectory format: ``%g`` rounding
@@ -185,7 +188,9 @@ class _ShardedTodStore:
     def __init__(self, entries: Sequence[_ShardEntry], offsets: Sequence[int]):
         self._entries = list(entries)
         self._offsets = list(offsets)
-        self.bucket_width_s = entries[0].index.tod_store.bucket_width_s
+        # Read off the index scalar, not the store: touching the store
+        # would materialise a lazily loaded shard's histogram dict.
+        self.bucket_width_s = entries[0].index.tod_bucket_s
 
     def _locate(self, partition: int) -> Tuple[SNTIndex, int]:
         position = bisect_right(self._offsets, int(partition)) - 1
@@ -338,6 +343,19 @@ class ShardRouter:
             for w, st, ed in entry.index.isa_ranges(path):
                 ranges.append((w + offset, st, ed))
         return ranges
+
+    def isa_ranges_many(
+        self, paths: Sequence[Sequence[int]]
+    ) -> List[List[Tuple[int, int, int]]]:
+        """Batched :meth:`isa_ranges`: same shard walk, all paths at
+        once per shard (bit-identical — see
+        :meth:`repro.sntindex.index.SNTIndex.isa_ranges_many`)."""
+        results: List[List[Tuple[int, int, int]]] = [[] for _ in paths]
+        for entry, offset in zip(self.entries, self.offsets):
+            for k, ranges in enumerate(entry.index.isa_ranges_many(paths)):
+                for w, st, ed in ranges:
+                    results[k].append((w + offset, st, ed))
+        return results
 
     def _local_ranges(self, ranges, position: int):
         offset = self.offsets[position]
@@ -841,6 +859,11 @@ class ShardedSNTIndex:
     def isa_ranges(self, path: Sequence[int]) -> List[Tuple[int, int, int]]:
         return self._router.isa_ranges(path)
 
+    def isa_ranges_many(
+        self, paths: Sequence[Sequence[int]]
+    ) -> List[List[Tuple[int, int, int]]]:
+        return self._router.isa_ranges_many(paths)
+
     def path_traversal_count(self, path: Sequence[int]) -> int:
         return sum(ed - st for _, st, ed in self.isa_ranges(path))
 
@@ -1161,9 +1184,11 @@ def read_sharded_meta(path: Union[str, Path]) -> dict:
         )
     version = manifest.get("format_version")
     if version != SHARDED_FORMAT_VERSION:
-        raise PersistenceError(
+        raise IndexFormatError(
             f"saved sharded index has format version {version!r}; this "
-            f"build reads version {SHARDED_FORMAT_VERSION} only"
+            f"build reads version {SHARDED_FORMAT_VERSION} only — "
+            "rebuild the index from source data, or save()-roundtrip it "
+            "with a build that reads that version"
         )
     return manifest
 

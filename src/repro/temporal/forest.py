@@ -33,7 +33,7 @@ from .btree import BPlusTree
 from .css_tree import CSSTree
 from .records import TraversalColumns
 
-__all__ = ["EdgeTemporalIndex", "TemporalForest"]
+__all__ = ["EdgeTemporalIndex", "TemporalForest", "SlicedTemporalForest"]
 
 
 class EdgeTemporalIndex:
@@ -179,4 +179,77 @@ class TemporalForest:
         return sum(
             index.size_in_bytes(with_partition_id)
             for index in self._indexes.values()
+        )
+
+
+class SlicedTemporalForest(TemporalForest):
+    """A forest whose per-edge indexes materialise on first access.
+
+    Backed by the persistence layer's concatenated column arrays (one
+    slice per edge, each slice already sorted by ``t`` — the on-disk
+    order is the forest's leaf order), typically opened with
+    ``mmap_mode="r"``.  Opening a saved index therefore touches no
+    column data; an edge's tree directory is built the first time a
+    query reaches that edge, from zero-copy slices of the mapped
+    arrays, and cached like any built :class:`EdgeTemporalIndex`.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        edge_ids: np.ndarray,
+        offsets: np.ndarray,
+        columns: Dict[str, np.ndarray],
+    ):
+        super().__init__(kind=kind)
+        self._columns = columns
+        self._bounds: Dict[int, tuple] = {
+            int(edge): (int(offsets[i]), int(offsets[i + 1]))
+            for i, edge in enumerate(edge_ids)
+        }
+
+    def __contains__(self, edge: int) -> bool:
+        return int(edge) in self._bounds
+
+    def __len__(self) -> int:
+        return len(self._bounds)
+
+    def edges(self) -> Iterable[int]:
+        return self._bounds.keys()
+
+    def get(self, edge: int) -> EdgeTemporalIndex | None:
+        edge = int(edge)
+        built = self._indexes.get(edge)
+        if built is not None:
+            return built
+        bounds = self._bounds.get(edge)
+        if bounds is None:
+            return None
+        lo, hi = bounds
+        cols = self._columns
+        # The slices are pre-sorted by ``t``; constructing the dataclass
+        # directly skips ``from_arrays``'s argsort (and any copy).
+        columns = TraversalColumns(
+            t=cols["t"][lo:hi],
+            isa=cols["isa"][lo:hi],
+            d=cols["d"][lo:hi],
+            tt=cols["tt"][lo:hi],
+            a=cols["a"][lo:hi],
+            seq=cols["seq"][lo:hi],
+            w=cols["w"][lo:hi],
+        )
+        built = EdgeTemporalIndex(columns, kind=self.kind)
+        self._indexes[edge] = built
+        return built
+
+    def total_records(self) -> int:
+        return sum(hi - lo for lo, hi in self._bounds.values())
+
+    def size_in_bytes(self, with_partition_id: bool = True) -> int:
+        # Size accounting is a model over the leaf payload; it forces
+        # materialisation (experiments that cost the structure touch
+        # every edge anyway).
+        return sum(
+            self.get(edge).size_in_bytes(with_partition_id)
+            for edge in self.edges()
         )

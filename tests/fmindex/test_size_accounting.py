@@ -1,0 +1,54 @@
+"""Regression tests: size_in_bytes() must equal the resident arrays.
+
+The pre-refactor RankBitvector kept a hidden per-byte int64 prefix
+table (~8 B of directory per byte of payload!) that size_in_bytes()
+never reported, so the Figure 10 memory accounting understated actual
+memory by an order of magnitude.  These tests pin the contract: the
+reported size of every succinct structure equals the sum of its
+resident numpy arrays' nbytes, plus only the *documented* code-table
+constant of the wavelet tree (9 B per alphabet symbol).
+"""
+
+import numpy as np
+
+from repro.fmindex import FMIndex
+from repro.fmindex.bitvector import RankBitvector
+from repro.fmindex.wavelet_tree import WaveletTree
+
+
+def resident_bitvector_bytes(bv: RankBitvector) -> int:
+    return int(bv.words.nbytes + bv.block_ranks.nbytes)
+
+
+def test_bitvector_reports_exact_resident_bytes():
+    rng = np.random.default_rng(7)
+    for n in (0, 1, 63, 64, 65, 511, 512, 513, 10_000):
+        bv = RankBitvector(rng.integers(0, 2, size=n).astype(bool))
+        assert bv.size_in_bytes() == resident_bitvector_bytes(bv)
+
+
+def test_bitvector_directory_overhead_is_one_eighth():
+    """The block directory is 12.5% of the payload (one int64 per 512
+    bits), not the old 800% per-byte prefix table."""
+    n = 1 << 16
+    bv = RankBitvector(np.ones(n, dtype=bool))
+    payload = n // 8
+    directory = bv.size_in_bytes() - payload
+    # one absolute rank per 8 words + the total-ones sentinel
+    assert directory == 8 * (n // 512 + 1)
+
+
+def test_wavelet_tree_reports_nodes_plus_code_table():
+    rng = np.random.default_rng(11)
+    wt = WaveletTree(rng.integers(0, 9, size=5_000).tolist())
+    resident = sum(
+        resident_bitvector_bytes(bits) for bits in wt.nodes.values()
+    )
+    code_table = 9 * len(wt.codes)
+    assert wt.size_in_bytes() == resident + code_table
+
+
+def test_fm_index_reports_wavelet_plus_counts():
+    rng = np.random.default_rng(13)
+    fm = FMIndex(rng.integers(1, 6, size=2_000).tolist())
+    assert fm.size_in_bytes() == fm.bwt.size_in_bytes() + fm.counts.nbytes

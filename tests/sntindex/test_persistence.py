@@ -22,8 +22,8 @@ from repro import (
     TripRequest,
 )
 from repro import Edge, RoadCategory, RoadNetwork, ZoneType
-from repro.errors import IndexError_, PersistenceError
-from repro.sntindex.persistence import FORMAT_VERSION
+from repro.errors import IndexError_, IndexFormatError, PersistenceError
+from repro.sntindex.persistence import FORMAT_VERSION, PAYLOAD_DIR
 from repro.trajectories import Trajectory, TrajectoryPoint, TrajectorySet
 
 from tests.paper_vectors import (
@@ -222,7 +222,20 @@ class TestFormatGuards:
         meta = json.loads(meta_path.read_text())
         meta["format_version"] = FORMAT_VERSION + 1
         meta_path.write_text(json.dumps(meta))
-        with pytest.raises(PersistenceError, match="format version"):
+        with pytest.raises(IndexFormatError, match="format version"):
+            SNTIndex.load(target)
+
+    def test_v1_directory_names_the_migration_path(
+        self, paper_index, tmp_path
+    ):
+        """A pre-mmap (pickled) index directory is refused with the
+        rebuild/roundtrip hint, not a generic corruption error."""
+        target = paper_index.save(tmp_path / "index")
+        meta_path = target / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        meta["format_version"] = 1
+        meta_path.write_text(json.dumps(meta))
+        with pytest.raises(IndexFormatError, match="rebuild"):
             SNTIndex.load(target)
 
     def test_foreign_format_raises(self, paper_index, tmp_path):
@@ -244,14 +257,15 @@ class TestFormatGuards:
         assert issubclass(PersistenceError, IndexError_)
 
     # -- fail-fast meta validation (ISSUE 2 satellite): a manifest that
-    # disagrees with the target world must be rejected *before* the FM
-    # partitions are unpickled.  Poisoning the pickle proves the order:
-    # were the payload read first, the error would name the payload.
+    # disagrees with the target world must be rejected *before* any
+    # payload I/O.  Poisoning a payload array proves the order: were
+    # the payload read first, the error would name the payload.
 
-    def _poison_pickle(self, target):
-        (target / "partitions.pkl").write_bytes(b"not a pickle at all")
+    def _poison_payload(self, target):
+        (target / PAYLOAD_DIR / "users.npy").write_bytes(b"not numpy")
+        (target / PAYLOAD_DIR / "p0_wt_words.npy").write_bytes(b"not numpy")
 
-    def test_bad_kind_rejected_before_unpickling(
+    def test_bad_kind_rejected_before_payload(
         self, paper_index, tmp_path
     ):
         target = paper_index.save(tmp_path / "index")
@@ -259,11 +273,11 @@ class TestFormatGuards:
         meta = json.loads(meta_path.read_text())
         meta["kind"] = "splay"
         meta_path.write_text(json.dumps(meta))
-        self._poison_pickle(target)
+        self._poison_payload(target)
         with pytest.raises(PersistenceError, match="kind 'splay'"):
             SNTIndex.load(target)
 
-    def test_bad_alphabet_rejected_before_unpickling(
+    def test_bad_alphabet_rejected_before_payload(
         self, paper_index, tmp_path
     ):
         target = paper_index.save(tmp_path / "index")
@@ -271,26 +285,26 @@ class TestFormatGuards:
         meta = json.loads(meta_path.read_text())
         meta["alphabet_size"] = -3
         meta_path.write_text(json.dumps(meta))
-        self._poison_pickle(target)
+        self._poison_payload(target)
         with pytest.raises(PersistenceError, match="alphabet_size"):
             SNTIndex.load(target)
 
-    def test_expected_alphabet_mismatch_rejected_before_unpickling(
+    def test_expected_alphabet_mismatch_rejected_before_payload(
         self, paper_index, tmp_path
     ):
         target = paper_index.save(tmp_path / "index")
-        self._poison_pickle(target)
+        self._poison_payload(target)
         with pytest.raises(PersistenceError, match="same world"):
             SNTIndex.load(
                 target,
                 expected_alphabet_size=paper_index.alphabet_size + 1,
             )
 
-    def test_expected_kind_mismatch_rejected_before_unpickling(
+    def test_expected_kind_mismatch_rejected_before_payload(
         self, paper_index, tmp_path
     ):
         target = paper_index.save(tmp_path / "index")
-        self._poison_pickle(target)
+        self._poison_payload(target)
         with pytest.raises(PersistenceError, match="kind"):
             SNTIndex.load(target, expected_kind="btree")
 
@@ -303,33 +317,28 @@ class TestFormatGuards:
         )
         assert loaded.isa_ranges([A]) == [(0, *ISA_RANGE_A)]
 
-    def test_truncated_npz_raises_persistence_error(
+    def test_truncated_array_raises_persistence_error(
         self, paper_index, tmp_path
     ):
         target = paper_index.save(tmp_path / "index")
-        payload = (target / "arrays.npz").read_bytes()
-        (target / "arrays.npz").write_bytes(payload[: len(payload) // 2])
+        col_t = target / PAYLOAD_DIR / "col_t.npy"
+        payload = col_t.read_bytes()
+        col_t.write_bytes(payload[: len(payload) // 2])
         with pytest.raises(PersistenceError):
             SNTIndex.load(target)
 
-    def test_truncated_pickle_raises_persistence_error(
-        self, paper_index, tmp_path
-    ):
+    def test_no_pickle_in_saved_directory(self, paper_index, tmp_path):
+        """v2 is pickle-free: loading must not execute foreign bytecode,
+        so no .pkl file may appear anywhere in the payload."""
         target = paper_index.save(tmp_path / "index")
-        (target / "partitions.pkl").write_bytes(b"\x80")
-        with pytest.raises(PersistenceError):
-            SNTIndex.load(target)
+        assert list(target.rglob("*.pkl")) == []
+        assert not (target / "arrays.npz").exists()
 
     def test_missing_array_raises_persistence_error(
         self, paper_index, tmp_path
     ):
-        import numpy as np
-
         target = paper_index.save(tmp_path / "index")
-        with np.load(target / "arrays.npz") as payload:
-            arrays = {n: payload[n] for n in payload.files}
-        del arrays["col_t"]
-        np.savez_compressed(target / "arrays.npz", **arrays)
+        (target / PAYLOAD_DIR / "col_t.npy").unlink()
         with pytest.raises(PersistenceError, match="col_t"):
             SNTIndex.load(target)
 
@@ -340,12 +349,40 @@ class TestFormatGuards:
         import numpy as np
 
         target = paper_index.save(tmp_path / "index")
-        with np.load(target / "arrays.npz") as payload:
-            arrays = {n: payload[n] for n in payload.files}
-        arrays["edge_offsets"] = arrays["edge_offsets"] * 1000
-        np.savez_compressed(target / "arrays.npz", **arrays)
+        offsets_path = target / PAYLOAD_DIR / "edge_offsets.npy"
+        np.save(offsets_path, np.load(offsets_path) * 1000)
         with pytest.raises(PersistenceError, match="edge_offsets"):
             SNTIndex.load(target)
+
+    def test_corrupt_wavelet_payload_raises_persistence_error(
+        self, paper_index, tmp_path
+    ):
+        """A wavelet concatenation disagreeing with the node directory
+        must be rejected, not sliced short.  Partitions materialise
+        lazily, so the open succeeds and the first partition touch
+        raises."""
+        import numpy as np
+
+        target = paper_index.save(tmp_path / "index")
+        words_path = target / PAYLOAD_DIR / "p0_wt_words.npy"
+        np.save(words_path, np.load(words_path)[:-1])
+        loaded = SNTIndex.load(target)
+        with pytest.raises(PersistenceError, match="wavelet payload"):
+            loaded.partitions[0]
+
+    def test_corrupt_code_table_raises_persistence_error(
+        self, paper_index, tmp_path
+    ):
+        """The three code-table arrays must be mutually consistent —
+        a truncated length array cannot silently drop symbols."""
+        import numpy as np
+
+        target = paper_index.save(tmp_path / "index")
+        lengths_path = target / PAYLOAD_DIR / "p0_code_lengths.npy"
+        np.save(lengths_path, np.load(lengths_path)[:-1])
+        loaded = SNTIndex.load(target)
+        with pytest.raises(PersistenceError, match="code-table"):
+            loaded.partitions[0]
 
     def test_corrupt_tod_counts_raise_persistence_error(
         self, paper_index, tmp_path
@@ -353,12 +390,11 @@ class TestFormatGuards:
         import numpy as np
 
         target = paper_index.save(tmp_path / "index")
-        with np.load(target / "arrays.npz") as payload:
-            arrays = {n: payload[n] for n in payload.files}
-        arrays["tod_counts"] = arrays["tod_counts"][:-1]
-        np.savez_compressed(target / "arrays.npz", **arrays)
+        counts_path = target / PAYLOAD_DIR / "tod_counts.npy"
+        np.save(counts_path, np.load(counts_path)[:-1])
+        loaded = SNTIndex.load(target)  # lazy: opening succeeds
         with pytest.raises(PersistenceError, match="reconstruct"):
-            SNTIndex.load(target)
+            loaded.tod_store
 
     def test_save_refuses_to_destroy_a_foreign_directory(
         self, paper_index, tmp_path
@@ -392,7 +428,7 @@ class TestFormatGuards:
         def explode(*args, **kwargs):
             raise OSError("disk full")
 
-        monkeypatch.setattr(np, "savez_compressed", explode)
+        monkeypatch.setattr(np, "save", explode)
         with pytest.raises(OSError):
             paper_index.save(tmp_path / "index")
         monkeypatch.undo()

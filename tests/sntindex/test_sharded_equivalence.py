@@ -480,7 +480,7 @@ def test_manifest_scalar_corruption_rejected_before_shard_load(
     manifest_path.write_text(json.dumps(manifest))
     # Poison a shard payload: were the shards read before the scalar
     # checks, the error would name the payload, not partition_days.
-    (target / "shard_0000" / "partitions.pkl").write_bytes(b"garbage")
+    (target / "shard_0000" / "payload" / "users.npy").write_bytes(b"garbage")
     with pytest.raises(PersistenceError, match="partition_days"):
         load_any_index(target)
 

@@ -109,8 +109,8 @@ class TestIndexCommand:
         out = capsys.readouterr().out
         assert "built index" in out
         assert (index_dir / "meta.json").exists()
-        assert (index_dir / "arrays.npz").exists()
-        assert (index_dir / "partitions.pkl").exists()
+        assert (index_dir / "payload").is_dir()
+        assert (index_dir / "payload" / "users.npy").exists()
 
         path = TestQuery().path_from_world(world_dir)
         assert main(["query", "--world", str(world_dir),
