@@ -1,15 +1,18 @@
 #!/usr/bin/env bash
 # Strict type checking, scoped to the typed API surface (ISSUE 3) plus
 # the cache-tier backend layer (ISSUE 4), the staged query pipeline
-# (ISSUE 5), and the succinct rank bitvector (ISSUE 6): src/repro/api
-# (TripRequest / EngineConfig / TravelTimeDB), the error hierarchy,
-# service/cachetier.py (CacheBackend / SharedCacheTier), core/plan.py +
-# core/exec.py (the planner, the trip machine, and the deduplicating
-# batch executor), and fmindex/bitvector.py (the word-packed rank
-# directory under every wavelet tree).  These call into the
-# not-yet-annotated core/service/sntindex modules, so untyped *calls*
-# are allowed and imports are followed silently; everything the checked
-# files themselves define is held to --strict.
+# (ISSUE 5), the succinct rank bitvector (ISSUE 6), and the vectorized
+# scan/probe stage (ISSUE 7): src/repro/api (TripRequest / EngineConfig
+# / TravelTimeDB), the error hierarchy, service/cachetier.py
+# (CacheBackend / SharedCacheTier), core/plan.py + core/exec.py (the
+# planner, the trip machine, and the deduplicating batch executor),
+# fmindex/bitvector.py (the word-packed rank directory under every
+# wavelet tree), sntindex/procedures.py (the retrieval procedures and
+# their grouped forms), and temporal/forest.py (the per-edge temporal
+# trees and sort permutations).  These call into the not-yet-annotated
+# core/service/sntindex modules, so untyped *calls* are allowed and
+# imports are followed silently; everything the checked files
+# themselves define is held to --strict.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 if ! python -m mypy --version >/dev/null 2>&1; then
@@ -23,4 +26,5 @@ exec python -m mypy --strict \
   --no-warn-return-any \
   src/repro/api src/repro/errors.py src/repro/service/cachetier.py \
   src/repro/core/plan.py src/repro/core/exec.py \
-  src/repro/fmindex/bitvector.py
+  src/repro/fmindex/bitvector.py \
+  src/repro/sntindex/procedures.py src/repro/temporal/forest.py

@@ -20,7 +20,8 @@ it.  Three pieces:
   pending demands of every in-flight trip, deduplicate identical
   :class:`~repro.core.plan.SubQueryTask` keys, answer each unique task
   once (bulk cache probe, then one index scan per unique miss — grouped
-  per shard when the reader supports ``get_travel_times_many``), and
+  per edge and per shard when the reader supports
+  ``get_travel_times_many``), and
   fan each answer out to every owning trip.  Owners that did not pay
   the scan account a cache hit, exactly as they would have in a
   sequential pass over a shared cache, so ``scans + hits`` stays
@@ -405,11 +406,14 @@ def _scan_demands(
 ) -> List[Any]:
     """Scan stage over unique demands, in demand order.
 
-    Readers that expose ``get_travel_times_many`` (the sharded index)
-    answer the whole set in one call — grouping the per-shard scans so
-    each shard's columns are walked contiguously; other readers loop.
-    Thread fan-out is safe because every demand is a distinct key and
-    index reads are immutable during a batch.
+    Readers that expose ``get_travel_times_many`` (both built-in index
+    kinds) answer the whole set in one call — the monolithic index
+    groups queries by first/last edge so each edge's interval selection
+    and probe join run once per round, and the sharded router
+    additionally walks each shard's columns contiguously; duck-typed
+    readers without the method loop.  Thread fan-out is safe because
+    every demand is a distinct key and index reads are immutable during
+    a batch.
     """
     many = getattr(index, "get_travel_times_many", None)
     if many is not None:

@@ -372,6 +372,24 @@ class SNTIndex:
             isa_ranges=isa_ranges,
         )
 
+    def get_travel_times_many(
+        self,
+        items: Sequence[Tuple],
+        fallback_tt=None,
+    ):
+        """Procedure 5 for a deduplicated demand set (``(query,
+        exclude_ids, isa_ranges)`` triples), with queries sharing a
+        first or last edge grouped so that edge's interval selection and
+        probe join run once for the group — bit-identical per item to
+        :meth:`get_travel_times` (see
+        :func:`repro.sntindex.procedures.monolithic_travel_times_many`).
+        """
+        from .procedures import monolithic_travel_times_many
+
+        return monolithic_travel_times_many(
+            self, items, fallback_tt=fallback_tt
+        )
+
     def count_matches(
         self,
         path: Sequence[int],

@@ -13,7 +13,9 @@ afterwards, so it is built once and shipped as a directory:
 ``payload/``
     One standalone ``.npy`` file per bulk array: the user container
     ``U``, the temporal-forest leaf columns (concatenated across edges
-    with an offset table), the time-of-day histogram arrays, and — per
+    with an offset table), the forest's two per-edge sort permutations
+    (``perm_tod.npy``, ``perm_probe.npy`` — v2.1, optional; see
+    :data:`FORMAT_MINOR`), the time-of-day histogram arrays, and — per
     partition ``k`` — ``p{k}_counts.npy`` (the ``C`` array), the
     Huffman code table as three arrays (``p{k}_code_symbols.npy``,
     ``p{k}_code_lengths.npy``, and the concatenated code bits
@@ -71,6 +73,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 __all__ = [
     "FORMAT_VERSION",
+    "FORMAT_MINOR",
     "FORMAT_NAME",
     "save_index",
     "load_index",
@@ -84,6 +87,15 @@ __all__ = [
 #: Bump on any incompatible change to the directory layout or array set.
 #: v2: pickle-free payload of standalone mmap-able ``.npy`` files.
 FORMAT_VERSION = 2
+#: Backwards-compatible additions within v2.  Minor 1 (= "v2.1") adds the
+#: two per-edge sort permutations of the temporal forest — ``perm_tod``
+#: (time-of-day order) and ``perm_probe`` (packed ``(d, seq)`` probe-key
+#: order) — concatenated across edges with the same ``edge_offsets``
+#: table as the leaf columns.  Loaders treat both as optional: a v2.0
+#: directory (no permutation files) opens unchanged and the orders are
+#: rebuilt lazily per edge; a v2.1 directory hands the mmap'd slices to
+#: each edge index zero-copy.
+FORMAT_MINOR = 1
 FORMAT_NAME = "snt-index"
 
 META_FILE = "meta.json"
@@ -306,12 +318,19 @@ def _write_payload(
 
     edges = sorted(index.forest.edges())
     chunks: Dict[str, list] = {name: [] for name in _COLUMNS}
+    perm_tod_chunks: List[np.ndarray] = []
+    perm_probe_chunks: List[np.ndarray] = []
     offsets = np.zeros(len(edges) + 1, dtype=np.int64)
     for i, edge in enumerate(edges):
-        columns = index.forest.get(edge).columns
+        phi = index.forest.get(edge)
+        columns = phi.columns
         offsets[i + 1] = offsets[i] + len(columns)
         for name in _COLUMNS:
             chunks[name].append(getattr(columns, name))
+        # The v2.1 sort permutations (built here if no query has yet):
+        # edge-relative row indices, sharing the edge_offsets table.
+        perm_tod_chunks.append(phi.tod_order)
+        perm_probe_chunks.append(phi.probe_order)
 
     arrays = {
         "users": index.users,
@@ -324,6 +343,16 @@ def _write_payload(
             if chunks[name]
             else np.empty(0)
         )
+    arrays["perm_tod"] = (
+        np.concatenate(perm_tod_chunks)
+        if perm_tod_chunks
+        else np.empty(0, dtype=np.int64)
+    )
+    arrays["perm_probe"] = (
+        np.concatenate(perm_probe_chunks)
+        if perm_probe_chunks
+        else np.empty(0, dtype=np.int64)
+    )
     tod_keys, tod_counts = index.tod_store.as_arrays()
     arrays["tod_keys"] = tod_keys
     arrays["tod_counts"] = tod_counts
@@ -349,6 +378,7 @@ def _write_payload(
     meta = {
         "format": FORMAT_NAME,
         "format_version": FORMAT_VERSION,
+        "format_minor": FORMAT_MINOR,
         "kind": index.kind,
         "partition_days": index.partition_days,
         "t_min": index.t_min,
@@ -521,6 +551,13 @@ def _load_array(payload_dir: Path, name: str) -> np.ndarray:
             f"failed to read saved index payload from "
             f"{payload_dir.parent}: array {name!r}: {error}"
         ) from error
+
+
+def _load_optional_array(payload_dir: Path, name: str) -> Optional[np.ndarray]:
+    """Memory-map a payload array that older minors simply do not have."""
+    if not (payload_dir / f"{name}.npy").is_file():
+        return None
+    return _load_array(payload_dir, name)
 
 
 def _load_codes(payload_dir: Path, k: int) -> Dict[int, Tuple[int, ...]]:
@@ -721,6 +758,23 @@ def load_index(
             f"corrupt payload in {source}: edge_offsets are inconsistent "
             "with the column arrays"
         )
+    # v2.1 sort permutations: optional (a v2.0 dir rebuilds the orders
+    # lazily), but when present they must cover the columns exactly —
+    # a short permutation would silently be ignored per edge, so prove
+    # consistency here instead.
+    permutations: Dict[str, Optional[np.ndarray]] = {}
+    for name in ("perm_tod", "perm_probe"):
+        permutation = _load_optional_array(payload_dir, name)
+        if (
+            permutation is not None
+            and permutation.size != arrays["col_t"].size
+        ):
+            raise PersistenceError(
+                f"corrupt payload in {source}: {name} has "
+                f"{permutation.size} entries for {arrays['col_t'].size} "
+                "traversal rows"
+            )
+        permutations[name] = permutation
     try:
         forest = SlicedTemporalForest(
             kind=meta["kind"],
@@ -729,6 +783,8 @@ def load_index(
             columns={
                 name: arrays[f"col_{name}"] for name in _COLUMNS
             },
+            tod_order=permutations["perm_tod"],
+            probe_order=permutations["perm_probe"],
         )
     except (ValueError, IndexError, KeyError, TypeError) as error:
         raise PersistenceError(

@@ -13,6 +13,18 @@ positions for the time predicate, and ISA/user filters are numpy masks.
 Matches are taken in ascending entry time and cut at ``beta``, mirroring
 the paper's early termination (Procedure 3 line 6).
 
+The probe itself is a sorted-key join, not a hash map: both sides pack
+``(d, seq)`` into one int64 composite key
+(:func:`repro.temporal.records.pack_probe_keys`), the last segment keeps
+a lazily built (and persisted) sort permutation over that key
+(:attr:`repro.temporal.forest.EdgeTemporalIndex.probe_order`), and the
+probe answers with two ``np.searchsorted`` passes plus a ragged gather —
+no Python dict, no per-row loop, no ``np.isin`` full-column scan.
+Duplicate ``(d, seq)`` keys among the first-segment matches keep the
+*last* occurrence in match order, replicating the historical dict
+overwrite; emission order reproduces the historical candidate scan by
+sorting the joined rows back to ascending column position.
+
 The retrieval is split in two phases so a sharded index can run them per
 shard and merge: :func:`first_segment_matches` (Procedure 3's scan and
 filters, returning the matched first-segment rows) and
@@ -21,30 +33,67 @@ returning the travel times plus the entry timestamps that order them).
 Merging per-shard outputs on ``(entry time, shard order)`` reproduces the
 monolithic row order exactly, because each shard's rows are a stable
 restriction of the monolithic t-sorted columns.
+
+Both phases also come in grouped ``*_many`` forms that answer a whole
+demand set with the per-edge work shared: queries are grouped by first
+(respectively last) edge, each edge's interval selection and ISA-bound
+table is built once for the group over stacked query bounds, and the
+probe join runs one concatenated ``searchsorted`` per edge.  The grouped
+forms are bit-identical to mapping the scalar forms over the set — the
+batch executor and the shard router both rely on that.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
+import numpy.typing as npt
 
-from ..core.intervals import FixedInterval, PeriodicInterval, TimeInterval, is_periodic
+from ..core.intervals import (
+    FixedInterval,
+    PeriodicInterval,
+    TimeInterval,
+    is_periodic,
+)
 from ..core.spq import StrictPathQuery
+from ..temporal.forest import EdgeTemporalIndex
+from ..temporal.records import TraversalColumns, pack_probe_keys
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from .index import SNTIndex
+    from .reader import IndexReader
 
 __all__ = [
     "TravelTimeResult",
     "first_segment_matches",
+    "first_segment_matches_many",
     "probe_travel_times",
+    "probe_travel_times_many",
     "get_travel_times",
     "monolithic_travel_times",
+    "monolithic_travel_times_many",
     "count_matches",
     "monolithic_count_matches",
 ]
+
+Int64Array = npt.NDArray[np.int64]
+Float64Array = npt.NDArray[np.float64]
+IsaRanges = List[Tuple[int, int, int]]
+#: One grouped-scan work item: ``(query, exclude_ids, beta, isa_ranges)``.
+MatchItem = Tuple[StrictPathQuery, Sequence[int], Optional[int],
+                  Optional[IsaRanges]]
+#: One grouped-probe work item: ``(query, selected_rows, first_columns)``.
+ProbeEntry = Tuple[StrictPathQuery, Int64Array, TraversalColumns]
 
 
 @dataclass
@@ -76,7 +125,7 @@ class TravelTimeResult:
         deserialised result is bit-identical to the computed one.
         """
         return {
-            "values": [float(v) for v in self.values],
+            "values": np.asarray(self.values, dtype=np.float64).tolist(),
             "n_matched": int(self.n_matched),
             "from_fallback": bool(self.from_fallback),
             "insufficient": bool(self.insufficient),
@@ -94,19 +143,61 @@ class TravelTimeResult:
         )
 
 
-def _interval_rows(index_edge, interval: TimeInterval) -> np.ndarray:
+def _interval_rows(
+    index_edge: EdgeTemporalIndex, interval: TimeInterval
+) -> Int64Array:
     if is_periodic(interval):
+        assert isinstance(interval, PeriodicInterval)
         return index_edge.rows_periodic(interval.start_tod, interval.duration)
+    assert isinstance(interval, FixedInterval)
     return index_edge.rows_fixed(interval.start, interval.end)
 
 
+def _interval_rows_many(
+    index_edge: EdgeTemporalIndex, intervals: Sequence[TimeInterval]
+) -> List[Int64Array]:
+    """Batched :func:`_interval_rows`: fixed and periodic predicates each
+    resolve through one stacked bounds pass on the edge."""
+    fixed_slots: List[int] = []
+    periodic_slots: List[int] = []
+    for i, interval in enumerate(intervals):
+        (periodic_slots if is_periodic(interval) else fixed_slots).append(i)
+    results: List[Optional[Int64Array]] = [None] * len(intervals)
+    if fixed_slots:
+        los: List[int] = []
+        his: List[int] = []
+        for i in fixed_slots:
+            interval = intervals[i]
+            assert isinstance(interval, FixedInterval)
+            los.append(interval.start)
+            his.append(interval.end)
+        for i, rows in zip(fixed_slots, index_edge.rows_fixed_many(los, his)):
+            results[i] = rows
+    if periodic_slots:
+        starts: List[int] = []
+        durations: List[int] = []
+        for i in periodic_slots:
+            interval = intervals[i]
+            assert isinstance(interval, PeriodicInterval)
+            starts.append(interval.start_tod)
+            durations.append(interval.duration)
+        for i, rows in zip(
+            periodic_slots, index_edge.rows_periodic_many(starts, durations)
+        ):
+            results[i] = rows
+    return [
+        rows if rows is not None else np.empty(0, dtype=np.int64)
+        for rows in results
+    ]
+
+
 def first_segment_matches(
-    index: SNTIndex,
+    index: "SNTIndex",
     query: StrictPathQuery,
     exclude_ids: Sequence[int] = (),
     beta: Optional[int] = None,
-    isa_ranges=None,
-) -> Optional[Tuple[np.ndarray, "np.ndarray"]]:
+    isa_ranges: Optional[IsaRanges] = None,
+) -> Optional[Tuple[Int64Array, TraversalColumns]]:
     """Rows of the first segment matching all predicates, beta-cut.
 
     Returns ``(row_positions, columns)`` of the first segment's index, or
@@ -134,14 +225,18 @@ def first_segment_matches(
     ed_per_w = np.zeros(index.n_partitions, dtype=np.int64)
     for w, st, ed in ranges:
         st_per_w[w], ed_per_w[w] = st, ed
-    w = columns.w[rows]
+    w_sel = columns.w[rows]
     isa = columns.isa[rows]
-    mask = (isa >= st_per_w[w]) & (isa < ed_per_w[w])
+    mask = (isa >= st_per_w[w_sel]) & (isa < ed_per_w[w_sel])
 
     if query.user is not None:
         mask &= index.users[columns.d[rows]] == query.user
-    for excluded in exclude_ids:
-        mask &= columns.d[rows] != excluded
+    if len(exclude_ids):
+        mask &= np.isin(
+            columns.d[rows],
+            np.asarray(exclude_ids, dtype=np.int64),
+            invert=True,
+        )
 
     selected = rows[mask]
     if beta is not None and selected.size > beta:
@@ -149,12 +244,179 @@ def first_segment_matches(
     return selected, columns
 
 
+def first_segment_matches_many(
+    index: "SNTIndex", items: Sequence[MatchItem]
+) -> List[Optional[Tuple[Int64Array, TraversalColumns]]]:
+    """Grouped :func:`first_segment_matches` over a demand set.
+
+    Items sharing a first edge are answered together: the edge's
+    interval selection runs once over stacked query bounds, the per-``w``
+    ISA bound table is built for the whole group in one scatter, and the
+    ISA/user masks evaluate over the group's concatenated candidate
+    rows.  Per item, the output (including the ``beta`` prefix cut and
+    the ``None``-vs-empty distinction) is exactly the scalar function's.
+    """
+    n_items = len(items)
+    results: List[Optional[Tuple[Int64Array, TraversalColumns]]] = (
+        [None] * n_items
+    )
+    ranges_list: List[Optional[IsaRanges]] = [item[3] for item in items]
+    missing = [i for i in range(n_items) if ranges_list[i] is None]
+    if missing:
+        # One batched backward search resolves every un-resolved path.
+        resolved = index.isa_ranges_many(
+            [items[i][0].path for i in missing]
+        )
+        for i, ranges in zip(missing, resolved):
+            ranges_list[i] = ranges
+
+    by_edge: Dict[int, List[int]] = {}
+    for i in range(n_items):
+        if not ranges_list[i]:
+            continue  # no occurrence anywhere: scalar returns None
+        by_edge.setdefault(int(items[i][0].path[0]), []).append(i)
+
+    for edge, slots in by_edge.items():
+        phi0 = index.edge_index(edge)
+        if phi0 is None or len(phi0) == 0:
+            continue  # scalar returns None for every query on this edge
+        columns = phi0.columns
+        rows_list = _interval_rows_many(
+            phi0, [items[i][0].interval for i in slots]
+        )
+        sizes = np.asarray([rows.size for rows in rows_list], dtype=np.int64)
+        total = int(sizes.sum())
+        if total == 0:
+            for i, rows in zip(slots, rows_list):
+                results[i] = (rows, columns)
+            continue
+
+        # Stacked predicate evaluation over the group's candidates,
+        # slot-major so each query's chunk stays one contiguous slice.
+        rows_cat = np.concatenate(rows_list)
+        slot_cat = np.repeat(np.arange(len(slots)), sizes)
+        slot_idx: List[int] = []
+        w_idx: List[int] = []
+        st_vals: List[int] = []
+        ed_vals: List[int] = []
+        for k, i in enumerate(slots):
+            ranges = ranges_list[i]
+            assert ranges is not None
+            for w, st, ed in ranges:
+                slot_idx.append(k)
+                w_idx.append(w)
+                st_vals.append(st)
+                ed_vals.append(ed)
+        st2 = np.zeros((len(slots), index.n_partitions), dtype=np.int64)
+        ed2 = np.zeros((len(slots), index.n_partitions), dtype=np.int64)
+        st2[slot_idx, w_idx] = st_vals
+        ed2[slot_idx, w_idx] = ed_vals
+        w_cat = columns.w[rows_cat]
+        isa_cat = columns.isa[rows_cat]
+        d_cat = columns.d[rows_cat]
+        mask = (isa_cat >= st2[slot_cat, w_cat]) & (
+            isa_cat < ed2[slot_cat, w_cat]
+        )
+
+        if any(items[i][0].user is not None for i in slots):
+            has_user = np.asarray(
+                [items[i][0].user is not None for i in slots], dtype=bool
+            )
+            user_arr = np.asarray(
+                [
+                    items[i][0].user if items[i][0].user is not None else 0
+                    for i in slots
+                ],
+                dtype=np.int64,
+            )
+            mask &= ~has_user[slot_cat] | (
+                index.users[d_cat] == user_arr[slot_cat]
+            )
+
+        bounds = np.concatenate(([0], np.cumsum(sizes)))
+        for k, i in enumerate(slots):
+            b0, b1 = int(bounds[k]), int(bounds[k + 1])
+            exclude_ids = items[i][1]
+            if len(exclude_ids):
+                mask[b0:b1] &= np.isin(
+                    d_cat[b0:b1],
+                    np.asarray(exclude_ids, dtype=np.int64),
+                    invert=True,
+                )
+            selected = rows_cat[b0:b1][mask[b0:b1]]
+            beta = items[i][2]
+            if beta is not None and selected.size > beta:
+                selected = selected[:beta]
+            results[i] = (selected, columns)
+    return results
+
+
+def _dedup_probe_targets(
+    columns: TraversalColumns, selected: Int64Array, length: int
+) -> Tuple[Int64Array, Float64Array]:
+    """buildMap as arrays: sorted unique probe keys and their ``a - TT``.
+
+    The probe key of a first-segment match ``(d, seq)`` on a path of
+    ``length`` segments is ``(d, seq + length - 1)`` — the ``(d, seq)``
+    pair its last-segment record carries.  Duplicate keys keep the last
+    occurrence in match order, replicating the dict overwrite of the
+    historical per-row ``buildMap``.
+    """
+    first_seq = np.asarray(columns.seq[selected], dtype=np.int64)
+    targets = pack_probe_keys(
+        columns.d[selected], first_seq + np.int64(length - 1)
+    )
+    diffs = columns.a[selected] - columns.tt[selected]
+    if targets.size == 0:
+        return targets, np.asarray(diffs, dtype=np.float64)
+    order = np.argsort(targets, kind="stable")
+    sorted_targets = targets[order]
+    keep = np.empty(sorted_targets.size, dtype=bool)
+    keep[:-1] = sorted_targets[1:] != sorted_targets[:-1]
+    keep[-1] = True
+    return (
+        np.asarray(sorted_targets[keep], dtype=np.int64),
+        np.asarray(diffs[order][keep], dtype=np.float64),
+    )
+
+
+def _join_probe(
+    phi_last: EdgeTemporalIndex,
+    lo: Int64Array,
+    counts: Int64Array,
+    diffs: Float64Array,
+) -> Tuple[Float64Array, Int64Array]:
+    """Gather and emit the matches of one query's sorted-key probe.
+
+    ``lo``/``counts`` bound each target's run in the last segment's
+    probe order; the ragged gather materialises every hit, and sorting
+    the hit rows ascending restores the historical candidate-scan
+    emission order (rows are unique — one ``(d, seq)`` key per row).
+    """
+    total = int(counts.sum())
+    last = phi_last.columns
+    if total == 0:
+        return (np.empty(0, dtype=np.float64), np.empty(0, dtype=np.int64))
+    starts = np.repeat(lo, counts)
+    offsets = np.repeat(np.cumsum(counts) - counts, counts)
+    flat = starts + np.arange(total, dtype=np.int64) - offsets
+    rows = phi_last.probe_order[flat]
+    target_idx = np.repeat(np.arange(counts.size, dtype=np.int64), counts)
+    emit = np.argsort(rows, kind="stable")
+    rows_emit = rows[emit]
+    values = last.a[rows_emit] - diffs[target_idx[emit]]
+    return (
+        np.asarray(values, dtype=np.float64),
+        np.asarray(last.t[rows_emit], dtype=np.int64),
+    )
+
+
 def probe_travel_times(
-    index: SNTIndex,
+    index: "SNTIndex",
     query: StrictPathQuery,
-    selected: np.ndarray,
-    columns,
-) -> Tuple[np.ndarray, np.ndarray]:
+    selected: Int64Array,
+    columns: TraversalColumns,
+) -> Tuple[Float64Array, Int64Array]:
     """Procedures 3-4 given the (already beta-cut) first-segment rows.
 
     Returns ``(values, order_t)``: the travel times of the matched
@@ -164,48 +426,83 @@ def probe_travel_times(
     columns; ``order_t`` is what a sharded router merges on to reproduce
     the monolithic emission order across shards.
     """
-    l = query.length
-    if l == 1:
-        # The first segment is the last: X is the TT column directly.
-        values = columns.tt[selected].astype(np.float64, copy=True)
-        return values, columns.t[selected]
+    return probe_travel_times_many(index, [(query, selected, columns)])[0]
 
-    # buildMap: (d, seq) -> a - TT for the first segment (Procedure 3).
-    first_d = columns.d[selected]
-    first_seq = columns.seq[selected]
-    diffs = columns.a[selected] - columns.tt[selected]
-    probe_map: Dict[Tuple[int, int], float] = {
-        (int(first_d[i]), int(first_seq[i])): float(diffs[i])
-        for i in range(int(selected.size))
-    }
 
-    # probeMap over the last segment (Procedure 4).
-    empty = np.empty(0, dtype=np.float64)
-    phi_last = index.edge_index(query.path[-1])
-    if phi_last is None:  # cannot happen when the ISA range was non-empty
-        return empty, np.empty(0, dtype=np.int64)
-    last = phi_last.columns
-    candidates = np.nonzero(np.isin(last.d, first_d))[0]
-    values = []
-    order_t = []
-    for row in candidates:
-        key = (int(last.d[row]), int(last.seq[row]) + 1 - l)
-        diff = probe_map.get(key)
-        if diff is not None:
-            values.append(float(last.a[row]) - diff)
-            order_t.append(int(last.t[row]))
-    return (
-        np.asarray(values, dtype=np.float64),
-        np.asarray(order_t, dtype=np.int64),
+def probe_travel_times_many(
+    index: "SNTIndex", entries: Sequence[ProbeEntry]
+) -> List[Tuple[Float64Array, Int64Array]]:
+    """Grouped :func:`probe_travel_times` over a demand set.
+
+    Entries sharing a last edge share its sorted probe-key order: the
+    group's probe targets are stacked and bounded with **one**
+    ``searchsorted`` pair per edge, then each entry gathers and emits
+    its own matches.  Single-segment paths bypass the join — their
+    values are the first segment's ``TT`` column directly.
+    """
+    results: List[Optional[Tuple[Float64Array, Int64Array]]] = (
+        [None] * len(entries)
     )
+    by_edge: Dict[int, List[int]] = {}
+    for i, (query, selected, columns) in enumerate(entries):
+        if query.length == 1:
+            # The first segment is the last: X is the TT column directly.
+            values = columns.tt[selected].astype(np.float64, copy=True)
+            results[i] = (values, np.asarray(columns.t[selected],
+                                             dtype=np.int64))
+        else:
+            by_edge.setdefault(int(query.path[-1]), []).append(i)
+
+    for edge, slots in by_edge.items():
+        phi_last = index.edge_index(edge)
+        if phi_last is None:  # cannot happen when the ISA range was non-empty
+            for i in slots:
+                results[i] = (
+                    np.empty(0, dtype=np.float64),
+                    np.empty(0, dtype=np.int64),
+                )
+            continue
+        target_parts: List[Int64Array] = []
+        diff_parts: List[Float64Array] = []
+        for i in slots:
+            query, selected, columns = entries[i]
+            targets, diffs = _dedup_probe_targets(
+                columns, selected, query.length
+            )
+            target_parts.append(targets)
+            diff_parts.append(diffs)
+        keys_sorted = phi_last.probe_keys_sorted()
+        targets_cat = np.concatenate(target_parts)
+        lo_cat = np.asarray(
+            np.searchsorted(keys_sorted, targets_cat, side="left"),
+            dtype=np.int64,
+        )
+        hi_cat = np.asarray(
+            np.searchsorted(keys_sorted, targets_cat, side="right"),
+            dtype=np.int64,
+        )
+        counts_cat = hi_cat - lo_cat
+        t_sizes = [targets.size for targets in target_parts]
+        t_bounds = np.concatenate(([0], np.cumsum(t_sizes)))
+        for k, i in enumerate(slots):
+            ta, tb = int(t_bounds[k]), int(t_bounds[k + 1])
+            results[i] = _join_probe(
+                phi_last, lo_cat[ta:tb], counts_cat[ta:tb], diff_parts[k]
+            )
+    return [
+        result
+        if result is not None
+        else (np.empty(0, dtype=np.float64), np.empty(0, dtype=np.int64))
+        for result in results
+    ]
 
 
 def get_travel_times(
-    index,
+    index: "IndexReader",
     query: StrictPathQuery,
     fallback_tt: Optional[Callable[[int], float]] = None,
     exclude_ids: Sequence[int] = (),
-    isa_ranges=None,
+    isa_ranges: Optional[IsaRanges] = None,
 ) -> TravelTimeResult:
     """Procedure 5: retrieve ``X`` for ``spq(P, I, f, beta)``.
 
@@ -236,36 +533,13 @@ def get_travel_times(
     )
 
 
-def monolithic_travel_times(
-    index: SNTIndex,
+def _classify_scan(
     query: StrictPathQuery,
-    fallback_tt: Optional[Callable[[int], float]] = None,
-    exclude_ids: Sequence[int] = (),
-    isa_ranges=None,
-) -> TravelTimeResult:
-    """Procedure 5 over one :class:`SNTIndex`'s own columns.
-
-    The implementation behind :meth:`SNTIndex.get_travel_times`; it
-    needs the raw per-segment columns, so sharded readers never reach
-    it directly — their router runs the two phases per shard instead.
-    """
+    n_matched: int,
+    fallback_tt: Optional[Callable[[int], float]],
+) -> Optional[TravelTimeResult]:
+    """Procedure 5's pre-probe classification; ``None`` means probe."""
     empty = np.empty(0, dtype=np.float64)
-    matches = first_segment_matches(
-        index,
-        query,
-        exclude_ids=exclude_ids,
-        beta=query.beta,
-        isa_ranges=isa_ranges,
-    )
-    l = query.length
-
-    if matches is None:
-        selected = np.empty(0, dtype=np.int64)
-        columns = None
-    else:
-        selected, columns = matches
-
-    n_matched = int(selected.size)
     if (
         query.beta is not None
         and n_matched < query.beta
@@ -274,19 +548,101 @@ def monolithic_travel_times(
         # Procedure 5 line 7: periodic queries fail below the cardinality
         # requirement; fixed-interval queries proceed regardless of beta.
         return TravelTimeResult(empty, n_matched, insufficient=True)
-
     if n_matched == 0:
-        if l == 1 and fallback_tt is not None:
+        if query.length == 1 and fallback_tt is not None:
             estimate = np.asarray([fallback_tt(query.path[0])])
             return TravelTimeResult(estimate, 0, from_fallback=True)
         return TravelTimeResult(empty, 0)
+    return None
 
+
+def monolithic_travel_times(
+    index: "SNTIndex",
+    query: StrictPathQuery,
+    fallback_tt: Optional[Callable[[int], float]] = None,
+    exclude_ids: Sequence[int] = (),
+    isa_ranges: Optional[IsaRanges] = None,
+) -> TravelTimeResult:
+    """Procedure 5 over one :class:`SNTIndex`'s own columns.
+
+    The implementation behind :meth:`SNTIndex.get_travel_times`; it
+    needs the raw per-segment columns, so sharded readers never reach
+    it directly — their router runs the two phases per shard instead.
+    """
+    matches = first_segment_matches(
+        index,
+        query,
+        exclude_ids=exclude_ids,
+        beta=query.beta,
+        isa_ranges=isa_ranges,
+    )
+    if matches is None:
+        selected: Int64Array = np.empty(0, dtype=np.int64)
+        columns: Optional[TraversalColumns] = None
+    else:
+        selected, columns = matches
+
+    n_matched = int(selected.size)
+    early = _classify_scan(query, n_matched, fallback_tt)
+    if early is not None:
+        return early
+    assert columns is not None
     result, _ = probe_travel_times(index, query, selected, columns)
     return TravelTimeResult(result, n_matched)
 
 
+def monolithic_travel_times_many(
+    index: "SNTIndex",
+    items: Sequence[Tuple[StrictPathQuery, Sequence[int],
+                          Optional[IsaRanges]]],
+    fallback_tt: Optional[Callable[[int], float]] = None,
+) -> List[TravelTimeResult]:
+    """Procedure 5 for a demand set over one index, scans grouped.
+
+    ``items`` are ``(query, exclude_ids, isa_ranges)`` triples — the
+    deduplicated demand set of one batch-executor round.  Both phases
+    run through their grouped forms (:func:`first_segment_matches_many`,
+    :func:`probe_travel_times_many`) so queries sharing a first or last
+    edge share that edge's selection and join work; every per-query
+    decision (beta cut, insufficient/fallback classification) is
+    unchanged, making each result exactly what
+    :func:`monolithic_travel_times` answers for that item alone.
+    """
+    matches = first_segment_matches_many(
+        index,
+        [
+            (query, exclude_ids, query.beta, isa_ranges)
+            for query, exclude_ids, isa_ranges in items
+        ],
+    )
+    results: List[Optional[TravelTimeResult]] = [None] * len(items)
+    probe_slots: List[int] = []
+    probe_entries: List[ProbeEntry] = []
+    matched_counts: List[int] = [0] * len(items)
+    for i, ((query, _, _), match) in enumerate(zip(items, matches)):
+        if match is None:
+            n_matched = 0
+        else:
+            selected, columns = match
+            n_matched = int(selected.size)
+        matched_counts[i] = n_matched
+        early = _classify_scan(query, n_matched, fallback_tt)
+        if early is not None:
+            results[i] = early
+            continue
+        assert match is not None
+        probe_slots.append(i)
+        probe_entries.append((query, match[0], match[1]))
+    for i, (values, _) in zip(
+        probe_slots, probe_travel_times_many(index, probe_entries)
+    ):
+        results[i] = TravelTimeResult(values, matched_counts[i])
+    assert all(result is not None for result in results)
+    return results  # type: ignore[return-value]
+
+
 def count_matches(
-    index,
+    index: "IndexReader",
     path: Sequence[int],
     interval: TimeInterval,
     user: Optional[int] = None,
@@ -311,7 +667,7 @@ def count_matches(
 
 
 def monolithic_count_matches(
-    index: SNTIndex,
+    index: "SNTIndex",
     path: Sequence[int],
     interval: TimeInterval,
     user: Optional[int] = None,

@@ -87,9 +87,9 @@ from .persistence import (
 )
 from .procedures import (
     TravelTimeResult,
-    first_segment_matches,
+    first_segment_matches_many,
     monolithic_count_matches,
-    probe_travel_times,
+    probe_travel_times_many,
 )
 
 __all__ = [
@@ -411,12 +411,15 @@ class ShardRouter:
         # at beta; the global cut below only ever keeps a prefix of
         # each).  Ascending shard order per query — the same order the
         # per-query loop produced — so each query's chunk list is still
-        # its routed prefix order.
+        # its routed prefix order.  Within a shard the routed queries go
+        # through the grouped scan, sharing each first edge's interval
+        # selection and ISA-bound table.
         per_shard: List[List[Tuple[int, np.ndarray, object]]] = [
             [] for _ in range(n_items)
         ]
         for position in sorted(by_position):
             entry = self.entries[position]
+            shard_items = []
             for item_index in by_position[position]:
                 query, exclude_ids, isa_ranges = items[item_index]
                 self._record_scan(position)
@@ -425,13 +428,13 @@ class ShardRouter:
                     if isa_ranges is not None
                     else None
                 )
-                matches = first_segment_matches(
-                    entry.index,
-                    query,
-                    exclude_ids=exclude_ids,
-                    beta=query.beta,
-                    isa_ranges=local,
-                )
+                shard_items.append((query, exclude_ids, query.beta, local))
+            matches_list = first_segment_matches_many(
+                entry.index, shard_items
+            )
+            for item_index, matches in zip(
+                by_position[position], matches_list
+            ):
                 if matches is None:
                     continue
                 selected, columns = matches
@@ -503,10 +506,16 @@ class ShardRouter:
                     )
         for position in sorted(probes):
             entry = self.entries[position]
-            for item_index, selected, columns in probes[position]:
-                values, stamps = probe_travel_times(
-                    entry.index, items[item_index][0], selected, columns
-                )
+            outputs = probe_travel_times_many(
+                entry.index,
+                [
+                    (items[item_index][0], selected, columns)
+                    for item_index, selected, columns in probes[position]
+                ],
+            )
+            for (item_index, _, _), (values, stamps) in zip(
+                probes[position], outputs
+            ):
                 value_chunks[item_index].append(values)
                 stamp_chunks[item_index].append(stamps)
 

@@ -22,7 +22,23 @@ from typing import Iterator, NamedTuple
 
 import numpy as np
 
-__all__ = ["LeafRecord", "TraversalColumns"]
+__all__ = ["LeafRecord", "TraversalColumns", "pack_probe_keys"]
+
+
+def pack_probe_keys(d: np.ndarray, seq: np.ndarray) -> np.ndarray:
+    """Pack ``(d, seq)`` pairs into one int64 composite key.
+
+    The probe join (Procedures 3-4) matches records on the pair
+    ``(trajectory id, sequence number)``; packing both into one int64
+    lets the join sort and binary-search a single key column.  The
+    packing is order-preserving for the lexicographic ``(d, seq)``
+    order because ``d`` is a dense non-negative trajectory id (well
+    below 2**31) and ``seq`` a non-negative within-trajectory position
+    (well below 2**32) — both invariants of the index builder.
+    """
+    return (
+        np.asarray(d, dtype=np.int64) << np.int64(32)
+    ) + np.asarray(seq, dtype=np.int64)
 
 
 class LeafRecord(NamedTuple):
@@ -121,6 +137,10 @@ class TraversalColumns:
             raise ValueError("timestamps are not sorted")
         if n and np.any(self.tt <= 0):
             raise ValueError("traversal times must be positive")
+
+    def probe_keys(self) -> np.ndarray:
+        """Packed ``(d, seq)`` composite keys of every row (int64)."""
+        return pack_probe_keys(self.d, self.seq)
 
     def size_in_bytes(self, with_partition_id: bool = True) -> int:
         """Byte size of one row times row count, using the C++-layout model.

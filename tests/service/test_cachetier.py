@@ -132,7 +132,12 @@ def test_result_wire_form_round_trips_bit_identically():
     result = TravelTimeResult(
         values=values, n_matched=7, from_fallback=False, insufficient=False
     )
-    back = TravelTimeResult.from_wire(result.to_wire())
+    wire = result.to_wire()
+    # The wire payload carries plain Python floats (values.tolist()), so
+    # json round-trips them through repr without narrowing.
+    assert all(type(v) is float for v in wire["values"])
+    assert wire["values"] == [float(v) for v in values]
+    back = TravelTimeResult.from_wire(wire)
     assert np.array_equal(back.values, result.values)
     assert back.values.dtype == np.float64
     assert not back.values.flags.writeable  # cached values are immutable
