@@ -2,14 +2,16 @@
 # Strict type checking, scoped to the typed API surface (ISSUE 3) plus
 # the cache-tier backend layer (ISSUE 4), the staged query pipeline
 # (ISSUE 5), the succinct rank bitvector (ISSUE 6), and the vectorized
-# scan/probe stage (ISSUE 7): src/repro/api (TripRequest / EngineConfig
-# / TravelTimeDB), the error hierarchy, service/cachetier.py
-# (CacheBackend / SharedCacheTier), core/plan.py + core/exec.py (the
-# planner, the trip machine, and the deduplicating batch executor),
-# fmindex/bitvector.py (the word-packed rank directory under every
-# wavelet tree), sntindex/procedures.py (the retrieval procedures and
-# their grouped forms), and temporal/forest.py (the per-edge temporal
-# trees and sort permutations).  These call into the not-yet-annotated
+# scan/probe stage (ISSUE 7), and the HTTP serving tier (ISSUE 8):
+# src/repro/api (TripRequest / EngineConfig / TravelTimeDB), the error
+# hierarchy, service/cachetier.py (CacheBackend / SharedCacheTier),
+# core/plan.py + core/exec.py (the planner, the trip machine, and the
+# deduplicating batch executor), fmindex/bitvector.py (the word-packed
+# rank directory under every wavelet tree), sntindex/procedures.py (the
+# retrieval procedures and their grouped forms), temporal/forest.py
+# (the per-edge temporal trees and sort permutations), and src/repro/
+# server (ServerConfig / collector / HTTP framing / client).  These
+# call into the not-yet-annotated
 # core/service/sntindex modules, so untyped *calls* are allowed and
 # imports are followed silently; everything the checked files
 # themselves define is held to --strict.
@@ -27,4 +29,5 @@ exec python -m mypy --strict \
   src/repro/api src/repro/errors.py src/repro/service/cachetier.py \
   src/repro/core/plan.py src/repro/core/exec.py \
   src/repro/fmindex/bitvector.py \
-  src/repro/sntindex/procedures.py src/repro/temporal/forest.py
+  src/repro/sntindex/procedures.py src/repro/temporal/forest.py \
+  src/repro/server

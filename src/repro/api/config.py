@@ -95,6 +95,17 @@ class EngineConfig:
         excluded from :meth:`cache_identity`.  Ignored by the
         in-process backends (their ``cache_entries`` LRU bound already
         caps memory).
+    cache_ttl_s:
+        Maximum age in seconds of entries in the cross-process shared
+        tier's store (``None`` = no age limit).  Rows older than this
+        are treated as misses on read and garbage-collected lazily
+        (on ``sync_epoch`` and amortised during writes) — the
+        long-running-server knob: a serving process that stays up for
+        weeks keeps the store from accumulating entries for paths
+        nobody asks about any more.  Expiry only ever forces a
+        recomputation, never a different answer (entries are keyed by
+        everything that shapes one), so it is excluded from
+        :meth:`cache_identity`.  Ignored by the in-process backends.
 
     All validation failures raise :class:`ConfigurationError` (a
     :class:`~repro.errors.QueryError`), never a bare ``ValueError``.
@@ -115,6 +126,7 @@ class EngineConfig:
     cache_entries: Optional[int] = 65_536
     cache: Optional[str] = None
     cache_store_entries: Optional[int] = None
+    cache_ttl_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.partitioner not in PARTITIONER_NAMES:
@@ -171,6 +183,20 @@ class EngineConfig:
             raise ConfigurationError(
                 "cache_store_entries must be positive or None (unbounded)"
             )
+        if self.cache_ttl_s is not None:
+            try:
+                ttl = float(self.cache_ttl_s)
+            except (TypeError, ValueError) as error:
+                raise ConfigurationError(
+                    "cache_ttl_s must be a positive number of seconds or "
+                    f"None (no age limit); got {self.cache_ttl_s!r}"
+                ) from error
+            if not ttl > 0:
+                raise ConfigurationError(
+                    "cache_ttl_s must be a positive number of seconds or "
+                    f"None (no age limit); got {self.cache_ttl_s!r}"
+                )
+            object.__setattr__(self, "cache_ttl_s", ttl)
         if self.cache is not None:
             if not isinstance(self.cache, str):
                 raise ConfigurationError(

@@ -33,6 +33,7 @@ from typing import (
     List,
     Optional,
     Sequence,
+    Tuple,
     Union,
     cast,
 )
@@ -198,20 +199,40 @@ class TravelTimeDB:
         :meth:`repro.service.TravelTimeService._run_batch_forked` for
         the quiescing contract).
         """
+        results, _ = self.query_many_with_stats(
+            requests, n_workers=n_workers, use_processes=use_processes
+        )
+        return results
+
+    def query_many_with_stats(
+        self,
+        requests: Sequence[TripRequest],
+        n_workers: Optional[int] = None,
+        use_processes: bool = False,
+    ) -> Tuple[List[TripQueryResult], Optional[DedupStats]]:
+        """:meth:`query_many`, also returning this batch's dedup stats.
+
+        :attr:`last_dedup_stats` is last-writer-wins, so a caller
+        running *concurrent* batches over one session — the HTTP
+        serving tier's collection rounds — must take the accounting
+        from the return value, where it cannot be clobbered by another
+        batch.  ``None`` when the batch did not run through the
+        deduplicating executor (``config.dedup_subqueries`` off, or
+        process fan-out).
+        """
         requests = list(requests)
         for request in requests:
             self._check_request(request)
-        results = cast(
-            List[TripQueryResult],
-            self._service._run_batch(
-                [_as_task(r) for r in requests],
-                n_workers=n_workers,
-                use_processes=use_processes,
-            ),
+        batch = self._service._run_batch_with_stats(
+            [_as_task(r) for r in requests],
+            n_workers=n_workers,
+            use_processes=use_processes,
         )
+        results = cast(List[TripQueryResult], batch[0])
+        stats = cast(Optional[DedupStats], batch[1])
         for request, result in zip(requests, results):
             result.request = request
-        return results
+        return results, stats
 
     def stream(
         self,

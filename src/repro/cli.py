@@ -17,6 +17,10 @@ Commands
     Answer a file (or inline list) of strict path queries through the
     :class:`~repro.service.TravelTimeService` — shared sub-query cache,
     optional thread-pool fan-out.
+``serve``
+    Serve a stored world over HTTP: concurrent connections are
+    multiplexed onto shared dedup rounds (``POST /v1/query``,
+    ``POST /v1/query_batch``, ``GET /healthz``, ``GET /stats``).
 
 Example
 -------
@@ -217,6 +221,80 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable cross-trip sub-query deduplication (the batch "
         "executor scans each distinct sub-query once per batch by "
         "default; answers are bit-identical either way)",
+    )
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve a stored world over HTTP (shared dedup rounds)",
+    )
+    serve.add_argument("--world", required=True)
+    serve.add_argument(
+        "--index",
+        default=None,
+        help="saved index directory (skips the in-process build)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8374,
+        help="listen port (0 binds an ephemeral port, printed on start)",
+    )
+    serve.add_argument(
+        "--window-ms",
+        type=float,
+        default=5.0,
+        help="collection window: trips arriving within this many ms "
+        "join one dedup round (0 disables windowing)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="maximum trips per collection round",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=256,
+        help="admission bound: trips in flight beyond this are "
+        "rejected with HTTP 429 + Retry-After",
+    )
+    serve.add_argument(
+        "--serve-workers",
+        type=int,
+        default=2,
+        help="executor threads running collection rounds",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="engine worker threads inside each round",
+    )
+    serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the shared sub-query cache",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        help="serve through the cross-process shared cache tier stored "
+        "in this directory (created if missing)",
+    )
+    serve.add_argument(
+        "--cache-ttl-s",
+        type=float,
+        default=None,
+        help="expire shared-tier cache entries older than this many "
+        "seconds (requires --cache-dir)",
+    )
+    serve.add_argument(
+        "--partitioner", default="pi_Z", choices=PARTITIONER_NAMES
+    )
+    serve.add_argument(
+        "--splitter", default="regular", choices=("regular", "longest_prefix")
     )
     return parser
 
@@ -551,6 +629,56 @@ def _cmd_batch(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .server import ServerConfig, run_server
+
+    if args.cache_ttl_s is not None and args.cache_dir is None:
+        raise SystemExit("--cache-ttl-s requires --cache-dir")
+    if args.cache_dir is not None and args.no_cache:
+        raise SystemExit("--cache-dir and --no-cache are mutually exclusive")
+    network = load_network(Path(args.world) / NETWORK_FILE)
+    index = _obtain_index(args, network)
+    db = open_db(
+        index,
+        network=network,
+        cache=None if args.no_cache else "default",
+        config=EngineConfig(
+            partitioner=args.partitioner,
+            splitter=args.splitter,
+            n_workers=args.workers,
+            dedup_subqueries=True,
+            cache=(
+                f"shared:{args.cache_dir}"
+                if args.cache_dir is not None
+                else None
+            ),
+            cache_ttl_s=args.cache_ttl_s,
+        ),
+    )
+    server_config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        window_s=args.window_ms / 1000.0,
+        max_batch=args.max_batch,
+        max_inflight=args.max_inflight,
+        executor_workers=args.serve_workers,
+    )
+
+    def _announce(server) -> None:
+        print(
+            f"serving {args.world} on http://{args.host}:{server.port} "
+            f"(window {args.window_ms:g} ms, max_batch {args.max_batch}, "
+            f"max_inflight {args.max_inflight}); Ctrl-C to stop",
+            flush=True,
+        )
+
+    # Bind failures (port in use, bad host) raise ServerError — a
+    # ReproError — so main() prints one `error: ...` line and exits 1.
+    run_server(db, server_config, on_started=_announce)
+    print("server stopped (drained)")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code.
 
@@ -582,6 +710,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "query": _cmd_query,
         "index": _cmd_index,
         "batch": _cmd_batch,
+        "serve": _cmd_serve,
     }
     try:
         return handlers[args.command](args)

@@ -111,6 +111,34 @@ class EstimatorError(ReproError):
     """Raised when a cardinality estimator is misconfigured."""
 
 
+class ServerError(ReproError):
+    """Raised for HTTP serving-tier failures: a listen address that
+    cannot be bound, malformed inbound HTTP, or a request arriving
+    while the server is shutting down.
+
+    A :class:`ReproError`, so the CLI contract applies: ``repro serve``
+    on a port that is already in use prints one ``error: ...`` line and
+    exits 1, like every other library error.
+    """
+
+
+class AdmissionError(ServerError):
+    """Raised when admission control rejects a request under load.
+
+    The serving tier bounds in-flight trips (the way ``stream`` bounds
+    its window); past the bound new work is rejected *fast* — HTTP 429
+    with a ``Retry-After`` hint — instead of queueing unboundedly.
+    ``retry_after_s`` carries the server's suggested backoff; the HTTP
+    client raises this same type on a 429 response.
+    """
+
+    def __init__(
+        self, message: str, retry_after_s: "float | None" = None
+    ) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
 class ReproDeprecationWarning(DeprecationWarning):
     """Category of every deprecation the repro library emits.
 

@@ -1,0 +1,30 @@
+"""Async HTTP serving tier: connection multiplexing onto dedup rounds.
+
+The subsystem behind ``repro serve``: an asyncio HTTP/1.1 server
+(:class:`TravelTimeServer`) in front of one :class:`~repro.api.db.TravelTimeDB`
+session, whose :class:`~repro.server.collector.RequestCollector` gathers
+trips arriving from *different connections* within a small collection
+window and executes each window as one ``query_many`` dedup round —
+so concurrent clients share sub-query scans the way an in-process batch
+does.  Admission control bounds in-flight trips (HTTP 429 +
+``Retry-After`` past the bound), graceful shutdown drains every
+admitted trip, and ``/stats`` surfaces dedup hit rate, queue depth, and
+latency percentiles.
+
+Stdlib only: ``asyncio`` streams on the server, ``http.client`` in
+:class:`ServingClient`.
+"""
+
+from .app import BackgroundServer, TravelTimeServer, run_server
+from .client import ServingClient
+from .config import ServerConfig
+from .stats import ServerStats
+
+__all__ = [
+    "BackgroundServer",
+    "ServerConfig",
+    "ServerStats",
+    "ServingClient",
+    "TravelTimeServer",
+    "run_server",
+]

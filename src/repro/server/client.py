@@ -1,0 +1,199 @@
+"""A stdlib HTTP client for the serving tier.
+
+:class:`ServingClient` speaks the same wire forms as the library API —
+:meth:`query` takes a :class:`~repro.api.TripRequest` and returns a
+:class:`TripQueryResult`, exactly like ``TravelTimeDB.query`` — so code
+can move between in-process and served execution by swapping the
+object.  Error bodies are mapped back onto the typed taxonomy: an HTTP
+400 raises :class:`RequestValidationError`, a 429 raises
+:class:`AdmissionError` (with the server's ``retry_after_s`` hint), and
+anything else the server names is resolved against :mod:`repro.errors`
+where possible.
+
+Built on :mod:`http.client` with a persistent keep-alive connection;
+one transparent reconnect is attempted when the pooled connection was
+closed between calls (idle timeout, server restart).  Not thread-safe —
+one client per thread, like a database cursor.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from types import TracebackType
+from typing import Any, Dict, List, Optional, Sequence, Type
+
+from .. import errors as _errors
+from ..api.request import TripRequest
+from ..core.engine import TripQueryResult
+from ..errors import AdmissionError, ReproError, ServerError
+
+__all__ = ["ServingClient"]
+
+
+def _error_from_body(status: int, payload: Any) -> ReproError:
+    """Rebuild the typed error a non-200 response describes."""
+    detail: Dict[str, Any] = {}
+    if isinstance(payload, dict) and isinstance(payload.get("error"), dict):
+        detail = payload["error"]
+    message = str(detail.get("message", f"HTTP {status}"))
+    type_name = str(detail.get("type", "ServerError"))
+    if status == 429 or type_name == "AdmissionError":
+        retry_after = detail.get("retry_after_s")
+        return AdmissionError(
+            message,
+            retry_after_s=(
+                float(retry_after) if retry_after is not None else None
+            ),
+        )
+    candidate = getattr(_errors, type_name, None)
+    if (
+        isinstance(candidate, type)
+        and issubclass(candidate, ReproError)
+        and candidate is not ReproError
+    ):
+        try:
+            return candidate(message)
+        except TypeError:  # constructor wants more than a message
+            pass
+    return ServerError(f"HTTP {status}: {message}")
+
+
+class ServingClient:
+    """A blocking client for one ``repro serve`` endpoint."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8374,
+        timeout: float = 30.0,
+    ) -> None:
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._connection: Optional[http.client.HTTPConnection] = None
+
+    # ------------------------------------------------------------------ #
+    # Transport
+    # ------------------------------------------------------------------ #
+
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self._host, self._port, timeout=self._timeout
+            )
+        return self._connection
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def _roundtrip(
+        self, method: str, path: str, body: Optional[bytes]
+    ) -> Any:
+        headers = {"Content-Type": "application/json"} if body else {}
+        try:
+            response = self._request_once(method, path, body, headers)
+        except (http.client.RemoteDisconnected, ConnectionError, BrokenPipeError):
+            # The kept-alive connection died between calls; one fresh
+            # connection retry (requests here are idempotent reads —
+            # queries are pure — so a blind retry is safe).
+            self.close()
+            response = self._request_once(method, path, body, headers)
+        status, raw = response
+        try:
+            payload = json.loads(raw) if raw else None
+        except ValueError as error:
+            raise ServerError(
+                f"server sent undecodable JSON for {path}: {error}"
+            ) from error
+        if status != 200:
+            raise _error_from_body(status, payload)
+        return payload
+
+    def _request_once(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes],
+        headers: Dict[str, str],
+    ) -> "tuple[int, bytes]":
+        connection = self._connect()
+        try:
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+        except Exception:
+            self.close()
+            raise
+        if response.getheader("Connection", "").lower() == "close":
+            self.close()
+        return response.status, raw
+
+    # ------------------------------------------------------------------ #
+    # API
+    # ------------------------------------------------------------------ #
+
+    def query(self, request: TripRequest) -> TripQueryResult:
+        """One trip, one histogram — ``TravelTimeDB.query`` over HTTP."""
+        payload = self._roundtrip(
+            "POST",
+            "/v1/query",
+            json.dumps(request.to_dict()).encode("utf-8"),
+        )
+        result = TripQueryResult.from_dict(payload)
+        result.request = request
+        return result
+
+    def query_batch(
+        self, requests: Sequence[TripRequest]
+    ) -> List[TripQueryResult]:
+        """A batch of trips through one request (and so one collection
+        window) — ``TravelTimeDB.query_many`` over HTTP."""
+        requests = list(requests)
+        if not requests:
+            return []
+        payload = self._roundtrip(
+            "POST",
+            "/v1/query_batch",
+            json.dumps(
+                {"requests": [request.to_dict() for request in requests]}
+            ).encode("utf-8"),
+        )
+        if not isinstance(payload, dict) or not isinstance(
+            payload.get("results"), list
+        ):
+            raise ServerError(
+                "malformed batch response: expected "
+                '{"results": [...]} from the server'
+            )
+        entries = payload["results"]
+        if len(entries) != len(requests):
+            raise ServerError(
+                f"batch response has {len(entries)} results for "
+                f"{len(requests)} requests"
+            )
+        results = []
+        for request, entry in zip(requests, entries):
+            result = TripQueryResult.from_dict(entry)
+            result.request = request
+            results.append(result)
+        return results
+
+    def healthz(self) -> Dict[str, Any]:
+        payload = self._roundtrip("GET", "/healthz", None)
+        return dict(payload) if isinstance(payload, dict) else {}
+
+    def stats(self) -> Dict[str, Any]:
+        payload = self._roundtrip("GET", "/stats", None)
+        return dict(payload) if isinstance(payload, dict) else {}
+
+    def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        self.close()

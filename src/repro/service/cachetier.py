@@ -48,6 +48,7 @@ import json
 import os
 import sqlite3
 import threading
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import (
@@ -235,6 +236,24 @@ class SharedCacheTier:
         Eviction can only force a recomputation, never change an
         answer, because every read that misses the store falls through
         to the index scan that produced the entry in the first place.
+    max_age_s:
+        Maximum age of stored rows in seconds (``None`` = no age
+        limit) — the long-running-server knob
+        (``EngineConfig.cache_ttl_s``).  Every row is stamped with its
+        write time; reads filter rows older than the limit (an expired
+        row is a miss, across every process sharing the file,
+        regardless of which handle wrote it), and expired rows are
+        garbage-collected lazily — on ``sync_epoch`` and amortised
+        during writes, at most every ``max_age_s / 4`` seconds per
+        handle.  Rows written by a pre-TTL build carry write time 0
+        and expire immediately once a TTL is configured.  Like the
+        store bound, expiry only ever forces a recomputation, never a
+        different answer; the bounded in-process L1 is deliberately
+        not age-filtered (its entries are keyed by everything that
+        shapes an answer, so serving them is always correct — the TTL
+        protects the *file*, which outlives the process).  Stamps
+        compare wall clocks across processes, so keep the limit well
+        above any plausible clock skew (minutes, not milliseconds).
 
     Reads check L1 first, then the store (deserialising and promoting
     into L1); writes go to both.  Values handed out are immutable —
@@ -249,6 +268,7 @@ class SharedCacheTier:
         identity: Optional[str] = None,
         max_entries: Optional[int] = 65_536,
         max_store_entries: Optional[int] = None,
+        max_age_s: Optional[float] = None,
     ) -> None:
         if (config is None) == (identity is None):
             raise ConfigurationError(
@@ -269,8 +289,18 @@ class SharedCacheTier:
             raise ConfigurationError(
                 "max_store_entries must be positive or None (unbounded)"
             )
+        if max_age_s is not None and not max_age_s > 0:
+            raise ConfigurationError(
+                "max_age_s must be positive or None (no age limit)"
+            )
         self._max_entries = max_entries
         self._max_store_entries = max_store_entries
+        self._max_age_s = None if max_age_s is None else float(max_age_s)
+        # Expired-row GC is amortised per handle: a DELETE scan per read
+        # would dominate warm traffic, so it runs on sync_epoch and at
+        # most every max_age_s / 4 seconds during writes.  Reads never
+        # depend on the GC having run — they filter on the stamp.
+        self._last_expiry_gc = 0.0
         # Single-insert bound checks are amortised: a COUNT(*) costs
         # O(store size), so it runs every ``bound // 64`` single puts
         # (exact for small bounds, ~1.5% amortised overshoot per
@@ -336,13 +366,52 @@ class SharedCacheTier:
             "  epoch INTEGER NOT NULL,"
             "  lineage TEXT NOT NULL,"
             "  payload TEXT NOT NULL,"
+            "  created_at REAL NOT NULL DEFAULT 0,"
             "  PRIMARY KEY (section, ident, key, epoch, lineage)"
             ")"
         )
+        # Stores written before the TTL column existed migrate in place;
+        # their rows default to write time 0, i.e. they expire the
+        # moment any handle configures a TTL (a recomputation, never a
+        # wrong answer).
+        columns = {
+            str(row[1])
+            for row in conn.execute("PRAGMA table_info(entries)")
+        }
+        if "created_at" not in columns:
+            conn.execute(
+                "ALTER TABLE entries ADD COLUMN "
+                "created_at REAL NOT NULL DEFAULT 0"
+            )
         conn.execute(
             "CREATE TABLE IF NOT EXISTS meta ("
             "  key TEXT PRIMARY KEY, value TEXT NOT NULL"
             ")"
+        )
+
+    def _age_cutoff(self) -> float:
+        """Oldest write stamp a read may serve (0.0 = no TTL: every
+        stamp passes, including migrated pre-TTL rows at 0)."""
+        if self._max_age_s is None:
+            return 0.0
+        return time.time() - self._max_age_s
+
+    def _expire_stale_locked(self, force: bool = False) -> None:
+        """Drop rows past ``max_age_s``; caller holds ``self._lock``.
+
+        Amortised unless ``force``: a full-table DELETE scan per write
+        would dominate warm traffic, and reads are already stamp-
+        filtered, so the GC only reclaims file space.
+        """
+        if self._max_age_s is None:
+            return
+        now = time.time()
+        if not force and now - self._last_expiry_gc < self._max_age_s / 4:
+            return
+        self._last_expiry_gc = now
+        self._connection().execute(
+            "DELETE FROM entries WHERE created_at < ?",
+            (now - self._max_age_s,),
         )
 
     def _store_get(self, section: str, key: str) -> Optional[str]:
@@ -351,9 +420,10 @@ class SharedCacheTier:
                 self._connection()
                 .execute(
                     "SELECT payload FROM entries WHERE section=? AND "
-                    "ident=? AND key=? AND epoch=? AND lineage=?",
+                    "ident=? AND key=? AND epoch=? AND lineage=? "
+                    "AND created_at>=?",
                     (section, self._ident_hash, key, self._epoch,
-                     self._lineage),
+                     self._lineage, self._age_cutoff()),
                 )
                 .fetchone()
             )
@@ -363,11 +433,12 @@ class SharedCacheTier:
         with self._lock:
             self._connection().execute(
                 "INSERT OR REPLACE INTO entries "
-                "(section, ident, key, epoch, lineage, payload) "
-                "VALUES (?,?,?,?,?,?)",
+                "(section, ident, key, epoch, lineage, payload, "
+                "created_at) VALUES (?,?,?,?,?,?,?)",
                 (section, self._ident_hash, key, self._epoch,
-                 self._lineage, payload),
+                 self._lineage, payload, time.time()),
             )
+            self._expire_stale_locked()
             self._puts_since_bound_check += 1
             if (
                 self._bound_check_interval
@@ -382,17 +453,19 @@ class SharedCacheTier:
         """Batched :meth:`_store_put` — one transaction, one bound check."""
         if not rows:
             return
+        now = time.time()
         with self._lock:
             self._connection().executemany(
                 "INSERT OR REPLACE INTO entries "
-                "(section, ident, key, epoch, lineage, payload) "
-                "VALUES (?,?,?,?,?,?)",
+                "(section, ident, key, epoch, lineage, payload, "
+                "created_at) VALUES (?,?,?,?,?,?,?)",
                 [
                     (section, self._ident_hash, key, self._epoch,
-                     self._lineage, payload)
+                     self._lineage, payload, now)
                     for key, payload in rows
                 ],
             )
+            self._expire_stale_locked()
             self._enforce_store_bound()
 
     def _store_get_many(
@@ -411,8 +484,9 @@ class SharedCacheTier:
                 rows = conn.execute(
                     f"SELECT key, payload FROM entries WHERE section=? "
                     f"AND ident=? AND epoch=? AND lineage=? "
-                    f"AND key IN ({marks})",
-                    [section, self._ident_hash, self._epoch, self._lineage]
+                    f"AND created_at>=? AND key IN ({marks})",
+                    [section, self._ident_hash, self._epoch, self._lineage,
+                     self._age_cutoff()]
                     + chunk,
                 ).fetchall()
                 for key, payload in rows:
@@ -562,6 +636,12 @@ class SharedCacheTier:
         lineage = _index_lineage(index)
         with self._bind_lock:
             if epoch == self._epoch and lineage == self._lineage:
+                # The common steady-state call (every trip): also the
+                # TTL's GC hook, amortised so warm traffic never pays a
+                # full-table scan per trip.
+                if self._max_age_s is not None:
+                    with self._lock:
+                        self._expire_stale_locked()
                 return
             for section in self._l1.values():
                 section.clear()
@@ -570,6 +650,7 @@ class SharedCacheTier:
                     "DELETE FROM entries WHERE epoch < ? AND lineage = ?",
                     (epoch, self._lineage),
                 )
+                self._expire_stale_locked(force=True)
                 self._enforce_store_bound()
             self._epoch = epoch
             self._lineage = lineage
@@ -589,6 +670,7 @@ class SharedCacheTier:
             identity=self._identity,
             max_entries=self._max_entries,
             max_store_entries=self._max_store_entries,
+            max_age_s=self._max_age_s,
         )
 
     def clear(self) -> None:
@@ -880,4 +962,5 @@ def resolve_cache_backend(
         config,
         max_entries=config.cache_entries,
         max_store_entries=config.cache_store_entries,
+        max_age_s=config.cache_ttl_s,
     )

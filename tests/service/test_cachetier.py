@@ -570,3 +570,156 @@ def test_store_bound_validation_and_config_wiring(world, tmp_path):
     # Serving plumbing: the store bound never shapes answers, so it is
     # excluded from the cross-process cache identity.
     assert config.cache_identity() == EngineConfig().cache_identity()
+
+
+# --------------------------------------------------------------------- #
+# TTL: max_age_s / EngineConfig.cache_ttl_s (time-bounded entries)
+# --------------------------------------------------------------------- #
+
+
+def _backdate(tier, seconds):
+    """Age every store row by ``seconds`` (simulated wall-clock)."""
+    tier._connection().execute(
+        "UPDATE entries SET created_at = created_at - ?", (float(seconds),)
+    )
+
+
+class TestSharedTierTTL:
+    def test_ttl_validation_and_config_wiring(self, world, tmp_path):
+        dataset, index, _ = world
+        with pytest.raises(ConfigurationError, match="max_age_s"):
+            SharedCacheTier(
+                tmp_path / "t1", config=EngineConfig(), max_age_s=0
+            )
+        with pytest.raises(ConfigurationError, match="cache_ttl_s"):
+            EngineConfig(cache_ttl_s=-5)
+        config = EngineConfig(
+            cache=f"shared:{tmp_path / 't2'}", cache_ttl_s=60.0
+        )
+        backend = resolve_cache_backend(config, index)
+        assert isinstance(backend, SharedCacheTier)
+        assert backend._max_age_s == 60.0
+        # Expiry only ever forces recomputation, never a different
+        # answer, so the TTL is excluded from the cache identity.
+        assert config.cache_identity() == EngineConfig().cache_identity()
+
+    def test_worker_spawn_inherits_ttl(self, tmp_path):
+        tier = SharedCacheTier(
+            tmp_path / "tier", config=EngineConfig(), max_age_s=30.0
+        )
+        assert tier.spawn_for_worker()._max_age_s == 30.0
+
+    def test_stale_entries_are_misses_for_fresh_handles(self, tmp_path):
+        """Reads are stamp-filtered: an expired row is a miss in every
+        process, whether or not GC has reclaimed it yet."""
+        directory = tmp_path / "tier"
+        writer = SharedCacheTier(
+            directory, config=EngineConfig(), max_age_s=60.0
+        )
+        writer.put_ranges((1, 2), [(0, 1, 2)])
+
+        def fresh(**kwargs):
+            return SharedCacheTier(
+                directory, config=EngineConfig(), **kwargs
+            )
+
+        # Within the TTL a second handle serves it through the store.
+        assert fresh(max_age_s=60.0).get_ranges((1, 2)) == [(0, 1, 2)]
+        _backdate(writer, 3600)
+        assert fresh(max_age_s=60.0).get_ranges((1, 2)) is None
+        # TTL is per-handle opt-in: a handle without one still serves
+        # the old row (age never changes correctness, only freshness).
+        assert fresh().get_ranges((1, 2)) == [(0, 1, 2)]
+
+    def test_write_side_gc_reclaims_stale_rows(self, tmp_path):
+        tier = SharedCacheTier(
+            tmp_path / "tier", config=EngineConfig(), max_age_s=10.0
+        )
+        for i in range(4):
+            tier.put_ranges((i, i + 1), [(0, i, i + 1)])
+        _backdate(tier, 3600)
+
+        def n_rows():
+            return tier._connection().execute(
+                "SELECT COUNT(*) FROM entries"
+            ).fetchone()[0]
+
+        assert n_rows() == 4
+        tier._last_expiry_gc = 0.0  # defeat amortisation: GC must fire
+        tier.put_ranges((9, 10), [(0, 0, 1)])
+        assert n_rows() == 1  # only the fresh write survives
+
+    def test_sync_epoch_steady_state_runs_amortised_expiry(
+        self, world, tmp_path
+    ):
+        dataset, index, _ = world
+        tier = SharedCacheTier(
+            tmp_path / "tier", config=EngineConfig(), max_age_s=10.0
+        )
+        tier.sync_epoch(index)
+        tier.put_ranges((1, 2), [(0, 1, 2)])
+        _backdate(tier, 3600)
+        tier._last_expiry_gc = 0.0
+        # Epoch unchanged — the per-trip steady-state path — still
+        # reclaims stale rows (amortised).
+        tier.sync_epoch(index)
+        assert tier._connection().execute(
+            "SELECT COUNT(*) FROM entries"
+        ).fetchone()[0] == 0
+
+    def test_pre_ttl_store_migrates_in_place(self, tmp_path):
+        """A store written before the created_at column existed gains it
+        on open; its rows stamp 0 and expire once a TTL is configured."""
+        import sqlite3
+
+        directory = tmp_path / "tier"
+        directory.mkdir()
+        legacy = sqlite3.connect(str(directory / "subquery_cache.sqlite"))
+        legacy.execute(
+            "CREATE TABLE entries ("
+            "  section TEXT NOT NULL,"
+            "  ident TEXT NOT NULL,"
+            "  key TEXT NOT NULL,"
+            "  epoch INTEGER NOT NULL,"
+            "  lineage TEXT NOT NULL,"
+            "  payload TEXT NOT NULL,"
+            "  PRIMARY KEY (section, ident, key, epoch, lineage)"
+            ")"
+        )
+        legacy.commit()
+        legacy.close()
+        tier = SharedCacheTier(
+            directory, config=EngineConfig(), max_age_s=60.0
+        )
+        columns = {
+            row[1]
+            for row in tier._connection().execute(
+                "PRAGMA table_info(entries)"
+            )
+        }
+        assert "created_at" in columns
+        # New writes are stamped and served normally.
+        tier.put_ranges((1, 2), [(0, 1, 2)])
+        assert tier.get_ranges((1, 2)) == [(0, 1, 2)]
+
+    def test_expired_entries_recompute_identically(self, world, tmp_path):
+        """End to end: after expiry a fresh session recomputes — answers
+        stay bit-identical to the uncached baseline, hits drop to zero."""
+        dataset, index, trips = world
+        requests = requests_for(trips, 3)
+        baseline = TravelTimeDB(
+            index, dataset.network,
+            config=EngineConfig(cache_enabled=False),
+        ).query_many(requests)
+        spec = EngineConfig(
+            cache=f"shared:{tmp_path / 'tier'}", cache_ttl_s=3600.0
+        )
+        db_warm = TravelTimeDB(index, dataset.network, config=spec)
+        db_warm.query_many(requests)
+        _backdate(db_warm.engine.cache, 7200)
+        db_cold = TravelTimeDB(index, dataset.network, config=spec)
+        results = db_cold.query_many(requests)
+        tier = db_cold.engine.cache
+        assert sum(tier.tier_stats().shared_hits.values()) == 0
+        for expected, actual in zip(baseline, results):
+            assert_bit_identical(expected, actual)

@@ -405,6 +405,61 @@ class TestParser:
                   "--partitioner", "pi_fancy"])
 
 
+class TestServe:
+    def test_bind_failure_exits_1_with_one_line(self, world_dir, capsys):
+        """A port already in use is a ReproError exit, not a traceback."""
+        import socket
+
+        blocker = socket.socket()
+        try:
+            blocker.bind(("127.0.0.1", 0))
+            busy_port = blocker.getsockname()[1]
+            code = main(
+                ["serve", "--world", str(world_dir),
+                 "--port", str(busy_port)]
+            )
+        finally:
+            blocker.close()
+        assert code == 1
+        err = capsys.readouterr().err
+        lines = err.strip().splitlines()
+        assert len(lines) == 1
+        assert lines[0].startswith("error: cannot bind 127.0.0.1:")
+
+    def test_cache_ttl_requires_cache_dir(self, world_dir):
+        with pytest.raises(SystemExit):
+            main(["serve", "--world", str(world_dir),
+                  "--cache-ttl-s", "60"])
+
+    def test_serve_wires_flags_into_configs(self, world_dir, monkeypatch):
+        """The serve command translates CLI flags into ServerConfig and
+        the session's EngineConfig (without actually binding)."""
+        from repro import cli
+
+        captured = {}
+
+        def fake_run_server(db, config, on_started=None):
+            captured["db"] = db
+            captured["config"] = config
+
+        monkeypatch.setattr(cli, "run_server", fake_run_server, raising=False)
+        import repro.server
+
+        monkeypatch.setattr(repro.server, "run_server", fake_run_server)
+        code = main(
+            ["serve", "--world", str(world_dir), "--port", "0",
+             "--window-ms", "12", "--max-batch", "8",
+             "--max-inflight", "32", "--serve-workers", "3"]
+        )
+        assert code == 0
+        config = captured["config"]
+        assert config.window_s == pytest.approx(0.012)
+        assert config.max_batch == 8
+        assert config.max_inflight == 32
+        assert config.executor_workers == 3
+        assert captured["db"].config.dedup_subqueries is True
+
+
 def _all_repro_error_types():
     """Every concrete ReproError subclass the library defines."""
     import inspect
