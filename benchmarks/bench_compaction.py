@@ -1,0 +1,216 @@
+"""Compaction benchmark: merged shards cut fan-out, answers unchanged.
+
+Every ``append()``/``seal_staging()`` cycle adds one sealed shard, and a
+periodic (time-of-day) predicate can never prune by shard time-slice —
+so on a long-lived appendable index every such dispatch fans out across
+*all* sealed shards.  Compaction merges runs of adjacent sealed shards
+back together; this file pins the claims that make it worth running:
+
+* On a deliberately fragmented index (>= 8 append/seal cycles on top of
+  the base build), ``compact()`` strictly reduces the sealed-shard
+  count and the measured per-query shard fan-out.
+* Warm throughput does not regress: post-compaction QPS over the same
+  periodic workload must be at least ``REPRO_BENCH_COMPACT_QPS``
+  (default ``0.9``) times the fragmented layout's — in practice it
+  improves, since k merged shards cost one binary search + one scan
+  where the fragmented layout paid k of each.
+* Answers are bit-identical before and after (spot-checked here; the
+  exhaustive proof is the sharded-equivalence + compaction test suites).
+
+Results are also written as JSON to ``REPRO_BENCH_JSON`` (when set) so
+CI can archive the numbers as an artifact.
+
+Environment knobs (see ``conftest.py`` for the shared ones):
+
+* ``REPRO_BENCH_COMPACT_QPS``    — minimum post/pre warm-QPS ratio
+  (default ``0.9``).
+* ``REPRO_BENCH_COMPACT_CYCLES`` — append/seal cycles fragmenting the
+  index (default ``8``).
+* ``REPRO_BENCH_JSON``           — path for the JSON results artifact.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro import (
+    PeriodicInterval,
+    ShardedSNTIndex,
+    StrictPathQuery,
+    TrajectorySet,
+    generate_dataset,
+    open_db,
+)
+from repro.config import SECONDS_PER_DAY
+
+from .conftest import bench_scale, bench_queries
+
+
+def qps_bar() -> float:
+    return float(os.environ.get("REPRO_BENCH_COMPACT_QPS", "0.9"))
+
+
+def fragment_cycles() -> int:
+    return int(os.environ.get("REPRO_BENCH_COMPACT_CYCLES", "8"))
+
+
+def _write_artifact(payload: dict) -> None:
+    target = os.environ.get("REPRO_BENCH_JSON")
+    if not target:
+        return
+    existing = {}
+    if os.path.exists(target):
+        with open(target) as handle:
+            existing = json.load(handle)
+    existing.update(payload)
+    with open(target, "w") as handle:
+        json.dump(existing, handle, indent=2)
+
+
+@pytest.fixture(scope="module")
+def fragmented():
+    """A sharded index fragmented by >= 8 append/seal cycles, plus the
+    dataset and an unprunable (periodic) query workload."""
+    cycles = fragment_cycles()
+    dataset = generate_dataset(bench_scale(), seed=0)
+    trajectories = list(dataset.trajectories)
+    t_min = min(tr.start_time for tr in trajectories)
+    t_max = max(tr.start_time for tr in trajectories)
+    span_days = max(1, (t_max - t_min) // SECONDS_PER_DAY)
+    # Pick the partition window so the corpus spans enough buckets for
+    # the base build *and* the requested append/seal cycles.
+    partition_days = max(1, int(span_days // (cycles + 2)))
+    window = partition_days * SECONDS_PER_DAY
+
+    buckets = sorted({(tr.start_time - t_min) // window
+                      for tr in trajectories})
+    assert len(buckets) >= cycles + 1, (
+        f"corpus spans {len(buckets)} buckets; need {cycles + 1} "
+        "(raise the scale or lower REPRO_BENCH_COMPACT_CYCLES)"
+    )
+    tail_buckets = buckets[-cycles:]
+    cut = tail_buckets[0]
+    base = [tr for tr in trajectories
+            if (tr.start_time - t_min) // window < cut]
+    tails = [
+        TrajectorySet(
+            [tr for tr in trajectories
+             if (tr.start_time - t_min) // window == bucket]
+        )
+        for bucket in tail_buckets
+    ]
+
+    index = ShardedSNTIndex.build(
+        TrajectorySet(base),
+        dataset.network.alphabet_size,
+        n_shards=2,
+        partition_days=partition_days,
+    )
+    n_cycles = 0
+    for tail in tails:
+        if not len(tail):
+            continue
+        index.append(tail)
+        index.seal_staging()
+        n_cycles += 1
+    assert n_cycles >= cycles
+
+    eligible = [tr for tr in base if len(tr) >= 4]
+    rng = np.random.default_rng(7)
+    chosen = rng.choice(
+        len(eligible),
+        size=min(bench_queries(), len(eligible)),
+        replace=False,
+    )
+    queries = [
+        StrictPathQuery(
+            path=eligible[int(i)].path[:4],
+            # Periodic predicates cannot prune by shard time-slice:
+            # every dispatch pays the full fan-out — the workload
+            # compaction exists to fix.
+            interval=PeriodicInterval.around(
+                eligible[int(i)].start_time, 900
+            ),
+        )
+        for i in chosen
+    ]
+    return dataset, index, queries, n_cycles
+
+
+def _measure(index, dataset, queries, rounds=3):
+    """Warm QPS and per-query shard fan-out over ``queries``."""
+    from repro.api import TripRequest
+
+    requests = [TripRequest.from_spq(query) for query in queries]
+    # No cross-query cache: every round must pay the real scan path,
+    # otherwise the second round measures the cache, not the layout.
+    db = open_db(index, network=dataset.network, cache=None)
+    results = db.query_many(requests)  # warm mmaps / lazy structures
+
+    index.router.drain()
+    started = time.perf_counter()
+    for _ in range(rounds):
+        db.query_many(requests)
+    elapsed = time.perf_counter() - started
+    stats = index.router.drain()
+
+    fan_out = (
+        stats.n_shard_scans / stats.n_dispatches
+        if stats.n_dispatches
+        else 0.0
+    )
+    qps = (rounds * len(requests)) / elapsed if elapsed else float("inf")
+    return results, qps, fan_out
+
+
+def test_compaction_cuts_fanout_and_keeps_qps(fragmented):
+    dataset, index, queries, n_cycles = fragmented
+
+    sealed_before = len(index._sealed)
+    results_before, qps_before, fanout_before = _measure(
+        index, dataset, queries
+    )
+    assert fanout_before > 1.0  # fragmentation really fans out
+
+    report = index.compact()
+    assert report.did_compact
+    sealed_after = len(index._sealed)
+
+    results_after, qps_after, fanout_after = _measure(
+        index, dataset, queries
+    )
+
+    payload = {
+        "compaction": {
+            "scale": bench_scale(),
+            "n_queries": len(queries),
+            "append_seal_cycles": n_cycles,
+            "sealed_shards_before": sealed_before,
+            "sealed_shards_after": sealed_after,
+            "fanout_before": round(fanout_before, 3),
+            "fanout_after": round(fanout_after, 3),
+            "warm_qps_before": round(qps_before, 1),
+            "warm_qps_after": round(qps_after, 1),
+            "qps_ratio": round(qps_after / qps_before, 3),
+            "qps_bar": qps_bar(),
+        }
+    }
+    _write_artifact(payload)
+    print(f"\ncompaction: {json.dumps(payload['compaction'], indent=2)}")
+
+    # Answers are bit-identical across the merge.
+    for before, after in zip(results_before, results_after):
+        assert before.histogram == after.histogram
+        assert before.estimated_mean == after.estimated_mean
+
+    # The tentpole claims: strictly fewer sealed shards, strictly lower
+    # per-query fan-out, and no meaningful warm-throughput regression.
+    assert sealed_after < sealed_before
+    assert fanout_after < fanout_before
+    assert qps_after >= qps_bar() * qps_before, (
+        f"post-compaction QPS {qps_after:.1f} fell below "
+        f"{qps_bar()} x pre-compaction {qps_before:.1f}"
+    )

@@ -2,15 +2,18 @@
 # Strict type checking, scoped to the typed API surface (ISSUE 3) plus
 # the cache-tier backend layer (ISSUE 4), the staged query pipeline
 # (ISSUE 5), the succinct rank bitvector (ISSUE 6), and the vectorized
-# scan/probe stage (ISSUE 7), and the HTTP serving tier (ISSUE 8):
+# scan/probe stage (ISSUE 7), the HTTP serving tier (ISSUE 8), and
+# the shard lifecycle layer (ISSUE 9):
 # src/repro/api (TripRequest / EngineConfig / TravelTimeDB), the error
 # hierarchy, service/cachetier.py (CacheBackend / SharedCacheTier),
 # core/plan.py + core/exec.py (the planner, the trip machine, and the
 # deduplicating batch executor), fmindex/bitvector.py (the word-packed
 # rank directory under every wavelet tree), sntindex/procedures.py (the
 # retrieval procedures and their grouped forms), temporal/forest.py
-# (the per-edge temporal trees and sort permutations), and src/repro/
-# server (ServerConfig / collector / HTTP framing / client).  These
+# (the per-edge temporal trees and sort permutations), src/repro/
+# server (ServerConfig / collector / HTTP framing / client), and
+# sntindex/store.py + sntindex/compaction.py (the ShardStore protocol,
+# its local/object backends, and the sealed-shard compactor).  These
 # call into the not-yet-annotated
 # core/service/sntindex modules, so untyped *calls* are allowed and
 # imports are followed silently; everything the checked files
@@ -30,4 +33,5 @@ exec python -m mypy --strict \
   src/repro/core/plan.py src/repro/core/exec.py \
   src/repro/fmindex/bitvector.py \
   src/repro/sntindex/procedures.py src/repro/temporal/forest.py \
+  src/repro/sntindex/store.py src/repro/sntindex/compaction.py \
   src/repro/server

@@ -95,6 +95,13 @@ class EngineConfig:
         excluded from :meth:`cache_identity`.  Ignored by the
         in-process backends (their ``cache_entries`` LRU bound already
         caps memory).
+    store:
+        Optional index location — a directory path or shard-store URI
+        (``file:...``, ``object://...``; see
+        :mod:`repro.sntindex.store`) that :func:`repro.open_db` falls
+        back to when no explicit ``path_or_index`` is given.  Where the
+        index lives never changes what a query returns, so this is
+        serving plumbing and excluded from :meth:`cache_identity`.
     cache_ttl_s:
         Maximum age in seconds of entries in the cross-process shared
         tier's store (``None`` = no age limit).  Rows older than this
@@ -127,6 +134,7 @@ class EngineConfig:
     cache: Optional[str] = None
     cache_store_entries: Optional[int] = None
     cache_ttl_s: Optional[float] = None
+    store: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.partitioner not in PARTITIONER_NAMES:
@@ -197,6 +205,13 @@ class EngineConfig:
                     f"None (no age limit); got {self.cache_ttl_s!r}"
                 )
             object.__setattr__(self, "cache_ttl_s", ttl)
+        if self.store is not None and (
+            not isinstance(self.store, str) or not self.store
+        ):
+            raise ConfigurationError(
+                "store must be None, a directory path, or a store URI "
+                f"(file:..., object://...); got {self.store!r}"
+            )
         if self.cache is not None:
             if not isinstance(self.cache, str):
                 raise ConfigurationError(

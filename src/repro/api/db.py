@@ -354,7 +354,7 @@ class TravelTimeDB:
 
 
 def open_db(
-    path_or_index: Union[PathSource, IndexReader],
+    path_or_index: Union[PathSource, IndexReader, None] = None,
     network: Union[RoadNetwork, PathSource, None] = None,
     config: Optional[EngineConfig] = None,
     cache: Union[CacheBackend, None, str] = "default",
@@ -365,8 +365,12 @@ def open_db(
     ----------
     path_or_index:
         A saved index directory (monolithic ``meta.json`` layout or
-        sharded ``manifest.json`` layout, auto-detected) or an in-memory
-        :class:`IndexReader`.
+        sharded ``manifest.json`` layout, auto-detected), a shard-store
+        URI (``file:...`` or ``object://...``, see
+        :mod:`repro.sntindex.store`), or an in-memory
+        :class:`IndexReader`.  ``None`` falls back to
+        ``config.store``; omitting both is a
+        :class:`ConfigurationError`.
     network:
         The road network the index was built over — a
         :class:`RoadNetwork` or a path to its ``network.json``.  When a
@@ -383,6 +387,16 @@ def open_db(
         (:class:`SubQueryCache` /
         :class:`~repro.service.cachetier.SharedCacheTier`) directly.
     """
+    if path_or_index is None:
+        # The config can carry the index location (EngineConfig.store)
+        # so deployments name it once; an explicit argument wins.
+        if config is None or config.store is None:
+            raise ConfigurationError(
+                "open_db needs an index: pass path_or_index (a "
+                "directory, store URI, or IndexReader) or set "
+                "EngineConfig.store"
+            )
+        path_or_index = config.store
     if network is None:
         # Fail before load_any_index touches disk: unpickling a large
         # sharded index only to reject the session would waste minutes.
@@ -398,10 +412,13 @@ def open_db(
 
     index: IndexReader
     if isinstance(path_or_index, (str, PathLike)):
+        # Pass strings through untouched: a store URI such as
+        # ``object://...`` must reach as_store() un-mangled (Path()
+        # collapses the double slash).
         index = cast(
             IndexReader,
             load_any_index(
-                Path(path_or_index),
+                path_or_index,
                 expected_alphabet_size=getattr(
                     loaded_network, "alphabet_size", None
                 ),

@@ -21,6 +21,18 @@ Commands
     Serve a stored world over HTTP: concurrent connections are
     multiplexed onto shared dedup rounds (``POST /v1/query``,
     ``POST /v1/query_batch``, ``GET /healthz``, ``GET /stats``).
+``compact``
+    Merge runs of small adjacent sealed shards of a saved sharded
+    index in place (atomic manifest swap, epoch/lineage bump) —
+    answers stay bit-identical, per-query shard fan-out drops.
+``migrate``
+    Upgrade a pre-v2 saved index directory (monolithic or sharded) to
+    the current on-disk format, in place.
+
+``query``/``batch``/``serve`` accept the saved index as ``--index DIR``
+or ``--store URI`` (``file:...`` or ``object://...`` — see
+:mod:`repro.sntindex.store`); ``compact``/``migrate`` take the
+directory or URI directly.
 
 Example
 -------
@@ -56,8 +68,11 @@ from .network.io import (
     save_network,
     save_trajectories,
 )
+from .sntindex.compaction import CompactionPolicy, compact_index_dir
 from .sntindex.index import SNTIndex
+from .sntindex.migrate import migrate_index_dir
 from .sntindex.sharded import ShardedSNTIndex, load_any_index, read_any_meta
+from .sntindex.store import is_store_uri
 from .trajectories.generator import generate_dataset
 
 __all__ = ["main", "build_parser"]
@@ -81,6 +96,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
+    def _add_index_source(subparser) -> None:
+        group = subparser.add_mutually_exclusive_group()
+        group.add_argument(
+            "--index",
+            default=None,
+            help="saved index directory (skips the in-process build)",
+        )
+        group.add_argument(
+            "--store",
+            default=None,
+            help="saved index as a shard-store URI (file:... or "
+            "object://...; skips the in-process build)",
+        )
+
     generate = commands.add_parser(
         "generate", help="generate a synthetic world and store it"
     )
@@ -95,11 +124,7 @@ def build_parser() -> argparse.ArgumentParser:
         "query", help="answer one strict path query over a stored world"
     )
     query.add_argument("--world", required=True)
-    query.add_argument(
-        "--index",
-        default=None,
-        help="saved index directory (skips the in-process build)",
-    )
+    _add_index_source(query)
     query.add_argument(
         "--path",
         required=True,
@@ -130,7 +155,11 @@ def build_parser() -> argparse.ArgumentParser:
         "index", help="build the SNT-index over a stored world and save it"
     )
     index.add_argument("--world", required=True)
-    index.add_argument("--out", required=True, help="output directory")
+    index.add_argument(
+        "--out",
+        required=True,
+        help="output directory or store URI (file:... / object://...)",
+    )
     index.add_argument("--partition-days", type=int, default=None)
     index.add_argument("--kind", default="css", choices=("css", "btree"))
     index.add_argument(
@@ -152,11 +181,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="answer a batch of strict path queries via the service",
     )
     batch.add_argument("--world", required=True)
-    batch.add_argument(
-        "--index",
-        default=None,
-        help="saved index directory (skips the in-process build)",
-    )
+    _add_index_source(batch)
     source = batch.add_mutually_exclusive_group(required=True)
     source.add_argument(
         "--paths",
@@ -228,11 +253,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve a stored world over HTTP (shared dedup rounds)",
     )
     serve.add_argument("--world", required=True)
-    serve.add_argument(
-        "--index",
-        default=None,
-        help="saved index directory (skips the in-process build)",
-    )
+    _add_index_source(serve)
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument(
         "--port",
@@ -295,6 +316,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--splitter", default="regular", choices=("regular", "longest_prefix")
+    )
+
+    compact = commands.add_parser(
+        "compact",
+        help="merge runs of small adjacent sealed shards of a saved "
+        "sharded index in place (answers stay bit-identical)",
+    )
+    compact.add_argument(
+        "path",
+        help="saved sharded index: a directory or store URI",
+    )
+    compact.add_argument(
+        "--small-traversals",
+        type=int,
+        default=None,
+        help="only shards with at most this many traversals are merge "
+        "candidates (default: every sealed shard)",
+    )
+    compact.add_argument(
+        "--min-run",
+        type=int,
+        default=2,
+        help="minimum adjacent candidates worth merging (default: 2)",
+    )
+    compact.add_argument(
+        "--max-group",
+        type=int,
+        default=None,
+        help="cap on shards merged into one (default: unbounded)",
+    )
+
+    migrate = commands.add_parser(
+        "migrate",
+        help="upgrade a pre-v2 saved index directory to the current "
+        "on-disk format, in place",
+    )
+    migrate.add_argument(
+        "path",
+        help="saved index (monolithic or sharded): a directory or "
+        "store URI",
     )
     return parser
 
@@ -369,7 +430,8 @@ def _world_digest(world: str) -> str:
 
 
 def _obtain_index(args, network):
-    """Load the saved index when ``--index`` is given, else build one.
+    """Load the saved index (``--index`` dir or ``--store`` URI), else
+    build one in process.
 
     The on-disk layout (monolithic ``meta.json`` dir vs sharded
     ``manifest.json`` dir) is detected automatically; both carry a
@@ -380,24 +442,25 @@ def _obtain_index(args, network):
     fingerprint.  The network's alphabet size is checked against the
     manifest *before* any FM partition is unpickled.
     """
-    if getattr(args, "index", None) is not None:
-        _, meta = read_any_meta(args.index)
+    source = getattr(args, "store", None) or getattr(args, "index", None)
+    if source is not None:
+        _, meta = read_any_meta(source)
         recorded = (meta.get("extra") or {}).get(WORLD_DIGEST_KEY)
         if recorded is not None:
             if recorded != _world_digest(args.world):
                 raise SystemExit(
-                    f"saved index at {args.index} was built over a "
+                    f"saved index at {source} was built over a "
                     "different world (trajectory digest mismatch)"
                 )
             return load_any_index(
-                args.index,
+                source,
                 expected_alphabet_size=network.alphabet_size,
             )
         trajectories = load_trajectories(
             Path(args.world) / TRAJECTORY_FILE
         )
         index = load_any_index(
-            args.index, expected_alphabet_size=network.alphabet_size
+            source, expected_alphabet_size=network.alphabet_size
         )
         t_min, t_max = trajectories.time_span()
         if (
@@ -405,7 +468,7 @@ def _obtain_index(args, network):
             or (index.t_min, index.t_max) != (t_min, t_max)
         ):
             raise SystemExit(
-                f"saved index at {args.index} does not match this world "
+                f"saved index at {source} does not match this world "
                 f"(trajectories {index.build_stats.n_trajectories} vs "
                 f"{len(trajectories)}); was it built over a different "
                 "world?"
@@ -447,12 +510,15 @@ def _cmd_index(args) -> int:
     target = index.save(
         args.out, extra={WORLD_DIGEST_KEY: _world_digest(args.world)}
     )
+    # For a store URI, save() returns the localized cache path — echo
+    # the URI the user addressed, not where the bytes were staged.
+    shown = args.out if is_store_uri(str(args.out)) else target
     sizes = index.component_sizes()
     print(
         f"built index over {len(trajectories)} trajectories in "
         f"{index.build_stats.setup_seconds:.1f}s "
         f"({layout}{index.n_partitions} partition(s), kind={args.kind}) "
-        f"-> {target}"
+        f"-> {shown}"
     )
     print(f"component bytes: {sizes}")
     return 0
@@ -679,6 +745,47 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_compact(args) -> int:
+    policy = CompactionPolicy(
+        small_traversals=args.small_traversals,
+        min_run=args.min_run,
+        max_group=args.max_group,
+    )
+    report = compact_index_dir(args.path, policy)
+    if report.did_compact:
+        merged = ", ".join(
+            "+".join(group) for group in report.merged_groups
+        )
+        print(
+            f"compacted {args.path}: {report.n_sealed_before} -> "
+            f"{report.n_sealed_after} sealed shard(s) "
+            f"(merged {merged}; epoch {report.epoch})"
+        )
+    else:
+        print(
+            f"nothing to compact at {args.path}: "
+            f"{report.n_sealed_before} sealed shard(s), no run of "
+            f"{args.min_run}+ adjacent candidates"
+        )
+    return 0
+
+
+def _cmd_migrate(args) -> int:
+    report = migrate_index_dir(args.path)
+    if report.changed:
+        print(
+            f"migrated {args.path} ({report.layout}) from format "
+            f"version {report.from_version} to {report.to_version} "
+            f"({len(report.shard_dirs_migrated)} dir(s) rewritten)"
+        )
+    else:
+        print(
+            f"{args.path} ({report.layout}) is already at format "
+            f"version {report.to_version}; nothing to do"
+        )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code.
 
@@ -711,6 +818,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "index": _cmd_index,
         "batch": _cmd_batch,
         "serve": _cmd_serve,
+        "compact": _cmd_compact,
+        "migrate": _cmd_migrate,
     }
     try:
         return handlers[args.command](args)

@@ -73,6 +73,17 @@ class IndexFormatError(PersistenceError):
     """
 
 
+class StoreError(PersistenceError):
+    """Raised for shard-store backend failures: an unknown store URI
+    scheme, a malformed ``object://`` query string, a missing object,
+    or a remote namespace that refuses an install (overwrite guard).
+
+    A :class:`PersistenceError`: callers that already treat "the saved
+    index cannot be opened" as one condition keep working unchanged
+    when the index lives behind a remote store.
+    """
+
+
 class ShardError(IndexError_):
     """Raised for sharded-index misuse: invalid shard configuration,
     appends that violate the time-ordering contract, or a sharded

@@ -184,7 +184,12 @@ def _index_lineage(index: Any) -> str:
     """The mutation-lineage stamp of an index state.
 
     A mutated index carries an explicit ``epoch_token`` (set by
-    ``append()``, persisted in the sharded manifest).  Unmutated state
+    ``append()`` and ``compact()``, persisted in the sharded
+    manifest).  Compaction bumps the token even though answers are
+    bit-identical: per-shard artefacts such as ``per_shard_scans``
+    labels change with the topology, and a conservative drop of the
+    shared tier is cheaper than proving every cached row
+    merge-invariant.  Unmutated state
     has no token, so its lineage is derived from content scalars
     (corpus end time and build counts): two *builds over different
     data* — e.g. the CLI rebuilding in memory after the world's

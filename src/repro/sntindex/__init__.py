@@ -1,6 +1,12 @@
 """The adapted SNT-index: FM-index partitions + extended temporal forest."""
 
+from .compaction import (
+    CompactionPolicy,
+    CompactionReport,
+    compact_index_dir,
+)
 from .index import BuildStats, SNTIndex
+from .migrate import MigrationReport, migrate_index_dir
 from .partition import IndexPartition, build_partition
 from .persistence import FORMAT_VERSION, load_index, read_meta, save_index
 from .procedures import TravelTimeResult, count_matches, get_travel_times
@@ -15,6 +21,13 @@ from .sharded import (
     read_any_meta,
     read_sharded_meta,
     save_sharded_index,
+)
+from .store import (
+    LocalDirStore,
+    ObjectStore,
+    ShardStore,
+    as_store,
+    is_store_uri,
 )
 
 __all__ = [
@@ -40,4 +53,14 @@ __all__ = [
     "read_sharded_meta",
     "read_any_meta",
     "load_any_index",
+    "ShardStore",
+    "LocalDirStore",
+    "ObjectStore",
+    "as_store",
+    "is_store_uri",
+    "CompactionPolicy",
+    "CompactionReport",
+    "compact_index_dir",
+    "MigrationReport",
+    "migrate_index_dir",
 ]

@@ -1,0 +1,324 @@
+"""Compaction of sealed shards: merge runs of small adjacent shards.
+
+Every ``append()``/``seal_staging()`` cycle adds one sealed shard, so a
+long-lived appendable index accretes many small shards and every
+unprunable dispatch fans out across all of them (periodic time-of-day
+predicates cannot prune at all).  Compaction is the inverse of the
+sharded build's split: a run of *adjacent* sealed shards is replaced by
+one shard whose temporal partitions are the members' partitions
+concatenated in order.
+
+Why the merge is bit-identical
+------------------------------
+Shard boundaries coincide with temporal partition boundaries and every
+shard was built with the *global* window bounds, so the members' FM
+partitions are byte-for-byte the partitions the monolithic index would
+hold — the merge reuses them untouched, only renumbering the local
+partition ids.  The per-segment leaf columns are re-sorted stably by
+``t`` after concatenating the members in shard order: members are
+contiguous partition runs, and each member's columns are themselves the
+stable t-sort of its partition-major rows, so the concatenation's
+equal-``t`` rows sit in exactly the monolithic partition-major order
+and the stable re-sort reproduces the monolithic row order bit for bit
+(the same argument that makes the router's ``(t, shard)`` merge exact,
+applied at rest instead of per query).  Time-of-day histograms and the
+user container are unions of disjoint keys.  The existing
+sharded-equivalence suite is the proof harness: compacted layouts must
+answer every query bit-identically to the uncompacted and monolithic
+indexes.
+
+Cache lineage
+-------------
+A compaction that merges anything bumps the index epoch and mints a
+fresh ``epoch_token`` even though answers do not change — the PR-4
+shared cache tier keys on ``(epoch, lineage)``, so the bump guarantees
+no process ever serves an entry recorded against the pre-compaction
+shard layout.  A planned-but-empty compaction changes nothing and
+keeps warm caches valid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..errors import ShardError
+from ..histogram.tod import TimeOfDayHistogramStore
+from ..temporal.forest import TemporalForest
+from ..temporal.records import TraversalColumns
+from .index import BuildStats, SNTIndex
+
+__all__ = [
+    "CompactionPolicy",
+    "CompactionReport",
+    "plan_compaction",
+    "merge_shard_indexes",
+    "compact_index_dir",
+]
+
+
+@dataclass(frozen=True)
+class CompactionPolicy:
+    """Which sealed shards to merge, and how aggressively.
+
+    small_traversals:
+        A sealed shard is a merge candidate only if it holds at most
+        this many traversals; ``None`` (default) makes every sealed
+        shard a candidate — full compaction down to one shard per
+        ``max_group``.
+    min_run:
+        Minimum adjacent candidates to bother merging (>= 2: merging
+        one shard is a copy, not a compaction).
+    max_group:
+        Cap on shards merged into one (``None`` = unbounded).  Bounds
+        the working set of a single merge on huge indexes.
+    """
+
+    small_traversals: Optional[int] = None
+    min_run: int = 2
+    max_group: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.small_traversals is not None and self.small_traversals < 0:
+            raise ShardError(
+                f"small_traversals must be >= 0, got {self.small_traversals}"
+            )
+        if self.min_run < 2:
+            raise ShardError(f"min_run must be >= 2, got {self.min_run}")
+        if self.max_group is not None and self.max_group < self.min_run:
+            raise ShardError(
+                f"max_group ({self.max_group}) must be >= min_run "
+                f"({self.min_run})"
+            )
+
+
+@dataclass(frozen=True)
+class CompactionReport:
+    """What one :meth:`ShardedSNTIndex.compact` call did."""
+
+    #: Sealed shard count before / after (equal for a no-op).
+    n_sealed_before: int
+    n_sealed_after: int
+    #: Pre-compaction labels of each merged run, in shard order.
+    merged_groups: List[List[str]] = field(default_factory=list)
+    #: The index epoch after the call (bumped iff anything merged).
+    epoch: int = 0
+
+    @property
+    def did_compact(self) -> bool:
+        return self.n_sealed_after < self.n_sealed_before
+
+
+def plan_compaction(
+    sizes: Sequence[int], policy: CompactionPolicy
+) -> List[List[int]]:
+    """Positions of sealed shards to merge, grouped.
+
+    ``sizes`` are the sealed shards' traversal counts in shard order.
+    Maximal runs of adjacent candidates are chunked at ``max_group``;
+    chunks shorter than ``min_run`` (including a short trailing chunk)
+    are left alone.  Groups are disjoint, each ascending and contiguous.
+    """
+    candidates = [
+        policy.small_traversals is None or size <= policy.small_traversals
+        for size in sizes
+    ]
+    groups: List[List[int]] = []
+    run: List[int] = []
+
+    def close(run: List[int]) -> None:
+        cap = policy.max_group or len(run)
+        for start in range(0, len(run), cap):
+            chunk = run[start : start + cap]
+            if len(chunk) >= policy.min_run:
+                groups.append(chunk)
+
+    for position, eligible in enumerate(candidates):
+        if eligible:
+            run.append(position)
+        elif run:
+            close(run)
+            run = []
+    if run:
+        close(run)
+    return groups
+
+
+def _require_agreement(indexes: Sequence[SNTIndex]) -> None:
+    scalars = ("alphabet_size", "kind", "partition_days", "t_min",
+               "tod_bucket_s")
+    first = indexes[0]
+    for name in scalars:
+        values = {getattr(index, name) for index in indexes}
+        if len(values) > 1:
+            raise ShardError(
+                f"cannot merge shards that disagree on {name}: "
+                f"{sorted(map(repr, values))}"
+            )
+    if first.partition_days is None:
+        raise ShardError(
+            "cannot merge FULL (unpartitioned) indexes — shard merging "
+            "concatenates temporal partitions"
+        )
+
+
+def merge_shard_indexes(indexes: Sequence[SNTIndex]) -> SNTIndex:
+    """Concatenate adjacent shards' aligned partitions into one shard.
+
+    ``indexes`` must be adjacent shards of one sharded index, in shard
+    (= temporal) order.  The result is exactly the shard a sharded
+    build would have produced for the union of their time slices — FM
+    partitions reused byte-for-byte with local ids renumbered, leaf
+    columns re-sorted stably per segment, histogram and user containers
+    unioned.  See the module docstring for the bit-identity argument.
+    """
+    if not indexes:
+        raise ShardError("cannot merge zero shards")
+    if len(indexes) == 1:
+        return indexes[0]
+    _require_agreement(indexes)
+    first = indexes[0]
+
+    # Partition id offsets: member k's local partition w becomes
+    # w + offsets[k], reproducing the global enumeration's order.
+    offsets = [0]
+    for index in indexes:
+        offsets.append(offsets[-1] + index.n_partitions)
+
+    partitions = []
+    for index, offset in zip(indexes, offsets):
+        for partition in index.partitions:
+            partitions.append(replace(partition, w=partition.w + offset))
+
+    # Per-segment leaf columns: concatenate members in shard order with
+    # partition ids shifted; TraversalColumns.from_arrays re-sorts
+    # stably by t, reproducing the monolithic row order.
+    per_edge: Dict[int, TraversalColumns] = {}
+    edges = sorted(
+        {int(edge) for index in indexes for edge in index.forest.edges()}
+    )
+    for edge in edges:
+        chunks: Dict[str, List[np.ndarray]] = {
+            name: [] for name in ("t", "isa", "d", "tt", "a", "seq", "w")
+        }
+        for index, offset in zip(indexes, offsets):
+            phi = index.forest.get(edge)
+            if phi is None:
+                continue
+            columns = phi.columns
+            for name in ("t", "isa", "d", "tt", "a", "seq"):
+                chunks[name].append(getattr(columns, name))
+            chunks["w"].append(
+                np.asarray(columns.w, dtype=np.int64) + offset
+            )
+        per_edge[edge] = TraversalColumns.from_arrays(
+            t=np.concatenate(chunks["t"]),
+            isa=np.concatenate(chunks["isa"]),
+            d=np.concatenate(chunks["d"]),
+            tt=np.concatenate(chunks["tt"]),
+            a=np.concatenate(chunks["a"]),
+            seq=np.concatenate(chunks["seq"]),
+            w=np.concatenate(chunks["w"]),
+        )
+    forest = TemporalForest.build(per_edge, kind=first.kind)
+
+    # Time-of-day histograms: (edge, partition) keys are disjoint
+    # across members once partition ids are shifted.
+    key_chunks: List[np.ndarray] = []
+    count_chunks: List[np.ndarray] = []
+    for index, offset in zip(indexes, offsets):
+        keys, counts = index.tod_store.as_arrays()
+        if keys.size:
+            shifted = np.array(keys, dtype=np.int64, copy=True)
+            shifted[:, 1] += offset
+            key_chunks.append(shifted)
+            count_chunks.append(np.asarray(counts))
+    if key_chunks:
+        tod_store = TimeOfDayHistogramStore.from_arrays(
+            first.tod_bucket_s,
+            np.concatenate(key_chunks, axis=0),
+            np.concatenate(count_chunks, axis=0),
+        )
+    else:
+        tod_store = TimeOfDayHistogramStore(
+            bucket_width_s=first.tod_bucket_s
+        )
+
+    # User container U: dense over the union id space, -1 = gap.  Ids
+    # are disjoint across shards (append() enforces it), so overlaying
+    # non-gap entries is a union.
+    user_space = max(int(index.users.size) for index in indexes)
+    users = np.full(user_space, -1, dtype=np.int64)
+    for index in indexes:
+        shard_users = np.asarray(index.users)
+        mask = shard_users >= 0
+        users[: shard_users.size][mask] = shard_users[mask]
+
+    stats = BuildStats(
+        setup_seconds=sum(
+            index.build_stats.setup_seconds for index in indexes
+        ),
+        n_partitions=offsets[-1],
+        n_trajectories=sum(
+            index.build_stats.n_trajectories for index in indexes
+        ),
+        n_traversals=sum(
+            index.build_stats.n_traversals for index in indexes
+        ),
+    )
+    bounds = [index.data_time_bounds() for index in indexes]
+    merged = SNTIndex(
+        partitions=partitions,
+        forest=forest,
+        users=users,
+        tod_store=tod_store,
+        t_min=first.t_min,
+        t_max=max(index.t_max for index in indexes),
+        alphabet_size=first.alphabet_size,
+        kind=first.kind,
+        partition_days=first.partition_days,
+        build_stats=stats,
+        tod_bucket_s=first.tod_bucket_s,
+        data_bounds=(
+            min(lo for lo, _ in bounds),
+            max(hi for _, hi in bounds),
+        ),
+    )
+    return merged
+
+
+def compact_index_dir(
+    source: Union[str, Path, Any],
+    policy: Optional[CompactionPolicy] = None,
+) -> CompactionReport:
+    """Compact a saved sharded index where it lives.
+
+    ``source`` is a directory, store URI, or store holding a sharded
+    index.  Loads it, merges per ``policy``, and — when anything merged
+    — atomically re-installs the tree through the store with the
+    manifest's ``extra`` provenance (the CLI's world digest) preserved
+    and the epoch/lineage bump persisted.  A no-op plan writes nothing.
+    """
+    from .sharded import (
+        load_sharded_index,
+        read_any_meta,
+        save_sharded_index,
+    )
+    from .store import as_store
+
+    store = as_store(source)
+    layout, manifest = read_any_meta(store)
+    if layout != "sharded":
+        raise ShardError(
+            f"{store.uri} holds a monolithic index; compaction applies "
+            "to sharded indexes (a monolithic index is already one "
+            "shard)"
+        )
+    index = load_sharded_index(store)
+    report = index.compact(policy)
+    if report.did_compact:
+        save_sharded_index(index, store, extra=manifest.get("extra") or {})
+    return report

@@ -28,6 +28,7 @@ from ..temporal.records import TraversalColumns
 from ..trajectories.model import TrajectorySet
 from .partition import IndexPartition, build_partition
 from .persistence import load_index, save_index
+from .store import ShardStore
 
 __all__ = ["SNTIndex", "BuildStats", "assign_time_windows", "window_bounds"]
 
@@ -453,9 +454,12 @@ class SNTIndex:
     # ------------------------------------------------------------------ #
 
     def save(
-        self, path: Union[str, Path], extra: Optional[dict] = None
+        self,
+        path: Union[str, Path, "ShardStore"],
+        extra: Optional[dict] = None,
     ) -> Path:
-        """Serialise the index to directory ``path``.
+        """Serialise the index to ``path`` — a directory, a store URI
+        (``object://...``), or a :class:`~repro.sntindex.store.ShardStore`.
 
         ``extra`` is optional JSON-serialisable provenance stored in the
         meta file (ignored by :meth:`load`).  See
@@ -467,7 +471,7 @@ class SNTIndex:
     @classmethod
     def load(
         cls,
-        path: Union[str, Path],
+        path: Union[str, Path, "ShardStore"],
         expected_alphabet_size: Optional[int] = None,
         expected_kind: Optional[str] = None,
     ) -> "SNTIndex":

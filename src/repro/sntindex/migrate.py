@@ -1,0 +1,385 @@
+"""In-place upgrade of pre-v2 saved index directories (``repro migrate``).
+
+Format v1 (PRs 1-2) stored the bulk payload as one ``arrays.npz`` plus a
+``partitions.pkl``; v2 split it into standalone mmap-able ``payload/*.npy``
+files.  The v2 loaders refuse v1 directories outright — this module is
+the upgrade path they point at: read the v1 payload with a faithful copy
+of the v1 reader, then re-install the directory through the store API in
+the current format.  The index content is unchanged (the v2 writer
+serialises exactly the arrays the v1 reader reconstructed), so a
+migrated index answers every query bit-identically to a fresh v2 build
+of the same data.
+
+Trust model
+-----------
+A v1 directory holds pickled FM partitions (``partitions.pkl``) and — in
+the sharded layout — a pickled staged tail.  **Unpickling executes
+whatever the pickle says.**  Migration therefore carries exactly the
+trust requirements the v1 loader had: only migrate directories you (or
+your build pipeline) wrote.  A foreign index directory is foreign code;
+``repro migrate`` on one hands it an interpreter.  The migrated output
+keeps the same property (v2 partitions are pickled too) — migration is
+a format upgrade, not a sanitiser.
+
+Both layouts are upgraded atomically via :meth:`ShardStore.install`
+(sibling-tempdir swap locally, marker-last ordering on an object store),
+so an interrupted migration leaves the original v1 directory untouched.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import zipfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List
+
+import numpy as np
+
+from ..errors import PersistenceError
+from ..histogram.tod import TimeOfDayHistogramStore
+from ..temporal.forest import TemporalForest
+from ..temporal.records import TraversalColumns
+from .index import BuildStats, SNTIndex
+from .persistence import (
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    META_FILE,
+    StoreLike,
+    write_index_payload,
+)
+from .sharded import (
+    MANIFEST_FILE,
+    SHARDED_FORMAT_NAME,
+    SHARDED_FORMAT_VERSION,
+    STAGED_TRAJECTORIES_FILE,
+)
+from .store import ShardStore, as_store
+
+__all__ = [
+    "MigrationReport",
+    "migrate_index_dir",
+]
+
+#: v1 payload files (replaced by ``payload/*.npy`` in v2).
+V1_ARRAYS_FILE = "arrays.npz"
+V1_PARTITIONS_FILE = "partitions.pkl"
+
+_V1_COLUMNS = ("t", "isa", "d", "tt", "a", "seq", "w")
+
+
+@dataclass(frozen=True)
+class MigrationReport:
+    """What one :func:`migrate_index_dir` call found and did."""
+
+    #: ``"monolithic"`` or ``"sharded"``.
+    layout: str
+    #: Format version found on disk before the call.
+    from_version: int
+    #: Format version on disk after the call (current on success).
+    to_version: int
+    #: True iff the directory was rewritten (False: already current).
+    changed: bool
+    #: Shard directories rewritten (monolithic counts as one; the
+    #: sharded staging shard is included when present).
+    shard_dirs_migrated: List[str] = field(default_factory=list)
+
+
+def _read_raw_meta(directory: Path, file_name: str, what: str) -> dict:
+    """Parse a marker JSON without any format-version gate.
+
+    ``read_meta``/``read_sharded_meta`` reject old versions — exactly
+    the directories this module exists to handle — so migration parses
+    the marker itself and gates only on the format *name*.
+    """
+    marker = directory / file_name
+    try:
+        meta = json.loads(marker.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise PersistenceError(f"corrupt {file_name}: {error}") from error
+    if not isinstance(meta, dict):
+        raise PersistenceError(
+            f"{marker} does not hold a JSON object"
+        )
+    return meta
+
+
+def _meta_version(meta: dict, source: str) -> int:
+    version = meta.get("format_version")
+    if not isinstance(version, int) or isinstance(version, bool):
+        raise PersistenceError(
+            f"{source} declares format_version {version!r}; expected an "
+            "integer"
+        )
+    return version
+
+
+def _load_v1_index(source: Path, meta: dict) -> SNTIndex:
+    """Load a v1 monolithic index directory (faithful v1 reader).
+
+    .. warning:: Unpickles ``partitions.pkl`` — see the module docstring
+       for the trust model.
+    """
+    try:
+        with np.load(source / V1_ARRAYS_FILE) as payload:
+            arrays = {name: payload[name] for name in payload.files}
+        with open(source / V1_PARTITIONS_FILE, "rb") as handle:
+            partitions = pickle.load(handle)
+    except (
+        OSError,
+        EOFError,
+        zipfile.BadZipFile,
+        pickle.PickleError,
+        ValueError,
+        KeyError,
+    ) as error:
+        raise PersistenceError(
+            f"failed to read v1 index payload from {source}: {error}"
+        ) from error
+
+    required = ["users", "edge_ids", "edge_offsets", "tod_keys",
+                "tod_counts"]
+    required += [f"col_{name}" for name in _V1_COLUMNS]
+    missing = [name for name in required if name not in arrays]
+    if missing:
+        raise PersistenceError(
+            f"{V1_ARRAYS_FILE} is missing arrays {missing}"
+        )
+
+    edges = arrays["edge_ids"]
+    offsets = arrays["edge_offsets"]
+    if (
+        offsets.size != edges.size + 1
+        or (offsets.size and offsets[0] != 0)
+        or np.any(np.diff(offsets) < 0)
+        or (offsets.size and offsets[-1] != arrays["col_t"].size)
+    ):
+        raise PersistenceError(
+            f"corrupt {V1_ARRAYS_FILE}: edge_offsets are inconsistent "
+            "with the column arrays"
+        )
+    try:
+        per_edge: Dict[int, TraversalColumns] = {}
+        for i, edge in enumerate(edges):
+            lo, hi = int(offsets[i]), int(offsets[i + 1])
+            per_edge[int(edge)] = TraversalColumns.from_arrays(
+                t=arrays["col_t"][lo:hi],
+                isa=arrays["col_isa"][lo:hi],
+                d=arrays["col_d"][lo:hi],
+                tt=arrays["col_tt"][lo:hi],
+                a=arrays["col_a"][lo:hi],
+                seq=arrays["col_seq"][lo:hi],
+                w=arrays["col_w"][lo:hi],
+            )
+        forest = TemporalForest.build(per_edge, kind=meta["kind"])
+        tod_store = TimeOfDayHistogramStore.from_arrays(
+            meta["tod_bucket_s"], arrays["tod_keys"], arrays["tod_counts"]
+        )
+    except (ValueError, IndexError, KeyError, TypeError) as error:
+        raise PersistenceError(
+            f"failed to reconstruct v1 index from {source}: {error}"
+        ) from error
+
+    stats_meta = meta.get("build_stats") or {}
+    if not isinstance(stats_meta, dict):
+        raise PersistenceError(f"{source} has malformed build_stats")
+    return SNTIndex(
+        partitions=partitions,
+        forest=forest,
+        users=arrays["users"],
+        tod_store=tod_store,
+        t_min=int(meta["t_min"]),
+        t_max=int(meta["t_max"]),
+        alphabet_size=int(meta["alphabet_size"]),
+        kind=meta["kind"],
+        partition_days=meta["partition_days"],
+        build_stats=BuildStats(
+            setup_seconds=float(stats_meta.get("setup_seconds", 0.0)),
+            n_partitions=int(stats_meta.get("n_partitions", 0)),
+            n_trajectories=int(stats_meta.get("n_trajectories", 0)),
+            n_traversals=int(stats_meta.get("n_traversals", 0)),
+        ),
+    )
+
+
+def _check_v1(meta: dict, source: str, expected_format: str) -> int:
+    if meta.get("format") != expected_format:
+        raise PersistenceError(
+            f"{source} holds format {meta.get('format')!r}, expected "
+            f"{expected_format!r}"
+        )
+    version = _meta_version(meta, source)
+    current = (
+        FORMAT_VERSION
+        if expected_format == FORMAT_NAME
+        else SHARDED_FORMAT_VERSION
+    )
+    if version > current:
+        raise PersistenceError(
+            f"{source} has format version {version}, newer than this "
+            f"build ({current}) — upgrade the software, not the index"
+        )
+    if version < 1:
+        raise PersistenceError(
+            f"{source} declares impossible format version {version}"
+        )
+    return version
+
+
+def migrate_index_dir(source: StoreLike) -> MigrationReport:
+    """Upgrade a saved index directory to the current format, in place.
+
+    ``source`` is a directory, store URI, or store holding either a
+    monolithic (``meta.json``) or sharded (``manifest.json``) saved
+    index.  A directory already at the current version is left
+    untouched (``changed=False``); a v1 directory is rewritten through
+    the store's atomic install.  Raises
+    :class:`~repro.errors.PersistenceError` for unknown layouts and
+    versions newer than this build.
+
+    .. warning:: Migrating a v1 directory unpickles its payload — only
+       run this on directories you wrote (see module docstring).
+    """
+    store = as_store(source)
+    local = store.localize("")
+
+    if (local / MANIFEST_FILE).is_file():
+        manifest = _read_raw_meta(local, MANIFEST_FILE, "sharded index")
+        version = _check_v1(manifest, store.uri, SHARDED_FORMAT_NAME)
+        if version == SHARDED_FORMAT_VERSION:
+            return MigrationReport(
+                layout="sharded",
+                from_version=version,
+                to_version=version,
+                changed=False,
+            )
+        return _migrate_sharded_v1(store, local, manifest, version)
+
+    if (local / META_FILE).is_file():
+        meta = _read_raw_meta(local, META_FILE, "index")
+        version = _check_v1(meta, store.uri, FORMAT_NAME)
+        if version == FORMAT_VERSION:
+            return MigrationReport(
+                layout="monolithic",
+                from_version=version,
+                to_version=version,
+                changed=False,
+            )
+        index = _load_v1_index(local, meta)
+        store.install(
+            "",
+            marker_file=META_FILE,
+            writer=lambda target: write_index_payload(
+                index, target, extra=meta.get("extra") or {}
+            ),
+            what="saved SNT-index",
+        )
+        return MigrationReport(
+            layout="monolithic",
+            from_version=version,
+            to_version=FORMAT_VERSION,
+            changed=True,
+            shard_dirs_migrated=["."],
+        )
+
+    raise PersistenceError(
+        f"{store.uri} is not a saved SNT-index (neither {META_FILE} nor "
+        f"{MANIFEST_FILE} present)"
+    )
+
+
+def _migrate_sharded_v1(
+    store: ShardStore,
+    local: Path,
+    manifest: dict,
+    from_version: int,
+) -> MigrationReport:
+    """Rewrite a v1 sharded tree: each shard dir v1→v2, manifest bumped.
+
+    The manifest's shard table, epoch/epoch_token, scalars and ``extra``
+    are preserved verbatim — only ``format_version`` changes, because
+    the v1 and v2 sharded manifests differ solely in the shard payload
+    format they point at.  The staged-tail pickle (when present) is
+    copied byte-for-byte.
+    """
+    shard_entries = manifest.get("shards")
+    if not isinstance(shard_entries, list):
+        raise PersistenceError(
+            f"{MANIFEST_FILE} in {store.uri} has no shard table"
+        )
+    described_dirs: List[str] = []
+    for described in shard_entries:
+        if not isinstance(described, dict) or "dir" not in described:
+            raise PersistenceError(
+                f"{MANIFEST_FILE} in {store.uri} has a malformed shard "
+                "entry"
+            )
+        described_dirs.append(str(described["dir"]))
+    staging_entry = manifest.get("staging")
+    if staging_entry is not None:
+        if not isinstance(staging_entry, dict) or "dir" not in staging_entry:
+            raise PersistenceError(
+                f"{MANIFEST_FILE} in {store.uri} has a malformed staging "
+                "entry"
+            )
+
+    # Load every member up front (v1 reader), so a corrupt shard aborts
+    # the migration before any install is attempted.
+    members: List[tuple] = []
+    for directory in described_dirs:
+        shard_dir = local / directory
+        shard_meta = _read_raw_meta(shard_dir, META_FILE, "index")
+        _check_v1(shard_meta, str(shard_dir), FORMAT_NAME)
+        members.append(
+            (directory, _load_v1_index(shard_dir, shard_meta), shard_meta)
+        )
+    staging_member = None
+    if staging_entry is not None:
+        staging_dir = local / str(staging_entry["dir"])
+        staging_meta = _read_raw_meta(staging_dir, META_FILE, "index")
+        _check_v1(staging_meta, str(staging_dir), FORMAT_NAME)
+        staging_member = (
+            str(staging_entry["dir"]),
+            _load_v1_index(staging_dir, staging_meta),
+            staging_meta,
+        )
+    staged_blob = None
+    staged_path = local / STAGED_TRAJECTORIES_FILE
+    if staged_path.is_file():
+        staged_blob = staged_path.read_bytes()
+
+    migrated_dirs = [directory for directory, _, _ in members]
+    if staging_member is not None:
+        migrated_dirs.append(staging_member[0])
+
+    def writer(target: Path) -> None:
+        for directory, index, shard_meta in members:
+            write_index_payload(
+                index, target / directory, extra=shard_meta.get("extra") or {}
+            )
+        if staging_member is not None:
+            directory, index, shard_meta = staging_member
+            write_index_payload(
+                index, target / directory, extra=shard_meta.get("extra") or {}
+            )
+        if staged_blob is not None:
+            (target / STAGED_TRAJECTORIES_FILE).write_bytes(staged_blob)
+        upgraded = dict(manifest)
+        upgraded["format_version"] = SHARDED_FORMAT_VERSION
+        with open(target / MANIFEST_FILE, "w") as handle:
+            json.dump(upgraded, handle, indent=2)
+
+    store.install(
+        "",
+        marker_file=MANIFEST_FILE,
+        writer=writer,
+        what="saved sharded SNT-index",
+    )
+    return MigrationReport(
+        layout="sharded",
+        from_version=from_version,
+        to_version=SHARDED_FORMAT_VERSION,
+        changed=True,
+        shard_dirs_migrated=migrated_dirs,
+    )

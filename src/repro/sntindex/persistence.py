@@ -43,18 +43,22 @@ executed whatever the pickle said.  Version 2 removes that file — the
 monolithic format contains **no pickle at all** — which both closes the
 load-time code-execution surface for this format and removes the
 unpickle cost from the open path.  Version-1 directories are refused
-with :class:`~repro.errors.IndexFormatError`; rebuild them (or roundtrip
-through a build that reads v1 and writes v2).
+with :class:`~repro.errors.IndexFormatError`; ``repro migrate`` (see
+:mod:`repro.sntindex.migrate`) upgrades them in place.
 
 ``FORMAT_VERSION`` gates compatibility: loaders refuse newer or older
 versions outright rather than guessing.
+
+Every entry point accepts a path, a store URI, or a
+:class:`~repro.sntindex.store.ShardStore` instance — the filesystem is
+reached only through the store (:func:`~repro.sntindex.store.as_store`
+wraps bare paths in a ``LocalDirStore``, preserving the historical
+layout byte for byte).
 """
 
 from __future__ import annotations
 
 import json
-import os
-import shutil
 from functools import partial
 from pathlib import Path
 from collections.abc import Sequence
@@ -62,11 +66,14 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from ..errors import IndexFormatError, PersistenceError
+from ..errors import IndexFormatError, PersistenceError, StoreError
 from ..fmindex import FMIndex, RankBitvector, WaveletTree
 from ..histogram.tod import TimeOfDayHistogramStore
 from ..temporal.forest import SlicedTemporalForest
 from .partition import IndexPartition
+from .store import ShardStore, as_store, atomic_install_dir
+
+StoreLike = Union[str, Path, ShardStore]
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .index import SNTIndex
@@ -112,130 +119,28 @@ _SHARED_ARRAYS = (
 
 
 def save_index(
-    index: "SNTIndex", path: Union[str, Path], extra: Optional[dict] = None
+    index: "SNTIndex", path: StoreLike, extra: Optional[dict] = None
 ) -> Path:
-    """Write ``index`` to directory ``path`` (created if needed).
+    """Write ``index`` to ``path`` — a directory, store URI, or store.
 
     ``extra`` is an optional JSON-serialisable dict stored verbatim under
     the ``extra`` meta key — provenance the caller wants to travel with
     the index (the CLI records a digest of the source world there).
     Loaders ignore it.
 
-    The payload is staged in a sibling temp directory and swapped in at
-    the end, so an interrupted re-save never leaves a directory mixing
-    old and new files (which would pass every load check and answer
-    queries wrongly); the reader finds either the old index, the new
-    one, or — in the narrow swap window — none.
+    The payload is staged and installed atomically by the store
+    (:meth:`~repro.sntindex.store.ShardStore.install`): for a local
+    directory, the historical sibling-tempdir swap; for an object
+    store, marker-last upload ordering.  Either way an interrupted
+    re-save never leaves a target mixing old and new files (which would
+    pass every load check and answer queries wrongly).
     """
-    return atomic_install_dir(
-        Path(path),
+    return as_store(path).install(
+        "",
         marker_file=META_FILE,
         writer=lambda target: _write_payload(index, target, extra),
         what="saved SNT-index",
     )
-
-
-def atomic_install_dir(
-    final: Path,
-    marker_file: str,
-    writer,
-    what: str = "saved SNT-index",
-) -> Path:
-    """Stage ``writer(target)`` in a sibling temp dir and swap it in.
-
-    Shared by the monolithic index format (marker ``meta.json``) and the
-    sharded manifest format (marker ``manifest.json``).  ``writer`` is
-    called with a fresh staging directory and must fully populate it —
-    including the marker file, which is how a later save recognises the
-    target as safe to replace.
-    """
-    if final.exists():
-        # The swap deletes whatever sits at the target; only a prior
-        # saved index (or an empty directory) is fair game — a mistaken
-        # --out must not destroy user data.
-        if not final.is_dir():
-            raise PersistenceError(
-                f"cannot save index to {final}: exists and is not a "
-                "directory"
-            )
-        if any(final.iterdir()) and not (final / marker_file).is_file():
-            raise PersistenceError(
-                f"refusing to overwrite {final}: directory exists and is "
-                f"not a {what}"
-            )
-    final.parent.mkdir(parents=True, exist_ok=True)
-    # Sweep staging/graveyard leftovers of *crashed* saves only: a
-    # pid-suffixed dir whose owner is still alive belongs to a
-    # concurrent saver and must not be touched.  A dead saver's
-    # graveyard may hold the only surviving copy of the index (crash
-    # between the two swap renames) — restore it, never delete it,
-    # when no index is installed.
-    for pattern in (f".{final.name}.tmp-*", f".{final.name}.old-*"):
-        for stale in final.parent.glob(pattern):
-            pid_text = stale.name.rsplit("-", 1)[-1]
-            if pid_text.isdigit() and _pid_alive(int(pid_text)):
-                continue
-            if ".old-" in stale.name and not final.exists():
-                try:
-                    os.rename(stale, final)
-                    continue
-                except OSError:
-                    pass
-            shutil.rmtree(stale, ignore_errors=True)
-    target = final.parent / f".{final.name}.tmp-{os.getpid()}"
-    if target.exists():  # our own leftover; the sweep skips live pids
-        shutil.rmtree(target)
-    target.mkdir()
-    try:
-        writer(target)
-    except BaseException:
-        shutil.rmtree(target, ignore_errors=True)
-        raise
-
-    graveyard = None
-    try:
-        if final.exists():
-            graveyard = final.parent / f".{final.name}.old-{os.getpid()}"
-            if graveyard.exists():
-                shutil.rmtree(graveyard)
-            os.rename(final, graveyard)
-        os.rename(target, final)
-    except OSError as error:
-        # Most likely two savers racing for the same target: the loser's
-        # rename finds the directory already moved.  Put the old index
-        # back if the failure left none installed.
-        shutil.rmtree(target, ignore_errors=True)
-        if (
-            graveyard is not None
-            and graveyard.exists()
-            and not final.exists()
-        ):
-            try:
-                os.rename(graveyard, final)
-            except OSError:
-                pass  # the sweep of a later save will restore it
-        raise PersistenceError(
-            f"could not install saved index at {final} (concurrent save "
-            f"to the same path?): {error}"
-        ) from error
-    if graveyard is not None:
-        # The new index is installed; a failed graveyard cleanup is not
-        # a failed save (the next save's sweep collects it).
-        shutil.rmtree(graveyard, ignore_errors=True)
-    return final
-
-
-def _pid_alive(pid: int) -> bool:
-    """Best-effort liveness probe for staging-dir owners."""
-    try:
-        os.kill(pid, 0)
-    except ProcessLookupError:
-        return False
-    except PermissionError:
-        return True  # alive, owned by another user
-    except OSError:
-        return True  # unknown: err on the side of not deleting
-    return True
 
 
 def write_index_payload(
@@ -399,21 +304,21 @@ def _write_payload(
         json.dump(meta, handle, indent=2)
 
 
-def read_meta(path: Union[str, Path]) -> dict:
+def read_meta(path: StoreLike) -> dict:
     """Read and format-check ``meta.json`` of a saved index.
 
     Cheap (no payload I/O): callers can inspect provenance — the
     ``extra`` dict, build stats, scalar attributes — without loading
     the index.
     """
-    source = Path(path)
-    meta_path = source / META_FILE
-    if not meta_path.is_file():
+    store = as_store(path)
+    source = store.uri
+    if not store.exists(META_FILE):
         raise PersistenceError(f"{source} is not a saved SNT-index "
                                f"({META_FILE} missing)")
     try:
-        meta = json.loads(meta_path.read_text())
-    except (OSError, json.JSONDecodeError) as error:
+        meta = json.loads(store.get(META_FILE))
+    except (StoreError, OSError, json.JSONDecodeError) as error:
         raise PersistenceError(f"corrupt {META_FILE}: {error}") from error
     if meta.get("format") != FORMAT_NAME:
         raise PersistenceError(
@@ -424,9 +329,9 @@ def read_meta(path: Union[str, Path]) -> dict:
     if version != FORMAT_VERSION:
         raise IndexFormatError(
             f"saved index has format version {version!r}; this build "
-            f"reads version {FORMAT_VERSION} only — rebuild the index "
-            "from source data, or save()-roundtrip it with a build that "
-            "reads that version"
+            f"reads version {FORMAT_VERSION} only — run `repro migrate` "
+            "to upgrade it in place, or rebuild the index from source "
+            "data"
         )
     return meta
 
@@ -713,7 +618,7 @@ def _load_tod_store(
 
 
 def load_index(
-    path: Union[str, Path],
+    path: StoreLike,
     expected_alphabet_size: Optional[int] = None,
     expected_kind: Optional[str] = None,
 ) -> "SNTIndex":
@@ -724,19 +629,23 @@ def load_index(
     Every payload array is memory-mapped read-only; nothing is copied
     and nothing is unpickled, so the open cost is independent of the
     index size (the FM partitions, per-edge tree directories, and the
-    ToD histogram dict all materialise lazily on first use).
+    ToD histogram dict all materialise lazily on first use).  A remote
+    store pages the payload into its local cache first
+    (:meth:`~repro.sntindex.store.ShardStore.localize`); the mmaps then
+    open against the cached copies.
     """
     from .index import BuildStats, SNTIndex
 
-    source = Path(path)
-    meta = read_meta(source)
+    store = as_store(path)
+    source = store.uri
+    meta = read_meta(store)
     validate_meta(
         meta,
         source,
         expected_alphabet_size=expected_alphabet_size,
         expected_kind=expected_kind,
     )
-    payload_dir = source / PAYLOAD_DIR
+    payload_dir = store.localize("") / PAYLOAD_DIR
     if not payload_dir.is_dir():
         raise PersistenceError(
             f"{source} has no {PAYLOAD_DIR}/ directory"
@@ -818,7 +727,9 @@ def load_index(
         tod_bucket_s=int(meta["tod_bucket_s"]),
         data_bounds=(int(bounds[0]), int(bounds[1])),
     )
-    # Where this index came from on disk — lets serving layers place
-    # per-index artifacts (e.g. the shared cache tier) alongside it.
-    index.source_path = source
+    # Where this index is reachable on *this machine* — lets serving
+    # layers place per-index artifacts (e.g. the shared cache tier)
+    # alongside it.  For a local store this is the index directory
+    # itself; for a remote store, its local page-in cache root.
+    index.source_path = payload_dir.parent
     return index

@@ -58,7 +58,7 @@ import threading
 import time
 import uuid
 from bisect import bisect_right
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -79,12 +79,13 @@ from ..trajectories.model import TrajectorySet
 from .index import BuildStats, SNTIndex, assign_time_windows, window_bounds
 from .persistence import (
     META_FILE,
-    atomic_install_dir,
+    StoreLike,
     load_index,
     read_meta,
     validate_identity,
     write_index_payload,
 )
+from .store import as_store
 from .procedures import (
     TravelTimeResult,
     first_segment_matches_many,
@@ -160,7 +161,17 @@ class _ShardEntry:
 
 @dataclass(frozen=True)
 class ShardStats:
-    """Routing statistics of a :class:`ShardRouter`."""
+    """Routing statistics of a :class:`ShardRouter`.
+
+    One instance always describes counters accumulated against a
+    *single* shard topology: ``n_shards`` is the shard count the
+    counters were recorded under, so ``per_shard_scans`` has exactly
+    that many labels and ``prune_rate`` relates scans and prunes of the
+    same denominator.  :meth:`ShardedSNTIndex.shard_stats` merges the
+    per-epoch snapshots into lifetime totals (labels remapped to the
+    current topology); :meth:`ShardedSNTIndex.shard_stats_history`
+    returns the raw frozen segments.
+    """
 
     #: Retrieval/count dispatches routed (one per sub-query scan).
     n_dispatches: int
@@ -170,6 +181,8 @@ class ShardStats:
     n_shards_pruned: int
     #: Scans per shard label, in shard order (staging last).
     per_shard_scans: Dict[str, int]
+    #: Shard count of the topology these counters were recorded under.
+    n_shards: int = 0
 
     @property
     def prune_rate(self) -> float:
@@ -333,7 +346,30 @@ class ShardRouter:
                 n_shard_scans=sum(e.n_scans for e in self.entries),
                 n_shards_pruned=self._n_pruned,
                 per_shard_scans={e.label: e.n_scans for e in self.entries},
+                n_shards=len(self.entries),
             )
+
+    def drain(self) -> ShardStats:
+        """Read-and-zero: the stats since the last drain, atomically.
+
+        Used by :meth:`ShardedSNTIndex._snapshot_stats` to close a
+        per-topology accounting segment before the shard set mutates;
+        surviving entries carry on from zero so nothing is counted
+        twice.
+        """
+        with self._lock:
+            snapshot = ShardStats(
+                n_dispatches=self._n_dispatches,
+                n_shard_scans=sum(e.n_scans for e in self.entries),
+                n_shards_pruned=self._n_pruned,
+                per_shard_scans={e.label: e.n_scans for e in self.entries},
+                n_shards=len(self.entries),
+            )
+            self._n_dispatches = 0
+            self._n_pruned = 0
+            for entry in self.entries:
+                entry.n_scans = 0
+            return snapshot
 
     # -- reader surface ------------------------------------------------- #
 
@@ -687,6 +723,14 @@ class ShardedSNTIndex:
         #: that state is shared content, so sharing its entries is safe.
         self.epoch_token = ""
         self._build_wall_seconds = build_wall_seconds
+        # Per-topology stats accounting (see shard_stats): closed
+        # segments land in _stats_history (one frozen ShardStats per
+        # topology the router lived under), their per-label sums in the
+        # _stats_base_* accumulators keyed by *current* labels.
+        self._stats_history: List[ShardStats] = []
+        self._stats_base_scans: Dict[str, int] = {}
+        self._stats_base_dispatches = 0
+        self._stats_base_pruned = 0
         self._rebuild_router()
 
     # -- construction --------------------------------------------------- #
@@ -790,15 +834,13 @@ class ShardedSNTIndex:
         return entries
 
     def _rebuild_router(self) -> None:
-        previous = getattr(self, "_router", None)
+        # The fresh router starts all counters at zero: every mutation
+        # calls _snapshot_stats() first, which drains the outgoing
+        # topology's counters into the per-epoch history.  (The old
+        # carry-the-counters-across approach left shard_stats()
+        # internally inconsistent after appends: dispatch/prune totals
+        # recorded against N shards mixed with scan rows of N+1.)
         self._router = ShardRouter(self._entries())
-        if previous is not None:
-            # The shard entries carry their scan counters across the
-            # rebuild; the dispatch/prune totals must survive too, or
-            # shard_stats() turns internally inconsistent after appends
-            # (scans without dispatches, prune rate collapsing to 0).
-            self._router._n_dispatches = previous._n_dispatches
-            self._router._n_pruned = previous._n_pruned
         self._tod_view = _ShardedTodStore(
             self._router.entries, self._router.offsets
         )
@@ -830,8 +872,92 @@ class ShardedSNTIndex:
         return self._staging is not None
 
     def shard_stats(self) -> ShardStats:
-        """Scan/prune statistics accumulated by the router."""
-        return self._router.stats()
+        """Lifetime scan/prune statistics across every topology epoch.
+
+        The merge of the frozen per-epoch segments
+        (:meth:`shard_stats_history`) and the live segment: totals are
+        sums, and per-shard scans from earlier topologies are carried
+        under the label their shard has *now* (a shard sealed from
+        staging, or merged away by compaction, contributes its history
+        to its successor).  ``per_shard_scans`` therefore always lists
+        exactly the current shards, in shard order (staging last), and
+        ``n_shards`` is the current shard count — internally consistent
+        no matter how many appends, seals, or compactions happened.
+        """
+        current = self._router.stats()
+        per_shard = {
+            label: self._stats_base_scans.get(label, 0) + n
+            for label, n in current.per_shard_scans.items()
+        }
+        return ShardStats(
+            n_dispatches=self._stats_base_dispatches + current.n_dispatches,
+            n_shard_scans=sum(per_shard.values()),
+            n_shards_pruned=self._stats_base_pruned
+            + current.n_shards_pruned,
+            per_shard_scans=per_shard,
+            n_shards=current.n_shards,
+        )
+
+    def shard_stats_history(self) -> List[ShardStats]:
+        """The closed per-topology accounting segments, oldest first.
+
+        One frozen :class:`ShardStats` per topology epoch the router
+        has lived under (each closed by the mutation — append, seal,
+        compact — that changed the shard set).  Labels of shards that
+        were since renamed or merged away are rewritten to their
+        successors (:meth:`_remap_stats`), so every label here resolves
+        in the current topology.  The live segment is :meth:`router`'s
+        ``stats()``; :meth:`shard_stats` merges all of them.
+        """
+        return list(self._stats_history)
+
+    def _snapshot_stats(self) -> None:
+        """Close the current accounting segment before a mutation.
+
+        Drains the router's counters (read-and-zero, so surviving
+        entries restart from zero) into the frozen history and the
+        per-label base sums.  Callers mutate the shard set afterwards
+        and apply :meth:`_remap_stats` for any labels that moved.
+        """
+        segment = self._router.drain()
+        if not (
+            segment.n_dispatches
+            or segment.n_shard_scans
+            or segment.n_shards_pruned
+        ):
+            return  # nothing routed under this topology; no segment
+        self._stats_history.append(segment)
+        self._stats_base_dispatches += segment.n_dispatches
+        self._stats_base_pruned += segment.n_shards_pruned
+        for label, n in segment.per_shard_scans.items():
+            self._stats_base_scans[label] = (
+                self._stats_base_scans.get(label, 0) + n
+            )
+
+    def _remap_stats(self, remap: Dict[str, str]) -> None:
+        """Re-key accumulated per-shard history after labels move.
+
+        ``remap`` maps old label → successor label (seal: ``staging`` →
+        its sealed name; compaction: every pre-compaction label → the
+        merged/renumbered shard it now lives in).  Applied to the base
+        sums *and* every stored history segment, so no accessor ever
+        reports a label the current topology does not have.
+        """
+        if not remap:
+            return
+        base: Dict[str, int] = {}
+        for label, n in self._stats_base_scans.items():
+            target = remap.get(label, label)
+            base[target] = base.get(target, 0) + n
+        self._stats_base_scans = base
+        rewritten: List[ShardStats] = []
+        for segment in self._stats_history:
+            per_shard: Dict[str, int] = {}
+            for label, n in segment.per_shard_scans.items():
+                target = remap.get(label, label)
+                per_shard[target] = per_shard.get(target, 0) + n
+            rewritten.append(replace(segment, per_shard_scans=per_shard))
+        self._stats_history = rewritten
 
     # -- IndexReader: scalars ------------------------------------------- #
 
@@ -1022,13 +1148,12 @@ class ShardedSNTIndex:
             partition_days=self.partition_days,
             tod_bucket_s=self.tod_bucket_s,
         )
-        previous_scans = (
-            self._staging.n_scans if self._staging is not None else 0
-        )
+        # Close the outgoing topology's accounting segment first; the
+        # new staging entry keeps the "staging" label, so no remap.
+        self._snapshot_stats()
         self._staging = _ShardEntry.wrap(
             staging_index, "staging", min(groups), max(groups)
         )
-        self._staging.n_scans = previous_scans
         self._staged = staged
         self.t_max = new_t_max
         self.epoch += 1
@@ -1046,12 +1171,111 @@ class ShardedSNTIndex:
         """
         if self._staging is None:
             return
+        self._snapshot_stats()
         entry = self._staging
-        entry.label = f"shard_{len(self._sealed):04d}"
+        label = f"shard_{len(self._sealed):04d}"
+        entry.label = label
         self._sealed.append(entry)
         self._staging = None
         self._staged = []
+        # The shard formerly known as "staging" keeps its scan history
+        # under its sealed name.
+        self._remap_stats({"staging": label})
         self._rebuild_router()
+
+    # -- compaction ------------------------------------------------------ #
+
+    def compact(self, policy=None) -> "CompactionReport":
+        """Merge runs of small adjacent sealed shards in place.
+
+        Repeated append/seal cycles accrete many small shards; every
+        unprunable dispatch then fans out across all of them.  This
+        merges each eligible run (:class:`repro.sntindex.compaction.
+        CompactionPolicy` decides which — by default every adjacent
+        pair or longer of sealed shards) into one shard by
+        concatenating the aligned temporal partitions — the exact
+        inverse of the sharded build's split, so answers stay
+        bit-identical (see :func:`repro.sntindex.compaction.
+        merge_shard_indexes` for the argument).  Sealed shards are
+        renumbered densely afterwards; the staging shard is untouched.
+
+        A compaction that merges anything bumps :attr:`epoch` and
+        mints a fresh :attr:`epoch_token` even though answers are
+        unchanged: shard-granular state (per-shard scan attribution,
+        mmap'd payload identity) *did* change, and the bump guarantees
+        the PR-4 shared cache tier never serves entries recorded
+        against the pre-compaction layout.  A no-op compaction (no
+        eligible runs) changes nothing and keeps caches warm.
+
+        Returns a :class:`repro.sntindex.compaction.CompactionReport`.
+        """
+        # Local import: compaction.py imports SNTIndex machinery and is
+        # imported by the CLI; importing it lazily here keeps the
+        # sharded module free of the cycle.
+        from .compaction import (
+            CompactionPolicy,
+            CompactionReport,
+            merge_shard_indexes,
+            plan_compaction,
+        )
+
+        if policy is None:
+            policy = CompactionPolicy()
+        sizes = [
+            entry.index.build_stats.n_traversals for entry in self._sealed
+        ]
+        groups = plan_compaction(sizes, policy)
+        n_before = len(self._sealed)
+        if not groups:
+            return CompactionReport(
+                n_sealed_before=n_before,
+                n_sealed_after=n_before,
+                merged_groups=[],
+                epoch=self.epoch,
+            )
+        self._snapshot_stats()
+        group_by_start = {group[0]: group for group in groups}
+        grouped_members = {position for group in groups for position in group}
+        new_sealed: List[_ShardEntry] = []
+        remap: Dict[str, str] = {}
+        merged_groups: List[List[str]] = []
+        position = 0
+        while position < n_before:
+            group = group_by_start.get(position)
+            label = f"shard_{len(new_sealed):04d}"
+            if group is not None:
+                members = [self._sealed[i] for i in group]
+                merged = merge_shard_indexes(
+                    [member.index for member in members]
+                )
+                entry = _ShardEntry.wrap(
+                    merged,
+                    label,
+                    members[0].bucket_lo,
+                    members[-1].bucket_hi,
+                )
+                for member in members:
+                    remap[member.label] = label
+                merged_groups.append([member.label for member in members])
+                position = group[-1] + 1
+            else:
+                assert position not in grouped_members
+                entry = self._sealed[position]
+                remap[entry.label] = label
+                entry.label = label
+                position += 1
+            new_sealed.append(entry)
+        self._sealed = new_sealed
+        self._remap_stats(remap)
+        self.epoch += 1
+        self.epoch_token = uuid.uuid4().hex
+        self._rebuild_router()
+        return CompactionReport(
+            n_sealed_before=n_before,
+            n_sealed_after=len(new_sealed),
+            merged_groups=merged_groups,
+            epoch=self.epoch,
+        )
 
     # -- sizes ----------------------------------------------------------- #
 
@@ -1065,9 +1289,7 @@ class ShardedSNTIndex:
 
     # -- persistence ----------------------------------------------------- #
 
-    def save(
-        self, path: Union[str, Path], extra: Optional[dict] = None
-    ) -> Path:
+    def save(self, path: StoreLike, extra: Optional[dict] = None) -> Path:
         """Write the sharded manifest directory; see
         :func:`save_sharded_index`."""
         return save_sharded_index(self, path, extra=extra)
@@ -1075,7 +1297,7 @@ class ShardedSNTIndex:
     @classmethod
     def load(
         cls,
-        path: Union[str, Path],
+        path: StoreLike,
         expected_alphabet_size: Optional[int] = None,
         expected_kind: Optional[str] = None,
     ) -> "ShardedSNTIndex":
@@ -1107,20 +1329,21 @@ def _entry_manifest(entry: _ShardEntry, directory: str) -> dict:
 
 def save_sharded_index(
     index: ShardedSNTIndex,
-    path: Union[str, Path],
+    path: StoreLike,
     extra: Optional[dict] = None,
 ) -> Path:
     """Write ``index`` as ``manifest.json`` + one PR-1 index dir per shard.
 
-    Layout::
+    ``path`` is a directory, store URI, or store.  Layout::
 
         manifest.json            format tag, scalars, shard table, epoch
         shard_0000/ ...          save_index() directories, one per shard
         staging/                 the staging shard (when present)
         staging_trajectories.pkl staged tail, so appends survive restarts
 
-    The whole directory is staged and atomically swapped in, like the
-    monolithic format.
+    The whole tree is staged and installed atomically by the store —
+    sibling-tempdir swap for a local directory, manifest-last upload
+    ordering for an object store — like the monolithic format.
     """
 
     def writer(target: Path) -> None:
@@ -1163,26 +1386,26 @@ def save_sharded_index(
         with open(target / MANIFEST_FILE, "w") as handle:
             json.dump(manifest, handle, indent=2)
 
-    return atomic_install_dir(
-        Path(path),
+    return as_store(path).install(
+        "",
         marker_file=MANIFEST_FILE,
         writer=writer,
         what="saved sharded SNT-index",
     )
 
 
-def read_sharded_meta(path: Union[str, Path]) -> dict:
+def read_sharded_meta(path: StoreLike) -> dict:
     """Read and format-check ``manifest.json`` of a sharded index dir."""
-    source = Path(path)
-    manifest_path = source / MANIFEST_FILE
-    if not manifest_path.is_file():
+    store = as_store(path)
+    source = store.uri
+    if not store.exists(MANIFEST_FILE):
         raise PersistenceError(
             f"{source} is not a saved sharded SNT-index "
             f"({MANIFEST_FILE} missing)"
         )
     try:
-        manifest = json.loads(manifest_path.read_text())
-    except (OSError, json.JSONDecodeError) as error:
+        manifest = json.loads(store.get(MANIFEST_FILE))
+    except (PersistenceError, OSError, json.JSONDecodeError) as error:
         raise PersistenceError(
             f"corrupt {MANIFEST_FILE}: {error}"
         ) from error
@@ -1195,16 +1418,14 @@ def read_sharded_meta(path: Union[str, Path]) -> dict:
     if version != SHARDED_FORMAT_VERSION:
         raise IndexFormatError(
             f"saved sharded index has format version {version!r}; this "
-            f"build reads version {SHARDED_FORMAT_VERSION} only — "
-            "rebuild the index from source data, or save()-roundtrip it "
-            "with a build that reads that version"
+            f"build reads version {SHARDED_FORMAT_VERSION} only — run "
+            "`repro migrate` to upgrade it in place, or rebuild the "
+            "index from source data"
         )
     return manifest
 
 
-def _entry_from_manifest(
-    source: Path, described: dict, manifest: dict
-) -> _ShardEntry:
+def _entry_from_manifest(store, described: dict, manifest: dict) -> _ShardEntry:
     required = ("dir", "label", "bucket_lo", "bucket_hi", "t_lo", "t_hi",
                 "n_partitions")
     missing = [name for name in required if name not in described]
@@ -1219,7 +1440,11 @@ def _entry_from_manifest(
                 f"{MANIFEST_FILE} shard entry declares {name} = "
                 f"{value!r}; expected an integer"
             )
-    shard_dir = source / described["dir"]
+    source = store.uri
+    # Page the shard's objects into a local directory (the identity for
+    # a local store) — the meta cross-check and the mmap-based loader
+    # below both read the localized copy.
+    shard_dir = store.localize(str(described["dir"]))
     # A shard is only valid inside *this* manifest if its own meta
     # agrees on every scalar that shapes the global partition layout —
     # a shard copied in from another build (different partition_days,
@@ -1257,11 +1482,12 @@ def _entry_from_manifest(
 
 
 def load_sharded_index(
-    path: Union[str, Path],
+    path: StoreLike,
     expected_alphabet_size: Optional[int] = None,
     expected_kind: Optional[str] = None,
 ) -> ShardedSNTIndex:
-    """Load a directory written by :func:`save_sharded_index`.
+    """Load a tree written by :func:`save_sharded_index` from ``path``
+    — a directory, store URI, or store.
 
     The manifest scalars are validated (including the optional
     ``expected_*`` cross-checks) before any shard payload is read, and
@@ -1269,12 +1495,13 @@ def load_sharded_index(
     directory mixing shards of different worlds is rejected.
 
     .. warning::
-        Shard payloads and the staged tail are unpickled — only load
-        directories you wrote yourself (same trust model as
+        The staged tail is unpickled — only load directories (or remote
+        stores) you wrote yourself (same trust model as
         :func:`repro.sntindex.persistence.load_index`).
     """
-    source = Path(path)
-    manifest = read_sharded_meta(source)
+    store = as_store(path)
+    source = store.uri
+    manifest = read_sharded_meta(store)
     required = (
         "alphabet_size", "kind", "partition_days", "t_min", "t_max",
         "tod_bucket_s", "epoch", "shards",
@@ -1316,22 +1543,20 @@ def load_sharded_index(
         raise PersistenceError(f"{MANIFEST_FILE} lists no shards")
 
     sealed = [
-        _entry_from_manifest(source, described, manifest)
+        _entry_from_manifest(store, described, manifest)
         for described in manifest["shards"]
     ]
     staging = None
     staged: List = []
     if manifest.get("staging") is not None:
-        staging = _entry_from_manifest(source, manifest["staging"], manifest)
-        staged_path = source / STAGED_TRAJECTORIES_FILE
-        if not staged_path.is_file():
+        staging = _entry_from_manifest(store, manifest["staging"], manifest)
+        if not store.exists(STAGED_TRAJECTORIES_FILE):
             raise PersistenceError(
                 f"{source} has a staging shard but no "
                 f"{STAGED_TRAJECTORIES_FILE}"
             )
         try:
-            with open(staged_path, "rb") as handle:
-                staged = list(pickle.load(handle))
+            staged = list(pickle.loads(store.get(STAGED_TRAJECTORIES_FILE)))
         except (OSError, EOFError, pickle.PickleError) as error:
             raise PersistenceError(
                 f"failed to read staged trajectories from {source}: "
@@ -1352,9 +1577,11 @@ def load_sharded_index(
     # Restore the mutation lineage (pre-PR-4 manifests lack the field;
     # "" marks unmutated state, matching a fresh build).
     index.epoch_token = str(manifest.get("epoch_token", ""))
-    # Where this index came from on disk — lets serving layers place
-    # per-index artifacts (e.g. the shared cache tier) alongside it.
-    index.source_path = source
+    # Where this index is reachable on *this machine* — lets serving
+    # layers place per-index artifacts (e.g. the shared cache tier)
+    # alongside it; a remote store's local page-in cache root for a
+    # remote index.
+    index.source_path = store.local_anchor()
     return index
 
 
@@ -1363,37 +1590,39 @@ def load_sharded_index(
 # ---------------------------------------------------------------------- #
 
 
-def read_any_meta(path: Union[str, Path]) -> Tuple[str, dict]:
-    """Detect the on-disk layout and read its manifest.
+def read_any_meta(path: StoreLike) -> Tuple[str, dict]:
+    """Detect the stored layout and read its manifest.
 
     Returns ``("sharded", manifest)`` or ``("monolithic", meta)``.
+    ``path`` is a directory, store URI, or store.
     """
-    source = Path(path)
-    if (source / MANIFEST_FILE).is_file():
-        return "sharded", read_sharded_meta(source)
-    if (source / META_FILE).is_file():
-        return "monolithic", read_meta(source)
+    store = as_store(path)
+    if store.exists(MANIFEST_FILE):
+        return "sharded", read_sharded_meta(store)
+    if store.exists(META_FILE):
+        return "monolithic", read_meta(store)
     raise PersistenceError(
-        f"{source} is neither a saved SNT-index ({META_FILE}) nor a "
+        f"{store.uri} is neither a saved SNT-index ({META_FILE}) nor a "
         f"sharded index ({MANIFEST_FILE})"
     )
 
 
 def load_any_index(
-    path: Union[str, Path],
+    path: StoreLike,
     expected_alphabet_size: Optional[int] = None,
     expected_kind: Optional[str] = None,
 ) -> Union[SNTIndex, ShardedSNTIndex]:
-    """Load a monolithic or sharded index dir, whichever ``path`` holds."""
-    layout, _ = read_any_meta(path)
+    """Load a monolithic or sharded index, whichever ``path`` holds."""
+    store = as_store(path)
+    layout, _ = read_any_meta(store)
     if layout == "sharded":
         return load_sharded_index(
-            path,
+            store,
             expected_alphabet_size=expected_alphabet_size,
             expected_kind=expected_kind,
         )
     return load_index(
-        path,
+        store,
         expected_alphabet_size=expected_alphabet_size,
         expected_kind=expected_kind,
     )

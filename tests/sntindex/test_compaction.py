@@ -1,0 +1,528 @@
+"""Compaction: merged shards must answer bit-identically (ISSUE 9).
+
+The merge concatenates adjacent shards' aligned temporal partitions, so
+its correctness claim is exactly the sharded-equivalence claim one
+level up: for every query, every estimator mode, and every
+append/compact interleaving, the compacted index returns the same
+bytes as the uncompacted one and as the monolithic Procedure 6 oracle.
+Property-based sampling (hypothesis) drives the query space; the stats
+tests pin the satellite-2 fix (``shard_stats`` staying internally
+consistent across appends, seals, and compactions).
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    EngineConfig,
+    FixedInterval,
+    PeriodicInterval,
+    ShardedSNTIndex,
+    SNTIndex,
+    StrictPathQuery,
+    TrajectorySet,
+    generate_dataset,
+    open_db,
+)
+from repro.config import SECONDS_PER_DAY
+from repro.core.engine import QueryEngine
+from repro.errors import ShardError
+from repro.sntindex.compaction import (
+    CompactionPolicy,
+    compact_index_dir,
+    merge_shard_indexes,
+    plan_compaction,
+)
+
+from tests.typed_api import as_requests, run_trip
+
+PARTITION_DAYS = 7
+N_SHARDS = 3
+ESTIMATOR_MODES = (None, "ISA", "BT-Fast", "BT-Acc", "CSS-Fast", "CSS-Acc")
+
+
+@pytest.fixture(scope="module")
+def world():
+    dataset = generate_dataset("tiny", seed=0)
+    mono = SNTIndex.build(
+        dataset.trajectories,
+        dataset.network.alphabet_size,
+        partition_days=PARTITION_DAYS,
+    )
+    trips = [tr for tr in dataset.trajectories if len(tr) >= 6]
+    return dataset, mono, trips
+
+
+def _build_sharded(dataset, n_shards=N_SHARDS):
+    return ShardedSNTIndex.build(
+        dataset.trajectories,
+        dataset.network.alphabet_size,
+        n_shards=n_shards,
+        partition_days=PARTITION_DAYS,
+    )
+
+
+@pytest.fixture(scope="module")
+def compacted(world):
+    """One fully compacted copy, shared by the read-only tests."""
+    dataset, _, _ = world
+    sharded = _build_sharded(dataset)
+    report = sharded.compact()
+    assert report.did_compact and sharded.n_shards == 1
+    return sharded
+
+
+def _interval_for(trip, choice):
+    if choice == "periodic":
+        return PeriodicInterval.around(trip.start_time, 900)
+    if choice == "narrow":
+        return FixedInterval(trip.start_time - SECONDS_PER_DAY,
+                             trip.start_time + SECONDS_PER_DAY)
+    return FixedInterval(0, 10**10)
+
+
+def assert_bit_identical(expected, actual):
+    assert actual.histogram == expected.histogram
+    assert actual.histogram.as_dict() == expected.histogram.as_dict()
+    assert actual.estimated_mean == expected.estimated_mean
+    assert actual.n_index_scans == expected.n_index_scans
+    assert actual.n_estimator_skips == expected.n_estimator_skips
+    assert len(actual.outcomes) == len(expected.outcomes)
+    for out_expected, out_actual in zip(expected.outcomes, actual.outcomes):
+        assert out_actual.query == out_expected.query
+        assert np.array_equal(out_actual.values, out_expected.values)
+        assert out_actual.histogram == out_expected.histogram
+        assert out_actual.from_fallback == out_expected.from_fallback
+
+
+# --------------------------------------------------------------------- #
+# Policy / planning
+# --------------------------------------------------------------------- #
+
+
+class TestPolicy:
+    def test_defaults_valid(self):
+        CompactionPolicy()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"small_traversals": -1},
+            {"min_run": 1},
+            {"min_run": 0},
+            {"min_run": 3, "max_group": 2},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ShardError):
+            CompactionPolicy(**kwargs)
+
+    def test_plan_full(self):
+        assert plan_compaction([5, 5, 5], CompactionPolicy()) == [[0, 1, 2]]
+
+    def test_plan_respects_size_threshold(self):
+        groups = plan_compaction(
+            [10, 3, 3, 10, 3, 3, 3],
+            CompactionPolicy(small_traversals=5),
+        )
+        assert groups == [[1, 2], [4, 5, 6]]
+
+    def test_plan_chunks_at_max_group(self):
+        groups = plan_compaction(
+            [1] * 7, CompactionPolicy(max_group=3)
+        )
+        assert groups == [[0, 1, 2], [3, 4, 5]]  # short tail left alone
+
+    def test_plan_drops_short_runs(self):
+        assert plan_compaction(
+            [1, 10, 1], CompactionPolicy(small_traversals=5)
+        ) == []
+
+    @given(
+        sizes=st.lists(st.integers(0, 20), max_size=24),
+        threshold=st.one_of(st.none(), st.integers(0, 20)),
+        min_run=st.integers(2, 4),
+        extra=st.integers(0, 4),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_plan_invariants(self, sizes, threshold, min_run, extra):
+        policy = CompactionPolicy(
+            small_traversals=threshold,
+            min_run=min_run,
+            max_group=min_run + extra,
+        )
+        groups = plan_compaction(sizes, policy)
+        seen = set()
+        for group in groups:
+            # contiguous, ascending, within policy bounds
+            assert group == list(range(group[0], group[-1] + 1))
+            assert policy.min_run <= len(group) <= policy.max_group
+            for position in group:
+                assert position not in seen  # disjoint
+                seen.add(position)
+                if threshold is not None:
+                    assert sizes[position] <= threshold
+
+
+# --------------------------------------------------------------------- #
+# Merge equivalence
+# --------------------------------------------------------------------- #
+
+
+class TestMergeEquivalence:
+    @given(
+        trip_index=st.integers(min_value=0, max_value=10**6),
+        interval=st.sampled_from(["full", "narrow", "periodic"]),
+        beta=st.sampled_from([None, 5, 20]),
+        prefix=st.integers(min_value=2, max_value=6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_compacted_matches_monolithic(
+        self, world, compacted, trip_index, interval, beta, prefix
+    ):
+        dataset, mono, trips = world
+        trip = trips[trip_index % len(trips)]
+        query = StrictPathQuery(
+            path=trip.path[:prefix],
+            interval=_interval_for(trip, interval),
+            beta=beta,
+        )
+        expected = run_trip(QueryEngine(mono, dataset.network), query)
+        actual = run_trip(QueryEngine(compacted, dataset.network), query)
+        assert_bit_identical(expected, actual)
+
+    @pytest.mark.parametrize("mode", ESTIMATOR_MODES)
+    def test_estimator_modes_agree(self, world, compacted, mode):
+        dataset, mono, trips = world
+        config = EngineConfig(estimator_mode=mode)
+        engine_mono = QueryEngine(mono, dataset.network, config=config)
+        engine_compact = QueryEngine(
+            compacted, dataset.network, config=config
+        )
+        for trip in trips[:8]:
+            query = StrictPathQuery(
+                path=trip.path[:4],
+                interval=PeriodicInterval.around(trip.start_time, 900),
+                beta=10,
+            )
+            assert_bit_identical(
+                run_trip(engine_mono, query, exclude_ids=(trip.traj_id,)),
+                run_trip(
+                    engine_compact, query, exclude_ids=(trip.traj_id,)
+                ),
+            )
+
+    def test_partial_compaction_matches(self, world):
+        """max_group=2 leaves a mixed layout — still bit-identical."""
+        dataset, mono, trips = world
+        sharded = _build_sharded(dataset)
+        report = sharded.compact(CompactionPolicy(max_group=2))
+        assert report.did_compact
+        assert 1 < sharded.n_shards < N_SHARDS + 1
+        engine_mono = QueryEngine(mono, dataset.network)
+        engine = QueryEngine(sharded, dataset.network)
+        for trip in trips[:10]:
+            query = StrictPathQuery(
+                path=trip.path[:3],
+                interval=PeriodicInterval.around(trip.start_time, 900),
+            )
+            assert_bit_identical(
+                run_trip(engine_mono, query), run_trip(engine, query)
+            )
+
+    def test_merge_rejects_disagreeing_shards(self, world):
+        dataset, _, _ = world
+        a = _build_sharded(dataset)
+        other = SNTIndex.build(
+            dataset.trajectories,
+            dataset.network.alphabet_size,
+            partition_days=PARTITION_DAYS,
+            kind="btree",
+        )
+        with pytest.raises(ShardError, match="disagree"):
+            merge_shard_indexes([a._sealed[0].index, other])
+
+    def test_epoch_and_token_bump_iff_compacting(self, world):
+        dataset, _, _ = world
+        sharded = _build_sharded(dataset)
+        token_before = sharded.epoch_token
+        report = sharded.compact()
+        assert report.did_compact
+        assert sharded.epoch == report.epoch == 1
+        assert sharded.epoch_token != token_before
+        token_after = sharded.epoch_token
+        noop = sharded.compact()  # one shard left: nothing to merge
+        assert not noop.did_compact
+        assert sharded.epoch == 1 and sharded.epoch_token == token_after
+
+
+# --------------------------------------------------------------------- #
+# Append / compact / append cycles
+# --------------------------------------------------------------------- #
+
+
+def _split_by_bucket(dataset, cut_from_end=2):
+    trajectories = list(dataset.trajectories)
+    t_min = min(tr.start_time for tr in trajectories)
+    window = PARTITION_DAYS * SECONDS_PER_DAY
+    buckets = sorted({(tr.start_time - t_min) // window
+                      for tr in trajectories})
+    cut = buckets[-cut_from_end]
+    base = [
+        tr for tr in trajectories if (tr.start_time - t_min) // window < cut
+    ]
+    tail_pool = [tr for tr in trajectories if tr not in base]
+    tails = [
+        TrajectorySet(
+            [tr for tr in tail_pool
+             if (tr.start_time - t_min) // window == bucket]
+        )
+        for bucket in buckets[-cut_from_end:]
+    ]
+    return base, [tail for tail in tails if len(tail)]
+
+
+class TestAppendCompactCycles:
+    def test_append_compact_append_matches_monolithic(self, world):
+        dataset, mono, trips = world
+        base, tails = _split_by_bucket(dataset)
+        assert len(tails) >= 2
+        sharded = ShardedSNTIndex.build(
+            TrajectorySet(base),
+            dataset.network.alphabet_size,
+            n_shards=2,
+            partition_days=PARTITION_DAYS,
+        )
+        sharded.append(tails[0])
+        sharded.seal_staging()
+        report = sharded.compact()
+        assert report.did_compact
+        for tail in tails[1:]:
+            sharded.append(tail)
+        sharded.seal_staging()
+        # Second compaction folds the newly sealed tail in as well.
+        sharded.compact()
+        assert sharded.n_shards == 1
+        engine_mono = QueryEngine(mono, dataset.network)
+        engine = QueryEngine(sharded, dataset.network)
+        for trip in trips[:15]:
+            for interval in ("full", "narrow", "periodic"):
+                query = StrictPathQuery(
+                    path=trip.path[:3],
+                    interval=_interval_for(trip, interval),
+                )
+                assert_bit_identical(
+                    run_trip(engine_mono, query), run_trip(engine, query)
+                )
+
+    def test_compaction_preserves_staging(self, world):
+        dataset, mono, _ = world
+        base, tails = _split_by_bucket(dataset)
+        sharded = ShardedSNTIndex.build(
+            TrajectorySet(base),
+            dataset.network.alphabet_size,
+            n_shards=2,
+            partition_days=PARTITION_DAYS,
+        )
+        for tail in tails:  # all into the (unsealed) staging shard
+            sharded.append(tail)
+        report = sharded.compact()
+        assert report.did_compact
+        assert sharded.n_shards == 2  # 1 merged + staging
+        engine_mono = QueryEngine(mono, dataset.network)
+        engine = QueryEngine(sharded, dataset.network)
+        trip = list(tails[0])[0]
+        query = StrictPathQuery(
+            path=trip.path[:3], interval=FixedInterval(0, 10**10)
+        )
+        # mono covers the whole corpus, and so does base + staged tails:
+        # compaction must leave the staging shard untouched.
+        assert_bit_identical(
+            run_trip(engine_mono, query), run_trip(engine, query)
+        )
+
+
+# --------------------------------------------------------------------- #
+# Persistence + cache lineage
+# --------------------------------------------------------------------- #
+
+
+class TestCompactIndexDir:
+    def test_monolithic_dir_rejected(self, world, tmp_path):
+        _, mono, _ = world
+        target = mono.save(tmp_path / "mono")
+        with pytest.raises(ShardError, match="monolithic"):
+            compact_index_dir(target)
+
+    def test_on_disk_roundtrip(self, world, tmp_path):
+        dataset, mono, trips = world
+        sharded = _build_sharded(dataset)
+        target = sharded.save(
+            tmp_path / "idx", extra={"origin": "compaction-test"}
+        )
+        report = compact_index_dir(target)
+        assert report.did_compact
+        manifest = json.loads((target / "manifest.json").read_text())
+        assert manifest["extra"] == {"origin": "compaction-test"}
+        assert manifest["epoch"] == 1
+        assert len(manifest["shards"]) == report.n_sealed_after
+
+        from repro.sntindex.sharded import load_sharded_index
+
+        loaded = load_sharded_index(target)
+        engine_mono = QueryEngine(mono, dataset.network)
+        engine = QueryEngine(loaded, dataset.network)
+        for trip in trips[:10]:
+            query = StrictPathQuery(
+                path=trip.path[:3],
+                interval=PeriodicInterval.around(trip.start_time, 900),
+            )
+            assert_bit_identical(
+                run_trip(engine_mono, query), run_trip(engine, query)
+            )
+
+    def test_noop_compaction_writes_nothing(self, world, tmp_path):
+        dataset, _, _ = world
+        sharded = _build_sharded(dataset)
+        sharded.compact()
+        target = sharded.save(tmp_path / "idx")
+        before = (target / "manifest.json").read_bytes()
+        report = compact_index_dir(target)
+        assert not report.did_compact
+        assert (target / "manifest.json").read_bytes() == before
+
+    def test_shared_cache_tier_not_poisoned_by_compaction(
+        self, world, tmp_path
+    ):
+        """The epoch/lineage bump must invalidate pre-compaction entries.
+
+        Same shared cache directory before and after an on-disk
+        compaction: the second session must answer bit-identically to
+        the monolithic oracle (a stale hit recorded against the old
+        shard layout would have to get lucky to do that — the tier's
+        (epoch, lineage) key makes it a structural miss instead).
+        """
+        dataset, mono, trips = world
+        sharded = _build_sharded(dataset)
+        target = sharded.save(tmp_path / "idx")
+        cache_dir = tmp_path / "cachetier"
+        config = EngineConfig(cache=f"shared:{cache_dir}")
+        queries = [
+            StrictPathQuery(
+                path=trip.path[:3],
+                interval=PeriodicInterval.around(trip.start_time, 900),
+            )
+            for trip in trips[:10]
+        ]
+
+        with open_db(str(target), network=dataset.network,
+                     config=config) as db:
+            warm = db.query_many(as_requests(queries))
+        assert any(cache_dir.iterdir())  # the tier persisted entries
+
+        report = compact_index_dir(target)
+        assert report.did_compact
+
+        with open_db(str(target), network=dataset.network,
+                     config=config) as db:
+            after = db.query_many(as_requests(queries))
+
+        engine_mono = QueryEngine(mono, dataset.network)
+        for query, warm_result, post in zip(queries, warm, after):
+            expected = run_trip(engine_mono, query)
+            assert_bit_identical(expected, warm_result)
+            assert_bit_identical(expected, post)
+
+
+# --------------------------------------------------------------------- #
+# Satellite 2: shard_stats stays consistent across topology changes
+# --------------------------------------------------------------------- #
+
+
+class TestStatsAcrossTopologyChanges:
+    def _run_queries(self, sharded, dataset, trips, n=5):
+        engine = QueryEngine(sharded, dataset.network)
+        for trip in trips[:n]:
+            run_trip(
+                engine,
+                StrictPathQuery(
+                    path=trip.path[:3],
+                    interval=PeriodicInterval.around(trip.start_time, 900),
+                ),
+            )
+
+    def test_totals_internally_consistent_after_seal(self, world):
+        """The pre-fix failure mode: carried totals with reset per-shard
+        counters made ``sum(per_shard_scans) != n_shard_scans``."""
+        dataset, _, trips = world
+        base, tails = _split_by_bucket(dataset)
+        sharded = ShardedSNTIndex.build(
+            TrajectorySet(base),
+            dataset.network.alphabet_size,
+            n_shards=2,
+            partition_days=PARTITION_DAYS,
+        )
+        self._run_queries(sharded, dataset, trips)
+        sharded.append(tails[0])
+        self._run_queries(sharded, dataset, trips)
+        sharded.seal_staging()
+        stats = sharded.shard_stats()
+        assert stats.n_shard_scans == sum(stats.per_shard_scans.values())
+        assert stats.n_shards == sharded.n_shards
+        assert set(stats.per_shard_scans) == {
+            entry.label for entry in sharded.router.entries
+        }
+
+    def test_totals_preserved_across_compaction(self, world):
+        dataset, _, trips = world
+        sharded = _build_sharded(dataset)
+        self._run_queries(sharded, dataset, trips)
+        before = sharded.shard_stats()
+        assert before.n_shard_scans > 0
+        sharded.compact()
+        after = sharded.shard_stats()
+        assert after.n_dispatches == before.n_dispatches
+        assert after.n_shard_scans == before.n_shard_scans
+        assert after.n_shards_pruned == before.n_shards_pruned
+        assert sum(after.per_shard_scans.values()) == sum(
+            before.per_shard_scans.values()
+        )
+        # Labels resolve in the post-compaction topology.
+        assert set(after.per_shard_scans) == {
+            entry.label for entry in sharded.router.entries
+        }
+        assert after.n_shards == 1
+
+    def test_history_segments_are_per_topology(self, world):
+        dataset, _, trips = world
+        sharded = _build_sharded(dataset)
+        assert sharded.shard_stats_history() == []
+        self._run_queries(sharded, dataset, trips)
+        sharded.compact()
+        history = sharded.shard_stats_history()
+        assert len(history) == 1
+        segment = history[0]
+        assert segment.n_shards == N_SHARDS  # recorded pre-compaction
+        self._run_queries(sharded, dataset, trips)
+        merged = sharded.shard_stats()
+        assert merged.n_shard_scans == (
+            segment.n_shard_scans
+            + sharded.router.stats().n_shard_scans
+        )
+
+    def test_router_drain_zeroes_counters(self, world):
+        dataset, _, trips = world
+        sharded = _build_sharded(dataset)
+        self._run_queries(sharded, dataset, trips, n=3)
+        drained = sharded.router.drain()
+        assert drained.n_dispatches > 0
+        empty = sharded.router.stats()
+        assert empty.n_dispatches == 0
+        assert empty.n_shard_scans == 0
+        assert all(v == 0 for v in empty.per_shard_scans.values())

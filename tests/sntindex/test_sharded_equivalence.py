@@ -681,3 +681,92 @@ def test_service_cold_start_from_sharded_dir(world, tmp_path):
             TripRequest.from_spq(query, exclude_ids=(trips[0].traj_id,))
         ),
     )
+
+
+# --------------------------------------------------------------------- #
+# Shard lifecycle (ISSUE 9): object-store page-in + compacted layouts
+# --------------------------------------------------------------------- #
+
+
+def test_object_store_pagein_answers_identically(world, tmp_path):
+    """Saving to and loading from an ``object://`` store is transparent:
+    the paged-in index answers bit-identically to the monolithic one."""
+    dataset, mono, sharded, trips = world
+    uri = f"object://{tmp_path}/remote?cache={tmp_path}/cache"
+    sharded.save(uri, extra={"note": "object-store"})
+
+    layout, manifest = read_any_meta(uri)
+    assert layout == "sharded"
+    assert manifest["extra"] == {"note": "object-store"}
+
+    loaded = load_any_index(
+        uri, expected_alphabet_size=dataset.network.alphabet_size
+    )
+    assert isinstance(loaded, ShardedSNTIndex)
+    assert loaded.n_shards == sharded.n_shards
+
+    engine_mono = QueryEngine(mono, dataset.network)
+    engine_loaded = QueryEngine(loaded, dataset.network)
+    for trip in trips[:10]:
+        query = StrictPathQuery(
+            path=trip.path,
+            interval=PeriodicInterval.around(trip.start_time, 900),
+            beta=10,
+        )
+        assert_bit_identical(
+            run_trip(engine_mono, query, exclude_ids=(trip.traj_id,)),
+            run_trip(engine_loaded, query, exclude_ids=(trip.traj_id,)),
+        )
+
+
+def test_monolithic_object_store_roundtrip(world, tmp_path):
+    dataset, mono, _, trips = world
+    uri = f"object://{tmp_path}/remote?cache={tmp_path}/cache"
+    mono.save(uri)
+    loaded = load_any_index(
+        uri, expected_alphabet_size=dataset.network.alphabet_size
+    )
+    assert isinstance(loaded, SNTIndex)
+    engine_mono = QueryEngine(mono, dataset.network)
+    engine_loaded = QueryEngine(loaded, dataset.network)
+    query = StrictPathQuery(
+        path=trips[0].path,
+        interval=PeriodicInterval.around(trips[0].start_time, 900),
+    )
+    assert_bit_identical(
+        run_trip(engine_mono, query), run_trip(engine_loaded, query)
+    )
+
+
+def test_compacted_saved_layout_equivalent_across_modes(world, tmp_path):
+    """Compact on disk, reload, and run the estimator-mode sweep: the
+    compacted layout must stay inside the equivalence envelope."""
+    from repro.sntindex.compaction import compact_index_dir
+
+    dataset, mono, sharded, trips = world
+    target = sharded.save(tmp_path / "to-compact")
+    report = compact_index_dir(target)
+    assert report.did_compact
+    loaded = load_any_index(
+        target, expected_alphabet_size=dataset.network.alphabet_size
+    )
+    assert loaded.n_shards < sharded.n_shards
+
+    for mode in ESTIMATOR_MODES:
+        config = EngineConfig(estimator_mode=mode)
+        engine_compacted = QueryEngine(
+            loaded, dataset.network, config=config
+        )
+        engine_oracle = QueryEngine(mono, dataset.network, config=config)
+        for trip in trips[:5]:
+            query = StrictPathQuery(
+                path=trip.path,
+                interval=PeriodicInterval.around(trip.start_time, 900),
+                beta=10,
+            )
+            assert_bit_identical(
+                run_trip(engine_oracle, query, exclude_ids=(trip.traj_id,)),
+                run_trip(
+                    engine_compacted, query, exclude_ids=(trip.traj_id,)
+                ),
+            )

@@ -544,3 +544,119 @@ class TestErrorExitCodes:
         err = capsys.readouterr().err
         assert err.startswith("error:")
         assert "beta" in err
+
+
+class TestShardLifecycleCommands:
+    """ISSUE 9: ``--store`` URIs, ``compact``, and ``migrate``."""
+
+    def _histogram_lines(self, text):
+        return [line for line in text.splitlines() if " ms" not in line]
+
+    def _build_sharded(self, world_dir, index_dir, shards=4):
+        assert main(["index", "--world", str(world_dir),
+                     "--out", str(index_dir),
+                     "--partition-days", "7",
+                     "--shards", str(shards)]) == 0
+
+    def test_store_uri_equals_index_dir(self, world_dir, tmp_path, capsys):
+        index_dir = tmp_path / "sharded"
+        self._build_sharded(world_dir, index_dir)
+        capsys.readouterr()
+        path = TestQuery().path_from_world(world_dir)
+        assert main(["query", "--world", str(world_dir),
+                     "--index", str(index_dir), "--path", path,
+                     "--tod", "08:00"]) == 0
+        via_dir = capsys.readouterr().out
+        assert main(["query", "--world", str(world_dir),
+                     "--store", f"file:{index_dir}", "--path", path,
+                     "--tod", "08:00"]) == 0
+        via_store = capsys.readouterr().out
+        assert self._histogram_lines(via_dir) == self._histogram_lines(
+            via_store
+        )
+
+    def test_store_and_index_mutually_exclusive(self, world_dir, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["query", "--world", str(world_dir),
+                  "--index", str(tmp_path), "--store", f"file:{tmp_path}",
+                  "--path", "1"])
+        assert excinfo.value.code == 2
+
+    def test_index_out_accepts_object_uri(self, world_dir, tmp_path,
+                                          capsys):
+        uri = (
+            f"object://{tmp_path}/remote?cache={tmp_path}/cache"
+        )
+        assert main(["index", "--world", str(world_dir), "--out", uri,
+                     "--partition-days", "7", "--shards", "2"]) == 0
+        capsys.readouterr()
+        assert (tmp_path / "remote" / "manifest.json").exists()
+        path = TestQuery().path_from_world(world_dir)
+        assert main(["query", "--world", str(world_dir),
+                     "--store", uri, "--path", path]) == 0
+        assert "estimated mean" in capsys.readouterr().out
+
+    def test_compact_reduces_shards_same_answers(
+        self, world_dir, tmp_path, capsys
+    ):
+        index_dir = tmp_path / "sharded"
+        self._build_sharded(world_dir, index_dir)
+        path = TestQuery().path_from_world(world_dir)
+        capsys.readouterr()
+        assert main(["query", "--world", str(world_dir),
+                     "--index", str(index_dir), "--path", path,
+                     "--tod", "08:00"]) == 0
+        before = capsys.readouterr().out
+
+        assert main(["compact", str(index_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "compacted" in out
+        assert "4 -> 1" in out
+        import json
+
+        manifest = json.loads((index_dir / "manifest.json").read_text())
+        assert len(manifest["shards"]) == 1
+        assert manifest["epoch"] == 1
+
+        assert main(["query", "--world", str(world_dir),
+                     "--index", str(index_dir), "--path", path,
+                     "--tod", "08:00"]) == 0
+        after = capsys.readouterr().out
+        assert self._histogram_lines(before) == self._histogram_lines(after)
+
+    def test_compact_policy_flags_and_noop(self, world_dir, tmp_path,
+                                           capsys):
+        index_dir = tmp_path / "sharded"
+        self._build_sharded(world_dir, index_dir)
+        capsys.readouterr()
+        assert main(["compact", str(index_dir), "--max-group", "2"]) == 0
+        assert "4 -> 2" in capsys.readouterr().out
+        # A threshold below every shard's size leaves nothing to merge.
+        assert main(["compact", str(index_dir),
+                     "--small-traversals", "0"]) == 0
+        assert "nothing to compact" in capsys.readouterr().out
+
+    def test_compact_monolithic_fails_one_line(self, world_dir, tmp_path,
+                                               capsys):
+        mono_dir = tmp_path / "mono"
+        assert main(["index", "--world", str(world_dir),
+                     "--out", str(mono_dir),
+                     "--partition-days", "7"]) == 0
+        capsys.readouterr()
+        assert main(["compact", str(mono_dir)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "monolithic" in err
+
+    def test_migrate_current_is_noop(self, world_dir, tmp_path, capsys):
+        index_dir = tmp_path / "sharded"
+        self._build_sharded(world_dir, index_dir, shards=2)
+        capsys.readouterr()
+        assert main(["migrate", str(index_dir)]) == 0
+        assert "nothing to do" in capsys.readouterr().out
+
+    def test_migrate_not_an_index_fails_one_line(self, tmp_path, capsys):
+        assert main(["migrate", str(tmp_path)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert len(err.strip().splitlines()) == 1
